@@ -1,0 +1,44 @@
+"""Ablation: task heap size (Section II-D).
+
+The paper tunes heaps to 8 GB on scale-up and 1.5 GB on scale-out by
+trial and error, because the heap bounds the reduce-side shuffle buffer:
+too small and shuffled data spills to disk.  This bench sweeps the
+scale-out heap for a shuffle-heavy job and shows the shuffle phase
+shrinking as the buffer grows, then saturating once spills stop.
+"""
+
+from repro.analysis.report import render_table
+from repro.apps import WORDCOUNT
+from repro.core.architectures import out_ofs
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.deployment import Deployment
+from repro.units import GB
+
+HEAPS_GB = (0.5, 1.0, 1.5, 3.0, 8.0)
+
+
+def run_heap_sweep():
+    job = WORDCOUNT.make_job(32 * GB)
+    rows = []
+    for heap_gb in HEAPS_GB:
+        cal = DEFAULT_CALIBRATION.with_options(heap_out=heap_gb * GB)
+        result = Deployment(out_ofs(), calibration=cal).run_job(job)
+        rows.append([f"{heap_gb:g}GB", result.shuffle_phase, result.execution_time])
+    return rows
+
+
+def test_ablation_heap_size(benchmark, artifact):
+    rows = benchmark.pedantic(run_heap_sweep, rounds=1, iterations=1)
+    artifact(
+        "ablation_heap",
+        render_table(
+            ["scale-out heap", "shuffle phase (s)", "execution (s)"],
+            rows,
+            title="heap-size ablation: wordcount 32GB on out-OFS",
+        ),
+    )
+    shuffles = [row[1] for row in rows]
+    # Bigger heaps never make the shuffle slower...
+    assert all(b <= a * 1.001 for a, b in zip(shuffles, shuffles[1:]))
+    # ...and the spill-to-no-spill transition is visible end to end.
+    assert shuffles[-1] < shuffles[0]

@@ -1,0 +1,75 @@
+"""Ablation: is the perfect-data-locality assumption safe?
+
+The default HDFS model assumes every map reads its block from its own
+node (the paper's clusters achieve this through Hadoop's locality
+scheduling).  This bench turns on the explicit block-placement model —
+real replica locations, locality-preferring dispatch, rack-remote reads
+for misses — and measures (a) the achieved locality rate and (b) how far
+execution times drift from the perfect-locality abstraction.
+"""
+
+from repro.analysis.report import render_table
+from repro.apps import GREP, WORDCOUNT
+from repro.core.architectures import out_hdfs, up_hdfs
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.deployment import Deployment
+from repro.units import GB
+
+
+def run_locality_ablation():
+    rows = []
+    drifts = []
+    localities = []
+    for app, size, arch_fn in (
+        (GREP, 8 * GB, out_hdfs),
+        (WORDCOUNT, 16 * GB, out_hdfs),
+        (GREP, 8 * GB, up_hdfs),
+    ):
+        job = app.make_job(size)
+        perfect = (
+            Deployment(arch_fn(), calibration=DEFAULT_CALIBRATION)
+            .run_job(job)
+            .execution_time
+        )
+        cal = DEFAULT_CALIBRATION.with_options(hdfs_block_placement=True)
+        deployment = Deployment(arch_fn(), calibration=cal)
+        explicit = deployment.run_job(job).execution_time
+        tracker = deployment.trackers[0]
+        total = tracker.local_map_reads + tracker.remote_map_reads
+        locality = tracker.local_map_reads / total
+        drift = explicit / perfect - 1.0
+        localities.append(locality)
+        drifts.append(abs(drift))
+        rows.append(
+            [
+                f"{app.name}@{size / GB:.0f}GB/{arch_fn().name}",
+                perfect,
+                explicit,
+                f"{drift:+.1%}",
+                f"{locality:.0%}",
+            ]
+        )
+    return rows, drifts, localities
+
+
+def test_ablation_locality(benchmark, artifact):
+    rows, drifts, localities = benchmark.pedantic(
+        run_locality_ablation, rounds=1, iterations=1
+    )
+    artifact(
+        "ablation_locality",
+        render_table(
+            ["scenario", "perfect (s)", "explicit placement (s)", "drift",
+             "locality"],
+            rows,
+            title="locality ablation: perfect vs explicit block placement",
+        ),
+    )
+    # Locality-preferring dispatch finds a replica holder for most maps
+    # (the 2-node scale-up cluster trivially always does; saturated
+    # scale-out waves drop to ~60%, as real Hadoop does without delay
+    # scheduling)...
+    assert all(l > 0.5 for l in localities)
+    # ...and even the misses barely move execution time, which is the
+    # empirical license for the default perfect-locality abstraction.
+    assert all(d < 0.15 for d in drifts)

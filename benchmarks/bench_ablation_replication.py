@@ -1,0 +1,39 @@
+"""Ablation: HDFS replication factor (Section II-D).
+
+The paper lowers replication from Hadoop's default 3 to 2 because its
+single-rack cluster gains no fault-domain spread from the third copy,
+while every extra replica costs write bandwidth.  This bench measures a
+write-heavy job under replication 1/2/3 on out-HDFS.
+"""
+
+from repro.analysis.report import render_table
+from repro.apps import TESTDFSIO_WRITE
+from repro.core.architectures import out_hdfs
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.deployment import Deployment
+from repro.units import GB
+
+
+def run_replication_sweep():
+    job = TESTDFSIO_WRITE.make_job(50 * GB)
+    rows = []
+    for replication in (1, 2, 3):
+        cal = DEFAULT_CALIBRATION.with_options(replication=replication)
+        result = Deployment(out_hdfs(), calibration=cal).run_job(job)
+        rows.append([replication, result.execution_time, result.map_phase])
+    return rows
+
+
+def test_ablation_replication(benchmark, artifact):
+    rows = benchmark.pedantic(run_replication_sweep, rounds=1, iterations=1)
+    artifact(
+        "ablation_replication",
+        render_table(
+            ["replication", "execution (s)", "map phase (s)"],
+            rows,
+            title="replication ablation: dfsio-write 50GB on out-HDFS",
+        ),
+    )
+    times = [row[1] for row in rows]
+    # Each extra replica costs write bandwidth: strictly increasing.
+    assert times[0] < times[1] < times[2]

@@ -1,0 +1,78 @@
+"""Ablation: what the size-aware scheduler actually buys.
+
+Replays the same FB-2009 sample on the hybrid hardware under five
+routing policies:
+
+* ``algorithm1``   — the paper's scheduler (ratio bands + cross points);
+* ``size-only``    — a single 10 GB threshold, ignoring the ratio;
+* ``always-up`` / ``always-out`` — degenerate routings;
+* ``load-balanced``— Algorithm 1 plus the future-work backlog diverter;
+* ``fine-grained`` — the continuous ratio partition the paper suggests
+  as future refinement (repro.core.finegrained).
+
+Algorithm 1 must beat both degenerate policies on mean execution time,
+and the ratio-aware bands must not lose to the size-only threshold.
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.core.architectures import hybrid
+from repro.core.deployment import Deployment, algorithm1_router
+from repro.core.finegrained import InterpolatingScheduler
+from repro.core.loadbalance import LoadBalancingRouter
+from repro.core.scheduler import CrossPoints, SizeAwareScheduler
+from repro.units import GB
+from repro.workload.fb2009 import DAY, generate_fb2009
+
+NUM_JOBS = 400
+
+
+def make_policies():
+    size_only = CrossPoints(
+        high_ratio_cross=10 * GB, mid_ratio_cross=10 * GB, low_ratio_cross=10 * GB
+    )
+    return {
+        "algorithm1": algorithm1_router(),
+        "size-only-10GB": algorithm1_router(SizeAwareScheduler(size_only)),
+        "always-up": lambda job, dep: dep.spec.role_index("up"),
+        "always-out": lambda job, dep: dep.spec.role_index("out"),
+        "load-balanced": LoadBalancingRouter(),
+        "fine-grained": algorithm1_router(InterpolatingScheduler()),
+    }
+
+
+def run_policy_sweep():
+    trace = generate_fb2009(
+        num_jobs=NUM_JOBS, seed=2009, duration=DAY * NUM_JOBS / 6000
+    ).shrink(5.0)
+    jobs = trace.to_jobspecs()
+    rows = []
+    for name, router in make_policies().items():
+        deployment = Deployment(hybrid(), router=router)
+        results = deployment.run_trace(jobs)
+        times = np.array([r.execution_time for r in results])
+        rows.append(
+            [name, float(np.mean(times)), float(np.median(times)),
+             float(np.percentile(times, 99)), float(times.max())]
+        )
+    return rows
+
+
+def test_ablation_scheduler_policies(benchmark, artifact):
+    rows = benchmark.pedantic(run_policy_sweep, rounds=1, iterations=1)
+    artifact(
+        "ablation_scheduler",
+        render_table(
+            ["policy", "mean (s)", "p50 (s)", "p99 (s)", "max (s)"],
+            rows,
+            title=f"scheduler ablation: {NUM_JOBS}-job FB-2009 sample on hybrid hardware",
+        ),
+    )
+    means = {row[0]: row[1] for row in rows}
+    assert means["algorithm1"] < means["always-up"]
+    assert means["algorithm1"] < means["always-out"]
+    # The ratio-aware bands should not lose to a flat size threshold.
+    assert means["algorithm1"] <= means["size-only-10GB"] * 1.02
+    # The load balancer may only help (it falls back to Algorithm 1).
+    assert means["load-balanced"] <= means["algorithm1"] * 1.05

@@ -1,0 +1,42 @@
+"""Ablation: shuffle data placement on the scale-up cluster (Section II-D).
+
+The paper mounts half of each scale-up node's 505 GB RAM as tmpfs and
+points the shuffle there, "which improves the shuffle data I/O
+performance greatly".  This bench runs the same shuffle-heavy job with
+the RAMdisk on and off and measures exactly what the choice buys.
+"""
+
+from repro.analysis.report import render_table
+from repro.apps import WORDCOUNT
+from repro.core.architectures import up_ofs
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.deployment import Deployment
+from repro.units import GB
+
+
+def run_placement_ablation():
+    job = WORDCOUNT.make_job(32 * GB)
+    rows = []
+    for ramdisk in (True, False):
+        cal = DEFAULT_CALIBRATION.with_options(up_shuffle_on_ramdisk=ramdisk)
+        result = Deployment(up_ofs(), calibration=cal).run_job(job)
+        label = "RAMdisk (tmpfs)" if ramdisk else "local HDD"
+        rows.append([label, result.shuffle_phase, result.execution_time])
+    return rows
+
+
+def test_ablation_shuffle_placement(benchmark, artifact):
+    rows = benchmark.pedantic(run_placement_ablation, rounds=1, iterations=1)
+    artifact(
+        "ablation_shuffle_placement",
+        render_table(
+            ["shuffle store", "shuffle phase (s)", "execution (s)"],
+            rows,
+            title="shuffle-placement ablation: wordcount 32GB on up-OFS",
+        ),
+    )
+    ramdisk_row, hdd_row = rows
+    # The RAMdisk must shorten the shuffle phase and the whole job —
+    # this is a large part of why scale-up wins shuffle-heavy jobs.
+    assert ramdisk_row[1] < hdd_row[1]
+    assert ramdisk_row[2] < hdd_row[2]

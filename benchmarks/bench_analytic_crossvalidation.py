@@ -1,0 +1,61 @@
+"""Cross-validation: closed-form model vs the discrete-event simulator.
+
+Two independent implementations of docs/MODEL.md — wave algebra and the
+event loop — predict the same isolated-job execution times to within a
+modest tolerance across applications, sizes and architectures.  Where
+they disagree, one of them is wrong; this bench is the tripwire.
+"""
+
+from repro.analysis.analytic import estimate
+from repro.analysis.report import render_table
+from repro.analysis.sweep import run_isolated
+from repro.apps import GREP, TESTDFSIO_WRITE, WORDCOUNT
+from repro.core.architectures import out_hdfs, out_ofs, up_ofs
+from repro.units import GB, format_size
+
+CASES = [
+    (WORDCOUNT, up_ofs(), 2 * GB),
+    (WORDCOUNT, up_ofs(), 32 * GB),
+    (WORDCOUNT, out_ofs(), 64 * GB),
+    (GREP, out_ofs(), 8 * GB),
+    (GREP, up_ofs(), 16 * GB),
+    (TESTDFSIO_WRITE, out_ofs(), 30 * GB),
+    (GREP, out_hdfs(), 8 * GB),
+]
+
+
+def run_crossvalidation():
+    rows = []
+    ratios = []
+    for app, spec, size in CASES:
+        simulated = run_isolated(spec, app, size).execution_time
+        predicted = estimate(spec, app.make_job(size)).execution_time
+        ratio = predicted / simulated
+        ratios.append(ratio)
+        rows.append(
+            [
+                f"{app.name}@{format_size(size)}",
+                spec.name,
+                simulated,
+                predicted,
+                f"{ratio:.2f}x",
+            ]
+        )
+    return rows, ratios
+
+
+def test_analytic_crossvalidation(benchmark, artifact):
+    rows, ratios = benchmark.pedantic(run_crossvalidation, rounds=1, iterations=1)
+    artifact(
+        "analytic_crossvalidation",
+        render_table(
+            ["case", "architecture", "simulated (s)", "analytic (s)",
+             "analytic/simulated"],
+            rows,
+            title="closed-form model vs discrete-event simulator",
+        ),
+    )
+    # The algebra ignores jitter, pipelining and partial-load dynamics;
+    # agreement within ~35% across the grid is the structural check.
+    for (app, spec, size), ratio in zip(CASES, ratios):
+        assert 0.65 <= ratio <= 1.45, (app.name, spec.name, size, ratio)

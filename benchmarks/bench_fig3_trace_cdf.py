@@ -1,0 +1,44 @@
+"""Fig. 3: CDF of input data size in the FB-2009 synthesized trace.
+
+Paper: input sizes span KB to TB; 40% of jobs below 1 MB, 49% between
+1 MB and 30 GB, 11% above 30 GB; and (Section V) more than 80% of jobs
+below 10 GB.
+"""
+
+import numpy as np
+
+from repro.analysis.asciichart import render_chart
+from repro.analysis.figures import fig3_trace_cdf
+from repro.analysis.report import render_series
+from repro.units import GB, format_size
+
+
+def test_fig3_trace_cdf(benchmark, artifact):
+    figure = benchmark.pedantic(
+        fig3_trace_cdf, kwargs={"num_jobs": 6000, "seed": 2009},
+        rounds=1, iterations=1,
+    )
+    text = render_series(figure.sizes, figure.series, title=figure.title)
+    text += "\n\n" + render_chart(
+        figure.sizes, figure.series, x_formatter=format_size, height=12
+    )
+    notes = figure.notes
+    summary = (
+        f"<1MB: {notes['share_below_1MB']:.1%}   "
+        f"1MB-30GB: {notes['share_1MB_to_30GB']:.1%}   "
+        f">30GB: {notes['share_above_30GB']:.1%}   "
+        f"(paper: 40% / 49% / 11%)"
+    )
+    artifact("fig3_trace_cdf", text + "\n" + summary, data=figure.to_dict())
+
+    assert notes["share_below_1MB"] == abs(notes["share_below_1MB"])
+    assert abs(notes["share_below_1MB"] - 0.40) < 0.03
+    assert abs(notes["share_1MB_to_30GB"] - 0.49) < 0.03
+    assert abs(notes["share_above_30GB"] - 0.11) < 0.02
+
+    cdf = np.array(figure.series["CDF"])
+    assert np.all(np.diff(cdf) >= 0), "a CDF must be monotone"
+    # Section V: >80% of jobs below 10 GB.
+    sizes = np.array(figure.sizes)
+    below_10gb = cdf[np.searchsorted(sizes, 10 * GB) - 1]
+    assert below_10gb > 0.80

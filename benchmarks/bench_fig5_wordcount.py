@@ -1,0 +1,43 @@
+"""Fig. 5(a-d): Wordcount on the four architectures, 0.5-448 GB.
+
+Paper shapes this bench must reproduce:
+
+* small inputs (0.5-8 GB): up-HDFS > up-OFS > out-HDFS > out-OFS
+  (better to worse), i.e. ascending execution time in that order;
+* large inputs (>16-32 GB): out-OFS > out-HDFS > up-OFS > up-HDFS;
+* up-HDFS infeasible beyond ~80 GB (91 GB local disks);
+* shuffle phase always shorter on scale-up (RAMdisk + big heap).
+"""
+
+from repro.analysis.figures import fig5_wordcount
+from repro.units import GB
+from helpers import (
+    assert_large_size_ordering,
+    assert_small_size_ordering,
+    render_panels,
+    series_at,
+)
+
+
+def test_fig5_wordcount(benchmark, artifact):
+    panels = benchmark.pedantic(fig5_wordcount, rounds=1, iterations=1)
+    artifact("fig5_wordcount", render_panels(panels), data={k: p.to_dict() for k, p in panels.items()})
+
+    execution = panels["execution"]
+    assert_small_size_ordering(execution, 2 * GB)
+    assert_large_size_ordering(execution, 64 * GB)
+
+    # up-HDFS cannot hold the 128/256/448 GB datasets (91 GB disks).
+    up_hdfs = execution.series["up-HDFS"]
+    assert up_hdfs[execution.sizes.index(128 * GB)] is None
+    assert up_hdfs[execution.sizes.index(448 * GB)] is None
+    # ... but everything else runs the whole ladder.
+    for name in ("up-OFS", "out-OFS", "out-HDFS"):
+        assert all(v is not None for v in execution.series[name])
+
+    # Shuffle phase shorter on scale-up at every feasible size.
+    shuffle = panels["shuffle"]
+    for i, size in enumerate(shuffle.sizes):
+        up = shuffle.series["up-OFS"][i]
+        out = shuffle.series["out-OFS"][i]
+        assert up < out, f"shuffle not faster on scale-up at {size}"

@@ -1,0 +1,57 @@
+"""Fig. 6(a-d): Grep on the four architectures, 0.5-448 GB.
+
+Same panel structure and orderings as Fig. 5, but Grep's lower
+shuffle/input ratio (0.4 vs 1.6) moves its cross point down to ~16 GB —
+so at 32 GB Grep already favours scale-out while Wordcount does not.
+"""
+
+from repro.analysis.figures import fig5_wordcount, fig6_grep
+from repro.units import GB
+from helpers import (
+    assert_large_size_ordering,
+    assert_small_size_ordering,
+    render_panels,
+    series_at,
+)
+
+
+def test_fig6_grep(benchmark, artifact):
+    panels = benchmark.pedantic(fig6_grep, rounds=1, iterations=1)
+    artifact("fig6_grep", render_panels(panels), data={k: p.to_dict() for k, p in panels.items()})
+
+    execution = panels["execution"]
+    assert_small_size_ordering(execution, 2 * GB)
+    assert_large_size_ordering(execution, 64 * GB)
+
+    # Grep's cross point is below Wordcount's: at 32 GB scale-out is
+    # already ahead for Grep.
+    at_32 = series_at(execution, 32 * GB)
+    assert at_32["out-OFS"] < at_32["up-OFS"]
+
+    # Shuffle phase shorter on scale-up throughout.
+    shuffle = panels["shuffle"]
+    for i in range(len(shuffle.sizes)):
+        assert shuffle.series["up-OFS"][i] < shuffle.series["out-OFS"][i]
+
+
+def test_fig6_grep_vs_wordcount_shuffle(benchmark, artifact):
+    """Wordcount (ratio 1.6) must carry more shuffle than Grep (0.4) at
+    the same input size — the paper's explanation of the cross points."""
+
+    def both():
+        return fig6_grep(), fig5_wordcount()
+
+    grep_panels, wc_panels = benchmark.pedantic(both, rounds=1, iterations=1)
+    size_index = grep_panels["shuffle"].sizes.index(32 * GB)
+    for arch in ("up-OFS", "out-OFS"):
+        grep_shuffle = grep_panels["shuffle"].series[arch][size_index]
+        wc_shuffle = wc_panels["shuffle"].series[arch][size_index]
+        assert wc_shuffle > grep_shuffle
+    artifact(
+        "fig6_shuffle_comparison",
+        f"shuffle duration at 32GB (s): wordcount vs grep\n"
+        f"  up-OFS : {wc_panels['shuffle'].series['up-OFS'][size_index]:.1f} vs "
+        f"{grep_panels['shuffle'].series['up-OFS'][size_index]:.1f}\n"
+        f"  out-OFS: {wc_panels['shuffle'].series['out-OFS'][size_index]:.1f} vs "
+        f"{grep_panels['shuffle'].series['out-OFS'][size_index]:.1f}",
+    )

@@ -1,0 +1,46 @@
+"""Fig. 9(a-d): TestDFSIO write test on the four architectures, 1-1000 GB.
+
+Paper shapes:
+
+* small (1-5 GB): scale-up best (CPU + low overheads), with a smaller
+  margin than the shuffle-intensive apps;
+* large (>= 10 GB): out-OFS > up-OFS > out-HDFS (OFS's dedicated array
+  beats replicated local-disk writes by a wide margin);
+* shuffle and reduce phase durations are tiny (< ~8 s) at every size;
+* up-HDFS cannot run beyond its 91 GB local disks.
+"""
+
+from repro.analysis.figures import fig9_dfsio
+from repro.units import GB
+from helpers import render_panels, series_at
+
+
+def test_fig9_dfsio(benchmark, artifact):
+    panels = benchmark.pedantic(fig9_dfsio, rounds=1, iterations=1)
+    artifact("fig9_dfsio", render_panels(panels), data={k: p.to_dict() for k, p in panels.items()})
+
+    execution = panels["execution"]
+
+    # Small sizes: scale-up beats scale-out; HDFS beats OFS on each side.
+    at_3 = series_at(execution, 3 * GB)
+    assert at_3["up-HDFS"] < at_3["up-OFS"]
+    assert at_3["up-OFS"] < at_3["out-OFS"]
+    assert at_3["out-HDFS"] < at_3["out-OFS"]
+
+    # Large sizes: out-OFS > up-OFS > out-HDFS (paper's stated order).
+    at_100 = series_at(execution, 100 * GB)
+    assert at_100["out-OFS"] < at_100["up-OFS"]
+    assert at_100["out-OFS"] < at_100["out-HDFS"]
+
+    # up-HDFS infeasible at 100 GB and beyond.
+    assert at_100["up-HDFS"] is None
+    at_1000 = series_at(execution, 1000 * GB)
+    assert at_1000["up-HDFS"] is None
+    assert at_1000["out-OFS"] is not None
+
+    # Shuffle and reduce phases are negligible for a map-intensive app.
+    for phase in ("shuffle", "reduce"):
+        for name, series in panels[phase].series.items():
+            for value in series:
+                if value is not None:
+                    assert value < 8.0, f"{phase} on {name}: {value}"

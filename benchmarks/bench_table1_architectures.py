@@ -1,0 +1,58 @@
+"""Table I: the four measurement architectures.
+
+Regenerates the architecture matrix (scale-up/out x OFS/HDFS) together
+with a representative measurement cell for each — one mid-size Wordcount
+job — to show all four are live, correctly configured deployments.
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.sweep import run_isolated
+from repro.apps import WORDCOUNT
+from repro.core.architectures import table1_architectures
+from repro.units import GB
+
+
+def build_table1():
+    rows = []
+    for name, spec in table1_architectures().items():
+        member = spec.members[0]
+        result = run_isolated(spec, WORDCOUNT, 8 * GB)
+        rows.append(
+            [
+                name,
+                member.role,
+                member.cluster.count,
+                spec.storage.upper(),
+                member.cluster.total_map_slots,
+                member.cluster.total_reduce_slots,
+                result.execution_time,
+            ]
+        )
+    return rows
+
+
+def test_table1_architectures(benchmark, artifact):
+    rows = benchmark.pedantic(build_table1, rounds=1, iterations=1)
+    text = render_table(
+        [
+            "architecture",
+            "role",
+            "machines",
+            "storage",
+            "map slots",
+            "reduce slots",
+            "wordcount 8GB (s)",
+        ],
+        rows,
+        title="Table I: measurement architectures",
+    )
+    artifact("table1_architectures", text)
+
+    names = {row[0] for row in rows}
+    assert names == {"up-OFS", "up-HDFS", "out-OFS", "out-HDFS"}
+    # Equal-cost sizing: 2 scale-up vs 12 scale-out.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["up-OFS"][2] == 2
+    assert by_name["out-OFS"][2] == 12
+    # Every architecture actually ran the job.
+    assert all(row[6] > 0 for row in rows)

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures, printing
+the series and archiving it under ``benchmarks/out/`` so the run leaves
+inspectable artifacts.  Set ``REPRO_FULL=1`` to run the Section V replay
+at the paper's full 6000 jobs (default: 600, same arrival rate).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "") == "1"
+
+
+def replay_jobs() -> int:
+    return 6000 if full_scale() else 600
+
+
+@pytest.fixture
+def artifact():
+    """Writer that archives a figure's rendered text (and optional JSON
+    data for external plotting) and prints the text."""
+
+    def write(name: str, text: str, data=None) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            import json
+
+            (OUT_DIR / f"{name}.json").write_text(json.dumps(data, indent=1))
+        print()
+        print(text)
+
+    return write

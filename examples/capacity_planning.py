@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Capacity planning with the hybrid model: how should a fixed budget be
+split between scale-up and scale-out machines?
+
+The paper fixes 2 scale-up + 12 scale-out (equal cost to 24 scale-out)
+but never asks whether that split is the right one.  The library's
+capacity advisor (repro.core.advisor) makes the what-if cheap: for each
+equal-cost mix it replays the same workload sample and reports the
+distribution of job execution times.
+
+Run:  python examples/capacity_planning.py   (~1 min)
+"""
+
+from repro.analysis.report import render_table
+from repro.core.advisor import advise_split
+from repro.workload.fb2009 import DAY, generate_fb2009
+
+NUM_JOBS = 400
+BUDGET = 24.0  # in scale-out-node price units; the paper's fleet
+
+
+def main() -> None:
+    trace = generate_fb2009(
+        num_jobs=NUM_JOBS, seed=77, duration=DAY * NUM_JOBS / 6000
+    ).shrink(5.0)
+    jobs = trace.to_jobspecs()
+
+    for objective in ("p50", "p99"):
+        advice = advise_split(jobs, budget=BUDGET, objective=objective)
+        rows = [
+            [o.name, o.mean, o.p50, o.p99, o.max]
+            for o in advice.outcomes
+        ]
+        print(
+            render_table(
+                ["mix (equal cost)", "mean (s)", "p50 (s)", "p99 (s)", "max (s)"],
+                rows,
+                title=f"objective = {objective}",
+            )
+        )
+        print(f"recommended: {advice.best.name}\n")
+
+    print(
+        "Reading the table: all-scale-out wastes the small-job majority\n"
+        "(median suffers), all-scale-up starves the large-job tail (p99/max\n"
+        "suffer); mixes in between — the paper picks 2up+12out — trade the\n"
+        "two off.  Rerun with your own trace via repro.core.advisor."
+    )
+
+
+if __name__ == "__main__":
+    main()

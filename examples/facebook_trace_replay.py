@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The Section V evaluation in miniature: replay FB-2009 on three
+architectures and compare execution-time CDFs (the paper's Fig. 10).
+
+Generates the synthesized Facebook workload, applies the paper's 5x size
+shrink, replays it by arrival time on Hybrid, THadoop and RHadoop, and
+prints percentile tables for the scale-up-job and scale-out-job classes.
+
+Run:  python examples/facebook_trace_replay.py [num_jobs]   (default 600)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.analysis.figures import fig10_trace_replay
+from repro.analysis.report import render_table
+from repro.workload.cdf import quantile
+
+
+def main(num_jobs: int = 600) -> None:
+    print(f"replaying {num_jobs} FB-2009 jobs (5x shrink) on 3 architectures...")
+    outcome = fig10_trace_replay(num_jobs=num_jobs)
+
+    for label, attr in (
+        ("Fig 10(a): scale-up jobs", "scale_up_times"),
+        ("Fig 10(b): scale-out jobs", "scale_out_times"),
+    ):
+        rows = []
+        for name, replay in outcome.items():
+            times = getattr(replay, attr)
+            p50, p90, p99 = quantile(times, [0.5, 0.9, 0.99])
+            rows.append([name, len(times), p50, p90, p99, float(np.max(times))])
+        print()
+        print(
+            render_table(
+                ["architecture", "jobs", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"],
+                rows,
+                title=label,
+            )
+        )
+
+    hybrid_max = outcome["Hybrid"].max_scale_up_time
+    thadoop_max = outcome["THadoop"].max_scale_up_time
+    rhadoop_max = outcome["RHadoop"].max_scale_up_time
+    print(
+        f"\nmax scale-up-job execution time: Hybrid {hybrid_max:.1f}s, "
+        f"THadoop {thadoop_max:.1f}s, RHadoop {rhadoop_max:.1f}s"
+    )
+    print("(paper: 48.53s / 83.37s / 68.17s — Hybrid lowest in both)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 600)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: run jobs on the hybrid scale-up/out Hadoop architecture.
+
+Builds the paper's hybrid deployment (2 scale-up + 12 scale-out machines
+sharing one OrangeFS), lets Algorithm 1 route a few jobs, and compares
+against the traditional scale-out Hadoop baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Deployment,
+    SizeAwareScheduler,
+    WORDCOUNT,
+    GREP,
+    TESTDFSIO_WRITE,
+    hybrid,
+    thadoop,
+    format_duration,
+    format_size,
+)
+
+
+def main() -> None:
+    scheduler = SizeAwareScheduler()
+    jobs = [
+        WORDCOUNT.make_job("2GB"),      # small + shuffle-heavy -> scale-up
+        WORDCOUNT.make_job("64GB"),     # large -> scale-out
+        GREP.make_job("8GB"),           # below the 16 GB cross -> scale-up
+        TESTDFSIO_WRITE.make_job("30GB"),  # map-intensive, large -> scale-out
+    ]
+
+    print("Algorithm 1 routing decisions:")
+    for job in jobs:
+        decision = scheduler.decide_job(job)
+        print(
+            f"  {job.app:16s} {format_size(job.input_bytes):>6s} "
+            f"(shuffle/input={job.shuffle_input_ratio:.2g}) -> {decision.value}"
+        )
+
+    print("\nHybrid vs traditional Hadoop (each job run in isolation):")
+    print(f"  {'job':28s} {'Hybrid':>10s} {'THadoop':>10s}")
+    for job in jobs:
+        hybrid_time = Deployment(hybrid()).run_job(job).execution_time
+        thadoop_time = Deployment(thadoop()).run_job(job).execution_time
+        label = f"{job.app} @ {format_size(job.input_bytes)}"
+        print(
+            f"  {label:28s} {format_duration(hybrid_time):>10s} "
+            f"{format_duration(thadoop_time):>10s}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""End-to-end workflow on a SWIM-format trace file.
+
+The Facebook traces the paper replays are distributed in SWIM's text
+format.  This example runs the complete production workflow against the
+bundled sample: load the SWIM file, apply the paper's 5x shrink, replay
+it on the hybrid, render a timeline, and ask the capacity advisor
+whether the paper's 2+12 machine split was right for this workload.
+
+Run:  python examples/swim_workflow.py
+"""
+
+from pathlib import Path
+
+from repro.analysis.timeline import phase_summary, render_timeline
+from repro.core.advisor import advise_split
+from repro.core.architectures import hybrid
+from repro.core.deployment import Deployment
+from repro.workload.swim import load_swim
+
+DATA = Path(__file__).parent.parent / "data" / "fb2009_sample_600.swim.tsv"
+
+
+def main() -> None:
+    trace = load_swim(DATA).shrink(5.0).head(120)
+    jobs = trace.to_jobspecs()
+    print(f"loaded {len(jobs)} jobs from {DATA.name} (5x shrink applied)\n")
+
+    deployment = Deployment(hybrid())
+    results = deployment.run_trace(jobs)
+    print(render_timeline(results, width=100, max_jobs=18))
+    totals = phase_summary(results)
+    print(
+        f"\nphase totals (s): queued {totals['queued']:.0f}, "
+        f"map {totals['map']:.0f}, shuffle {totals['shuffle']:.0f}, "
+        f"reduce {totals['reduce']:.0f}"
+    )
+
+    print("\nasking the advisor about the machine split (objective: p50)...")
+    advice = advise_split(jobs, budget=24.0, objective="p50",
+                          candidates=[(0, 24), (1, 18), (2, 12), (3, 6)])
+    for outcome in advice.outcomes:
+        marker = " <- recommended" if outcome is advice.best else ""
+        print(f"  {outcome.name:10s} p50 {outcome.p50:7.1f}s "
+              f"p99 {outcome.p99:8.1f}s{marker}")
+
+
+if __name__ == "__main__":
+    main()

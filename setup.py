@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so that environments
+without the ``wheel`` package (offline boxes) can still do
+``pip install -e . --no-build-isolation``, which falls back to the
+legacy setuptools develop path when a setup.py is present.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,107 @@
+"""repro: the hybrid scale-up/out Hadoop architecture (Li & Shen, ICPP 2015).
+
+A measurement-calibrated Hadoop performance model plus the paper's
+contribution — cross-point analysis, the size-aware scheduler
+(Algorithm 1), and the hybrid scale-up/out architecture over a shared
+remote file system — with the full evaluation harness (Figs. 3, 5-10).
+
+Quickstart::
+
+    from repro import Deployment, hybrid, WORDCOUNT
+
+    deployment = Deployment(hybrid())
+    result = deployment.run_job(WORDCOUNT.make_job("8GB"))
+    print(result.cluster, result.execution_time)
+"""
+
+from repro.apps import GREP, TERASORT, TESTDFSIO_WRITE, WORDCOUNT, AppProfile, get_app
+from repro.core import (
+    DEFAULT_CALIBRATION,
+    ArchitectureSpec,
+    Calibration,
+    CrossPoints,
+    Decision,
+    Deployment,
+    InterpolatingScheduler,
+    LoadBalancingRouter,
+    PAPER_CROSS_POINTS,
+    SizeAwareScheduler,
+    derive_cross_points,
+    estimate_cross_point,
+    hybrid,
+    out_hdfs,
+    out_ofs,
+    rhadoop,
+    table1_architectures,
+    thadoop,
+    up_hdfs,
+    up_ofs,
+)
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TraceError,
+)
+from repro.mapreduce import HadoopConfig, JobResult, JobSpec
+from repro.units import GB, KB, MB, TB, format_duration, format_size, parse_size
+from repro.workload import Trace, TraceJob, generate_fb2009
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # apps
+    "AppProfile",
+    "get_app",
+    "WORDCOUNT",
+    "GREP",
+    "TESTDFSIO_WRITE",
+    "TERASORT",
+    # core
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "CrossPoints",
+    "PAPER_CROSS_POINTS",
+    "Decision",
+    "SizeAwareScheduler",
+    "InterpolatingScheduler",
+    "LoadBalancingRouter",
+    "estimate_cross_point",
+    "derive_cross_points",
+    "ArchitectureSpec",
+    "Deployment",
+    "up_ofs",
+    "up_hdfs",
+    "out_ofs",
+    "out_hdfs",
+    "hybrid",
+    "thadoop",
+    "rhadoop",
+    "table1_architectures",
+    # mapreduce
+    "HadoopConfig",
+    "JobSpec",
+    "JobResult",
+    # workload
+    "Trace",
+    "TraceJob",
+    "generate_fb2009",
+    # units
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "parse_size",
+    "format_size",
+    "format_duration",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "SchedulingError",
+    "SimulationError",
+    "TraceError",
+]

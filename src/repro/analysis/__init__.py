@@ -1,0 +1,20 @@
+"""Analysis layer: sweeps, figure data, metrics and text reports.
+
+Each paper figure has a function in :mod:`repro.analysis.figures` that
+returns its data series; the benchmark harness and the CLI only format
+what these produce.
+"""
+
+from repro.analysis.sweep import SweepResult, run_isolated, sweep_architectures
+from repro.analysis.metrics import normalize_series, speedup
+from repro.analysis.report import render_series, render_table
+
+__all__ = [
+    "SweepResult",
+    "run_isolated",
+    "sweep_architectures",
+    "normalize_series",
+    "speedup",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,174 @@
+"""Closed-form execution-time estimator (cross-validation of the DES).
+
+Implements the wave-arithmetic model of docs/MODEL.md directly as
+algebra — no event loop — for a *single job running alone* on a
+single-cluster architecture.  It is deliberately an independent
+implementation: where the simulator resolves contention dynamically,
+the estimator uses steady-state averages.  The two agreeing across the
+size ladder (see ``benchmarks/bench_analytic_crossvalidation.py``) is
+evidence that neither implementation hides a structural bug.
+
+Known blind spots (why tolerances are ~25-30%, not 1%): the estimator
+ignores task jitter, pipelining across waves, page-cache/seek dynamics
+at partial disk load, and the NIC-share evolution within a wave.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.architectures import ArchitectureSpec
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.jobtracker import decide_num_reducers
+from repro.mapreduce.spill import map_output_store_bytes, reduce_shuffle_store_bytes
+from repro.units import blocks_for
+
+
+@dataclass
+class AnalyticEstimate:
+    """Closed-form phase predictions (seconds)."""
+
+    setup: float
+    map_phase: float
+    shuffle_phase: float
+    reduce_phase: float
+
+    @property
+    def execution_time(self) -> float:
+        return self.setup + self.map_phase + self.shuffle_phase + self.reduce_phase
+
+
+def estimate(
+    spec: ArchitectureSpec,
+    job: JobSpec,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> AnalyticEstimate:
+    """Predict an isolated job's phases on a single-cluster architecture."""
+    if spec.is_hybrid:
+        raise ConfigurationError(
+            "analytic estimates cover single-cluster architectures; "
+            "route hybrid jobs first"
+        )
+    member = spec.members[0]
+    config = calibration.config_for(member.role)
+    cluster = calibration.effective_cluster(member.cluster, member.role)
+    machine = cluster.machine
+
+    num_maps = blocks_for(job.input_bytes, config.block_size)
+    num_reducers = decide_num_reducers(
+        job, cluster.total_reduce_slots, config.reducer_target_bytes
+    )
+    map_slots = cluster.total_map_slots
+    per_map_input = job.input_bytes / num_maps
+    read_bytes = per_map_input * job.input_read_fraction
+
+    # Steady-state storage rates for a full wave of concurrent streams.
+    concurrent = min(num_maps, map_slots)
+    per_node = max(1, math.ceil(concurrent / cluster.count))
+    if spec.storage == "ofs":
+        aggregate = (
+            calibration.ofs_stripe_width * calibration.ofs_server_bandwidth
+        )
+        nic_share = machine.nic_bandwidth / per_node
+        read_rate = min(
+            calibration.ofs_stream_cap, nic_share, aggregate / concurrent
+        )
+        read_time = calibration.ofs_access_latency + read_bytes / read_rate
+        write_rate = read_rate
+        write_latency = calibration.ofs_access_latency
+        storage_setup = calibration.ofs_per_job_overhead
+    else:
+        cold = max(
+            0.0, 1.0 - calibration.hdfs_page_cache_bytes / max(job.input_bytes, 1.0)
+        )
+        disk_aggregate = machine.disk.bandwidth / (
+            1.0 + calibration.disk_seek_penalty * (per_node - 1)
+        )
+        read_rate = disk_aggregate / per_node
+        read_time = (
+            calibration.hdfs_access_latency + read_bytes * cold / read_rate
+        )
+        out_cold = max(
+            0.0,
+            1.0 - calibration.hdfs_page_cache_bytes / max(job.output_bytes, 1.0),
+        )
+        write_rate = read_rate / (
+            config.replication * max(out_cold, 1e-9)
+        ) * calibration.hdfs_write_buffer_factor if job.output_bytes else float(
+            "inf"
+        )
+        write_latency = calibration.hdfs_access_latency
+        storage_setup = calibration.hdfs_per_job_overhead
+
+    cpu_map = job.map_cpu_per_byte * per_map_input / machine.core_speed
+    store_bytes = map_output_store_bytes(
+        job.shuffle_bytes / num_maps, config.sort_buffer, config.spill_io_factor
+    )
+
+    def duty_cycled_write(num_bytes: float, other_time: float) -> float:
+        """Store-write time with concurrency estimated by duty cycle.
+
+        Not every resident task writes at once: a task writes for a
+        fraction of its cycle, so the expected concurrent writers are
+        ``slots_per_node * write_time / cycle_time`` — solved by a short
+        fixed-point iteration.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        writers = float(per_node)
+        write_time = 0.0
+        for _ in range(12):
+            writers = max(writers, 1e-6)
+            if config.shuffle_to_ramdisk:
+                aggregate_bw = calibration.ramdisk_bandwidth
+            else:
+                aggregate_bw = machine.disk.bandwidth / (
+                    1.0 + calibration.disk_seek_penalty * max(writers - 1, 0.0)
+                )
+            rate = aggregate_bw / max(writers, 1.0)
+            write_time = num_bytes / rate
+            writers = per_node * write_time / max(write_time + other_time, 1e-9)
+        return write_time
+
+    if job.map_writes_output:
+        per_map_write = job.output_bytes / num_maps
+        tail = per_map_write / write_rate if write_rate != float("inf") else 0.0
+        map_task = config.task_overhead + read_time + cpu_map + write_latency + tail
+    else:
+        busy_elsewhere = config.task_overhead + read_time + cpu_map
+        map_task = busy_elsewhere + duty_cycled_write(store_bytes, busy_elsewhere)
+    map_phase = math.ceil(num_maps / map_slots) * map_task
+
+    share = job.shuffle_bytes / num_reducers
+    shuffle_io = reduce_shuffle_store_bytes(
+        share, config.shuffle_residual, config.reduce_buffer, config.spill_io_factor
+    )
+    reducers_per_node = max(1, math.ceil(num_reducers / cluster.count))
+    if config.shuffle_to_ramdisk:
+        shuffle_rate = calibration.ramdisk_bandwidth / reducers_per_node
+    else:
+        shuffle_rate = machine.disk.bandwidth / (
+            1.0 + calibration.disk_seek_penalty * (reducers_per_node - 1)
+        ) / reducers_per_node
+    shuffle_phase = config.task_overhead + shuffle_io / shuffle_rate
+
+    cpu_reduce = job.reduce_cpu_per_byte * share / machine.core_speed
+    if job.map_writes_output:
+        output_tail = 0.0
+    else:
+        per_reduce_out = job.output_bytes / num_reducers
+        output_tail = write_latency + (
+            per_reduce_out / write_rate if write_rate != float("inf") else 0.0
+        )
+    reduce_phase = cpu_reduce + output_tail
+
+    setup = config.job_setup_overhead + storage_setup
+    return AnalyticEstimate(
+        setup=setup,
+        map_phase=map_phase,
+        shuffle_phase=shuffle_phase,
+        reduce_phase=reduce_phase,
+    )

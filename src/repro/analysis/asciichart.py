@@ -1,0 +1,128 @@
+"""ASCII line charts for figure outputs.
+
+The benchmark harness regenerates the paper's figures as data series;
+for the curve-shaped ones (Figs. 7/8's normalized execution ratios,
+Fig. 3's CDF) a picture says more than a table.  This renderer plots
+multiple series on a character grid with per-series glyphs, optional
+log-scaled x (the paper's size axes are geometric), and a horizontal
+reference line (the ratio-1.0 crossing line).
+
+No dependencies, deterministic, terminal-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Glyphs assigned to series in declaration order.
+GLYPHS = "*o+x#@%&"
+
+
+def _scale(value: float, low: float, high: float, size: int, log: bool) -> int:
+    """Map a value into [0, size-1], optionally through log space."""
+    if log:
+        value, low, high = math.log(value), math.log(low), math.log(high)
+    if high <= low:
+        return 0
+    position = (value - low) / (high - low)
+    return min(size - 1, max(0, round(position * (size - 1))))
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+    width: int = 72,
+    height: int = 16,
+    log_x: bool = True,
+    reference_y: Optional[float] = None,
+    title: Optional[str] = None,
+    x_formatter=None,
+) -> str:
+    """Plot ``series`` against ``x_values`` on a character grid.
+
+    ``reference_y`` draws a dashed horizontal rule (e.g. the 1.0 line the
+    paper's cross points are read from).  ``None`` data points are
+    skipped.  ``x_formatter`` renders axis tick labels (defaults to
+    ``str``).
+    """
+    if width < 24 or height < 6:
+        raise ConfigurationError("chart needs width >= 24 and height >= 6")
+    if not x_values:
+        raise ConfigurationError("no x values")
+    if not series:
+        raise ConfigurationError("no series")
+    if log_x and any(x <= 0 for x in x_values):
+        raise ConfigurationError("log x-axis requires positive x values")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ConfigurationError(
+                f"series {name!r} length {len(values)} != x {len(x_values)}"
+            )
+
+    points = [
+        v for values in series.values() for v in values if v is not None
+    ]
+    if not points:
+        raise ConfigurationError("all data points are None")
+    y_low = min(points + ([reference_y] if reference_y is not None else []))
+    y_high = max(points + ([reference_y] if reference_y is not None else []))
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(x_values), max(x_values)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    if reference_y is not None:
+        row = height - 1 - _scale(reference_y, y_low, y_high, height, False)
+        for column in range(0, width, 2):
+            grid[row][column] = "-"
+
+    for (name, values), glyph in zip(series.items(), GLYPHS):
+        previous = None
+        for x, y in zip(x_values, values):
+            if y is None:
+                previous = None
+                continue
+            column = _scale(x, x_low, x_high, width, log_x)
+            row = height - 1 - _scale(y, y_low, y_high, height, False)
+            grid[row][column] = glyph
+            # Sparse vertical interpolation so curves read as lines.
+            if previous is not None:
+                prev_col, prev_row = previous
+                if abs(column - prev_col) > 1:
+                    mid_col = (column + prev_col) // 2
+                    mid_row = (row + prev_row) // 2
+                    if grid[mid_row][mid_col] == " ":
+                        grid[mid_row][mid_col] = "."
+            previous = (column, row)
+
+    fmt = x_formatter or (lambda v: f"{v:g}")
+    label_width = 9
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row_cells in enumerate(grid):
+        y_value = y_high - (y_high - y_low) * i / (height - 1)
+        label = f"{y_value:8.2f} " if i % 3 == 0 or i == height - 1 else " " * label_width
+        lines.append(label + "|" + "".join(row_cells))
+    axis = " " * label_width + "+" + "-" * width
+    lines.append(axis)
+    left = fmt(x_low)
+    right = fmt(x_high)
+    mid = fmt(math.exp((math.log(x_low) + math.log(x_high)) / 2)) if log_x else fmt(
+        (x_low + x_high) / 2
+    )
+    tick_line = list(" " * (label_width + 1 + width))
+    for text, column in ((left, 0), (mid, width // 2 - len(mid) // 2),
+                         (right, width - len(right))):
+        start = label_width + 1 + column
+        tick_line[start:start + len(text)] = text
+    lines.append("".join(tick_line).rstrip())
+    legend = "   ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), GLYPHS)
+    )
+    lines.append(" " * label_width + " " + legend)
+    return "\n".join(lines)

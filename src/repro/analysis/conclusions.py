@@ -1,0 +1,210 @@
+"""Live verification of the paper's stated conclusions.
+
+The measurement section ends with explicit conclusions (Section III,
+"Conclusions"; Section V's claims).  This module re-derives each one
+from the calibrated model and reports whether it holds — the library's
+own evidence, shown to users via ``python -m repro verify`` and pinned
+in CI by the fidelity tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.analysis.figures import crosspoint_series, fig10_trace_replay
+from repro.analysis.sweep import sweep_architectures
+from repro.apps import GREP, TESTDFSIO_WRITE, WORDCOUNT
+from repro.core.architectures import out_hdfs, out_ofs, up_hdfs, up_ofs
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.units import GB, format_size
+
+ARCHS = (up_ofs(), up_hdfs(), out_ofs(), out_hdfs())
+
+
+@dataclass
+class Finding:
+    """One paper claim, re-derived."""
+
+    claim: str
+    holds: bool
+    evidence: str
+
+
+def _exec_at(app, size, calibration):
+    grid = sweep_architectures(ARCHS, app, [size], calibration)
+    return {name: grid[name].execution_times[0] for name in grid}
+
+
+def _shuffle_at(app, size, calibration):
+    grid = sweep_architectures(
+        (up_ofs(), out_ofs()), app, [size], calibration
+    )
+    return {name: grid[name].shuffle_phases[0] for name in grid}
+
+
+def evaluate_conclusions(
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    replay_jobs: int = 300,
+) -> List[Finding]:
+    """Check every headline conclusion; returns findings in paper order."""
+    findings: List[Finding] = []
+
+    # 1. "When the input data size is small, the scale-up cluster
+    #    outperforms the scale-out cluster..."
+    small = _exec_at(WORDCOUNT, 2 * GB, calibration)
+    findings.append(
+        Finding(
+            claim="small inputs favour scale-up (wordcount @ 2GB)",
+            holds=small["up-OFS"] < small["out-OFS"],
+            evidence=(
+                f"up-OFS {small['up-OFS']:.1f}s vs out-OFS {small['out-OFS']:.1f}s"
+            ),
+        )
+    )
+
+    # 2. "...when the input data size is large, the scale-out cluster
+    #    outperforms scale-up machines."
+    large = _exec_at(WORDCOUNT, 64 * GB, calibration)
+    findings.append(
+        Finding(
+            claim="large inputs favour scale-out (wordcount @ 64GB)",
+            holds=large["out-OFS"] < large["up-OFS"],
+            evidence=(
+                f"out-OFS {large['out-OFS']:.1f}s vs up-OFS {large['up-OFS']:.1f}s"
+            ),
+        )
+    )
+
+    # 3. "The cross point ... depends on the shuffle data size; a larger
+    #    shuffle size leads to more benefits from the scale-up machines."
+    _, wc_cross = crosspoint_series(
+        "wordcount", [s * GB for s in (8, 16, 24, 32, 48, 64)], calibration
+    )
+    _, grep_cross = crosspoint_series(
+        "grep", [s * GB for s in (4, 8, 12, 16, 24, 32)], calibration
+    )
+    _, dfsio_cross = crosspoint_series(
+        "testdfsio-write", [s * GB for s in (3, 5, 8, 10, 15, 20)], calibration
+    )
+    ordered = (
+        wc_cross is not None
+        and grep_cross is not None
+        and dfsio_cross is not None
+        and dfsio_cross < grep_cross < wc_cross
+    )
+    findings.append(
+        Finding(
+            claim="cross points ascend with shuffle/input ratio",
+            holds=ordered,
+            evidence=(
+                f"dfsio {format_size(dfsio_cross) if dfsio_cross else '?'} < "
+                f"grep {format_size(grep_cross) if grep_cross else '?'} < "
+                f"wordcount {format_size(wc_cross) if wc_cross else '?'}"
+            ),
+        )
+    )
+
+    # 4. Shuffle phase always shorter on scale-up.
+    shuffle = _shuffle_at(WORDCOUNT, 32 * GB, calibration)
+    findings.append(
+        Finding(
+            claim="shuffle phase shorter on scale-up (wordcount @ 32GB)",
+            holds=shuffle["up-OFS"] < shuffle["out-OFS"],
+            evidence=(
+                f"up-OFS {shuffle['up-OFS']:.1f}s vs "
+                f"out-OFS {shuffle['out-OFS']:.1f}s"
+            ),
+        )
+    )
+
+    # 5. up-HDFS cannot process jobs beyond ~80 GB.
+    grid = sweep_architectures((up_hdfs(),), WORDCOUNT, [128 * GB], calibration)
+    infeasible = grid["up-HDFS"].execution_times[0] is None
+    findings.append(
+        Finding(
+            claim="up-HDFS infeasible beyond ~80GB (91GB local disks)",
+            holds=infeasible,
+            evidence="wordcount @ 128GB raises CapacityError"
+            if infeasible
+            else "job unexpectedly fit",
+        )
+    )
+
+    # 6. Map-intensive large jobs: out-OFS > up-OFS > out-HDFS.
+    dfsio = _exec_at(TESTDFSIO_WRITE, 50 * GB, calibration)
+    holds = dfsio["out-OFS"] < dfsio["up-OFS"] < dfsio["out-HDFS"]
+    findings.append(
+        Finding(
+            claim="map-intensive large: out-OFS > up-OFS > out-HDFS",
+            holds=holds,
+            evidence=(
+                f"{dfsio['out-OFS']:.1f}s / {dfsio['up-OFS']:.1f}s / "
+                f"{dfsio['out-HDFS']:.1f}s"
+            ),
+        )
+    )
+
+    # 7. Section V: the hybrid improves small jobs dramatically and the
+    #    whole workload on average.
+    replay = fig10_trace_replay(calibration=calibration, num_jobs=replay_jobs)
+    hybrid_up = replay["Hybrid"].max_scale_up_time
+    thadoop_up = replay["THadoop"].max_scale_up_time
+    import numpy as np
+
+    means = {
+        name: float(np.mean([r.execution_time for r in out.results]))
+        for name, out in replay.items()
+    }
+    findings.append(
+        Finding(
+            claim="hybrid dominates scale-up jobs in the trace replay",
+            holds=hybrid_up < thadoop_up,
+            evidence=(
+                f"class max {hybrid_up:.1f}s vs THadoop {thadoop_up:.1f}s"
+            ),
+        )
+    )
+    findings.append(
+        Finding(
+            claim="hybrid wins the whole-workload mean",
+            holds=means["Hybrid"] < min(means["THadoop"], means["RHadoop"]),
+            evidence=(
+                f"Hybrid {means['Hybrid']:.1f}s, THadoop {means['THadoop']:.1f}s, "
+                f"RHadoop {means['RHadoop']:.1f}s"
+            ),
+        )
+    )
+
+    # 8. The one documented deviation, reported honestly.
+    hybrid_out = replay["Hybrid"].max_scale_out_time
+    best_baseline = min(
+        replay["THadoop"].max_scale_out_time,
+        replay["RHadoop"].max_scale_out_time,
+    )
+    findings.append(
+        Finding(
+            claim=(
+                "paper also reports hybrid winning the scale-out class "
+                "(known deviation: equal-cost baselines keep an edge here)"
+            ),
+            holds=hybrid_out < best_baseline,
+            evidence=(
+                f"hybrid {hybrid_out:.1f}s vs best baseline "
+                f"{best_baseline:.1f}s — see EXPERIMENTS.md"
+            ),
+        )
+    )
+    return findings
+
+
+def render_findings(findings: List[Finding]) -> str:
+    """Human-readable checklist."""
+    lines = []
+    for finding in findings:
+        mark = "PASS" if finding.holds else "MISS"
+        lines.append(f"[{mark}] {finding.claim}")
+        lines.append(f"       {finding.evidence}")
+    passed = sum(f.holds for f in findings)
+    lines.append(f"\n{passed}/{len(findings)} conclusions hold on this model")
+    return "\n".join(lines)

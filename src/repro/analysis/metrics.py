@@ -1,0 +1,62 @@
+"""Series arithmetic for the figures.
+
+The paper normalizes execution times and map-phase durations by the
+up-OFS series ("we normalize ... by the results of up-OFS") so that
+curves of very different magnitudes share an axis; shuffle and reduce
+durations are reported in raw seconds.  ``None`` entries (infeasible
+cells) propagate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+Series = Sequence[Optional[float]]
+
+
+def normalize_series(
+    series: Dict[str, Series], reference: str
+) -> Dict[str, List[Optional[float]]]:
+    """Divide every series pointwise by the reference series."""
+    if reference not in series:
+        raise ConfigurationError(
+            f"reference {reference!r} not among series {sorted(series)}"
+        )
+    ref = series[reference]
+    normalized: Dict[str, List[Optional[float]]] = {}
+    for name, values in series.items():
+        if len(values) != len(ref):
+            raise ConfigurationError(
+                f"series {name!r} length {len(values)} != reference {len(ref)}"
+            )
+        row: List[Optional[float]] = []
+        for value, base in zip(values, ref):
+            if value is None or base is None:
+                row.append(None)
+            elif base <= 0:
+                raise ConfigurationError(f"non-positive reference value {base}")
+            else:
+                row.append(value / base)
+        normalized[name] = row
+    return normalized
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Relative improvement the paper quotes: (baseline - improved) / improved."""
+    if improved <= 0 or baseline <= 0:
+        raise ConfigurationError("times must be positive")
+    return (baseline - improved) / improved
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the right average for ratios across sizes."""
+    if not values:
+        raise ConfigurationError("geometric_mean needs at least one value")
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ConfigurationError(f"values must be positive: {v}")
+        product *= v
+    return product ** (1.0 / len(values))

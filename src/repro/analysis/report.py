@@ -1,0 +1,73 @@
+"""Plain-text rendering of tables and series.
+
+The benchmark harness prints "the same rows/series the paper reports";
+these helpers keep that formatting in one place.  No plotting — the
+deliverable is the data, aligned for eyeballs and diffable in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.units import format_size
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Fixed-width text table."""
+    if not headers:
+        raise ConfigurationError("render_table needs headers")
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    sizes: Sequence[float],
+    series: Dict[str, Sequence[Optional[float]]],
+    title: Optional[str] = None,
+    size_header: str = "input",
+) -> str:
+    """One row per input size, one column per architecture/series."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(sizes):
+            raise ConfigurationError(
+                f"series {name!r} length {len(series[name])} != sizes {len(sizes)}"
+            )
+    headers = [size_header] + names
+    rows = []
+    for i, size in enumerate(sizes):
+        rows.append([format_size(size)] + [series[name][i] for name in names])
+    return render_table(headers, rows, title=title)

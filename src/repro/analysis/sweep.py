@@ -1,0 +1,94 @@
+"""Isolated-job measurement sweeps (the Section III methodology).
+
+The paper measures one job at a time on each architecture across a
+geometric ladder of input sizes.  ``run_isolated`` does one cell of that
+grid on a fresh simulation; ``sweep_architectures`` does the whole grid.
+
+A cell can be *infeasible* — up-HDFS cannot hold jobs beyond ~80 GB —
+in which case its result is ``None``, exactly like the hole in the
+paper's up-HDFS curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.base import AppProfile
+from repro.core.architectures import ArchitectureSpec
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.deployment import Deployment
+from repro.errors import CapacityError
+from repro.mapreduce.job import JobResult
+from repro.units import parse_size
+
+
+@dataclass
+class SweepResult:
+    """One architecture's column of the measurement grid."""
+
+    architecture: str
+    app: str
+    sizes: List[float]
+    results: List[Optional[JobResult]]
+
+    def _phase(self, attr: str) -> List[Optional[float]]:
+        return [
+            getattr(r, attr) if r is not None else None for r in self.results
+        ]
+
+    @property
+    def execution_times(self) -> List[Optional[float]]:
+        return self._phase("execution_time")
+
+    @property
+    def map_phases(self) -> List[Optional[float]]:
+        return self._phase("map_phase")
+
+    @property
+    def shuffle_phases(self) -> List[Optional[float]]:
+        return self._phase("shuffle_phase")
+
+    @property
+    def reduce_phases(self) -> List[Optional[float]]:
+        return self._phase("reduce_phase")
+
+
+def run_isolated(
+    spec: ArchitectureSpec,
+    app: AppProfile,
+    input_size: float | str,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> Optional[JobResult]:
+    """Run one job alone on a fresh deployment of ``spec``.
+
+    Returns ``None`` when the architecture's storage cannot hold the
+    job's data (the up-HDFS ceiling), mirroring the paper's missing
+    measurements rather than raising.
+    """
+    deployment = Deployment(spec, calibration=calibration)
+    job = app.make_job(parse_size(input_size))
+    try:
+        return deployment.run_job(job, register_dataset=True)
+    except CapacityError:
+        return None
+
+
+def sweep_architectures(
+    specs: Sequence[ArchitectureSpec],
+    app: AppProfile,
+    sizes: Sequence[float | str],
+    calibration: Calibration = DEFAULT_CALIBRATION,
+) -> Dict[str, SweepResult]:
+    """The full measurement grid for one application."""
+    resolved = [parse_size(s) for s in sizes]
+    grid: Dict[str, SweepResult] = {}
+    for spec in specs:
+        results = [run_isolated(spec, app, size, calibration) for size in resolved]
+        grid[spec.name] = SweepResult(
+            architecture=spec.name,
+            app=app.name,
+            sizes=list(resolved),
+            results=results,
+        )
+    return grid

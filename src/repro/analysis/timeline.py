@@ -1,0 +1,91 @@
+"""ASCII job timelines: see where a workload's time actually went.
+
+Renders completed jobs as Gantt-style rows over simulated time, one
+character column per time bucket::
+
+    job            0s        50s       100s
+    wc-small       .mmsr
+    wc-large        ...mmmmmmmmmmmmssrr
+
+Legend: ``.`` queued/setup, ``m`` map phase, ``s`` shuffle tail,
+``r`` reduce phase.  Built from the same JobResult timestamps as the
+paper's metrics, so the picture and the numbers cannot disagree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobResult
+
+#: Phase glyphs, in chronological order.
+QUEUE, MAP, SHUFFLE, REDUCE = ".", "m", "s", "r"
+
+
+def _phase_at(result: JobResult, time: float) -> str | None:
+    """Glyph for what the job was doing at an instant (None = not alive)."""
+    if time < result.submit_time or time >= result.end_time:
+        return None
+    if time < result.first_map_start:
+        return QUEUE
+    if time < result.last_map_end:
+        return MAP
+    if time < result.last_shuffle_end:
+        return SHUFFLE
+    return REDUCE
+
+
+def render_timeline(
+    results: Sequence[JobResult],
+    width: int = 80,
+    max_jobs: int = 40,
+) -> str:
+    """Render up to ``max_jobs`` completed jobs as a text Gantt chart."""
+    if width < 20:
+        raise ConfigurationError(f"width must be >= 20: {width}")
+    if not results:
+        raise ConfigurationError("no results to render")
+    rows = sorted(results, key=lambda r: r.submit_time)[:max_jobs]
+    start = min(r.submit_time for r in rows)
+    end = max(r.end_time for r in rows)
+    span = max(end - start, 1e-9)
+
+    label_width = min(24, max(len(r.job_id) for r in rows) + 2)
+    columns = width - label_width
+    lines: List[str] = []
+
+    # Header with three time ticks.
+    ticks = [start, start + span / 2, end]
+    header = " " * label_width
+    tick_text = f"{ticks[0]:.0f}s".ljust(columns // 2)
+    tick_text += f"{ticks[1]:.0f}s".ljust(columns - len(tick_text) - 1)
+    header += tick_text[: columns - 1] + f"{ticks[2]:.0f}s"
+    lines.append(header)
+
+    for result in rows:
+        cells = []
+        for column in range(columns):
+            # Sample the middle of each bucket.
+            time = start + (column + 0.5) * span / columns
+            cells.append(_phase_at(result, time) or " ")
+        label = result.job_id[: label_width - 1].ljust(label_width)
+        lines.append(label + "".join(cells).rstrip())
+    lines.append(
+        " " * label_width
+        + f"legend: {QUEUE}=queued  {MAP}=map  {SHUFFLE}=shuffle  {REDUCE}=reduce"
+    )
+    return "\n".join(lines)
+
+
+def phase_summary(results: Sequence[JobResult]) -> dict:
+    """Aggregate seconds spent per phase across a result set."""
+    if not results:
+        raise ConfigurationError("no results to summarise")
+    totals = {"queued": 0.0, "map": 0.0, "shuffle": 0.0, "reduce": 0.0}
+    for result in results:
+        totals["queued"] += result.queue_delay
+        totals["map"] += result.map_phase
+        totals["shuffle"] += result.shuffle_phase
+        totals["reduce"] += result.reduce_phase
+    return totals

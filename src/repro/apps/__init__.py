@@ -1,0 +1,23 @@
+"""Application models for the paper's measurement workloads.
+
+The paper characterises an application by its shuffle/input ratio, its
+output size and how CPU-heavy its map/reduce functions are.  An
+:class:`AppProfile` captures exactly that and manufactures
+:class:`~repro.mapreduce.job.JobSpec` instances at any input size.
+"""
+
+from repro.apps.base import AppProfile, APP_REGISTRY, get_app
+from repro.apps.wordcount import WORDCOUNT
+from repro.apps.grep import GREP
+from repro.apps.testdfsio import TESTDFSIO_WRITE
+from repro.apps.terasort import TERASORT
+
+__all__ = [
+    "AppProfile",
+    "APP_REGISTRY",
+    "get_app",
+    "WORDCOUNT",
+    "GREP",
+    "TESTDFSIO_WRITE",
+    "TERASORT",
+]

@@ -1,0 +1,108 @@
+"""Application profiles: from (app, input size) to a JobSpec.
+
+CPU costs are expressed in seconds per MB *on a reference scale-out core*
+(AMD Opteron 2356); the simulator divides by each machine's relative
+``core_speed``.  The shuffle/input and output/input ratios are the
+paper's own characterisation numbers where it gives them (Wordcount 1.6,
+Grep 0.4, TestDFSIO ~0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+from repro.units import MB, parse_size
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Static characterisation of one MapReduce application.
+
+    Parameters
+    ----------
+    name:
+        Registry key ("wordcount", ...).
+    shuffle_ratio:
+        shuffle bytes / input bytes (the paper's deciding factor).
+    output_ratio:
+        output bytes / input bytes.
+    map_cpu_per_mb, reduce_cpu_per_mb:
+        Seconds per MB of map input / shuffle data on a reference core.
+    input_read_fraction:
+        Fraction of the nominal input actually read by maps (0 for
+        TestDFSIO-write, whose "input size" is the volume *written*).
+    map_writes_output:
+        Maps write the job output directly to main storage.
+    num_reducers:
+        Fixed reducer count, or ``None`` to size by shuffle volume.
+    shuffle_intensive:
+        The paper's classification, used for reporting and for choosing
+        the scale-out heap size (1.5 GB vs 1 GB).
+    """
+
+    name: str
+    shuffle_ratio: float
+    output_ratio: float
+    map_cpu_per_mb: float
+    reduce_cpu_per_mb: float
+    input_read_fraction: float = 1.0
+    map_writes_output: bool = False
+    num_reducers: Optional[int] = None
+    shuffle_intensive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.shuffle_ratio < 0 or self.output_ratio < 0:
+            raise ConfigurationError("ratios must be non-negative")
+        if self.map_cpu_per_mb < 0 or self.reduce_cpu_per_mb < 0:
+            raise ConfigurationError("cpu costs must be non-negative")
+
+    def make_job(
+        self,
+        input_size: float | str,
+        job_id: Optional[str] = None,
+        arrival_time: float = 0.0,
+    ) -> JobSpec:
+        """Instantiate a job of this application at a given input size.
+
+        ``input_size`` accepts bytes or a human string ("32GB").
+        """
+        input_bytes = parse_size(input_size)
+        if job_id is None:
+            job_id = f"{self.name}-{int(input_bytes)}"
+        return JobSpec(
+            job_id=job_id,
+            app=self.name,
+            input_bytes=input_bytes,
+            shuffle_bytes=input_bytes * self.shuffle_ratio,
+            output_bytes=input_bytes * self.output_ratio,
+            map_cpu_per_byte=self.map_cpu_per_mb / MB,
+            reduce_cpu_per_byte=self.reduce_cpu_per_mb / MB,
+            arrival_time=arrival_time,
+            input_read_fraction=self.input_read_fraction,
+            map_writes_output=self.map_writes_output,
+            num_reducers_hint=self.num_reducers,
+        )
+
+
+#: All registered applications, populated by the app modules on import.
+APP_REGISTRY: Dict[str, AppProfile] = {}
+
+
+def register(profile: AppProfile) -> AppProfile:
+    """Add a profile to :data:`APP_REGISTRY` (used at module import)."""
+    if profile.name in APP_REGISTRY:
+        raise ConfigurationError(f"duplicate app profile {profile.name!r}")
+    APP_REGISTRY[profile.name] = profile
+    return profile
+
+
+def get_app(name: str) -> AppProfile:
+    """Look up a registered application by name."""
+    try:
+        return APP_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(APP_REGISTRY))
+        raise ConfigurationError(f"unknown app {name!r}; known: {known}") from None

@@ -1,0 +1,19 @@
+"""Grep: the paper's moderate-shuffle-ratio application.
+
+Shuffle/input ratio "always around 0.4" (only matching lines are
+emitted); output is tiny.  Map CPU is lighter than Wordcount — regex
+scanning without per-token object churn.
+"""
+
+from repro.apps.base import AppProfile, register
+
+GREP = register(
+    AppProfile(
+        name="grep",
+        shuffle_ratio=0.4,
+        output_ratio=0.01,
+        map_cpu_per_mb=0.0366,
+        reduce_cpu_per_mb=0.001,
+        shuffle_intensive=True,
+    )
+)

@@ -1,0 +1,21 @@
+"""TeraSort: a unit-shuffle-ratio application (extension beyond the paper).
+
+Sort moves every input byte through the shuffle and writes it all back
+out (shuffle/input = output/input = 1.0).  The paper does not measure
+sort, but its scheduler's middle band (0.4 <= ratio <= 1) is squarely
+aimed at workloads like this; we include it for the examples and the
+scheduler ablations.
+"""
+
+from repro.apps.base import AppProfile, register
+
+TERASORT = register(
+    AppProfile(
+        name="terasort",
+        shuffle_ratio=1.0,
+        output_ratio=1.0,
+        map_cpu_per_mb=0.020,
+        reduce_cpu_per_mb=0.008,
+        shuffle_intensive=True,
+    )
+)

@@ -1,0 +1,30 @@
+"""TestDFSIO write test: the paper's map-intensive application.
+
+"Each map task is responsible for writing a file ... There is only one
+reduce task, which collects and aggregates the statistics of the map
+tasks."  The nominal input size is the total volume *written*; maps read
+(almost) nothing, and the shuffle carries only KB of statistics, making
+the shuffle/input ratio effectively 0.
+"""
+
+from repro.apps.base import AppProfile, register
+from repro.units import KB, MB
+
+#: Statistics shuffled per map are a few hundred bytes; expressed as a
+#: ratio against a 128 MB write unit this is ~1e-6 — negligible but
+#: non-zero, like the paper's "shuffle size (in KB)".
+_STATS_RATIO = (0.5 * KB) / (128 * MB)
+
+TESTDFSIO_WRITE = register(
+    AppProfile(
+        name="testdfsio-write",
+        shuffle_ratio=_STATS_RATIO,
+        output_ratio=1.0,
+        map_cpu_per_mb=0.0307,
+        reduce_cpu_per_mb=0.0,
+        input_read_fraction=0.0,
+        map_writes_output=True,
+        num_reducers=1,
+        shuffle_intensive=False,
+    )
+)

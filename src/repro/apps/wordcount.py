@@ -1,0 +1,20 @@
+"""Wordcount: the paper's high-shuffle-ratio application.
+
+"Regardless of the input data size of the jobs, the shuffle/input ratio
+of Wordcount ... [is] always around 1.6" — tokenising plus emitting
+(word, 1) pairs inflates the input.  Output (the merged counts) is small.
+Map CPU is the heaviest of the measured apps (tokenising every byte).
+"""
+
+from repro.apps.base import AppProfile, register
+
+WORDCOUNT = register(
+    AppProfile(
+        name="wordcount",
+        shuffle_ratio=1.6,
+        output_ratio=0.05,
+        map_cpu_per_mb=0.1294,
+        reduce_cpu_per_mb=0.002,
+        shuffle_intensive=True,
+    )
+)

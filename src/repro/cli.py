@@ -1,0 +1,360 @@
+"""Command-line interface: ``python -m repro <command>`` / ``hybrid-hadoop``.
+
+Commands map one-to-one onto the paper's artifacts:
+
+* ``info``         — architectures, calibration and scheduler thresholds.
+* ``run``          — one job on one architecture (the Section III cell).
+* ``sweep``        — one application across sizes on all four
+  architectures (Figs. 5/6/9).
+* ``crosspoints``  — normalized curves and estimated cross points
+  (Figs. 7/8), plus the derived scheduler thresholds.
+* ``trace``        — generate an FB-2009 trace; print its Fig. 3 CDF;
+  optionally save it as JSON.
+* ``replay``       — the Section V evaluation: replay the trace on
+  Hybrid/THadoop/RHadoop and print the Fig. 10 statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.figures import (
+    DFSIO_SIZES,
+    FIG7_SIZES,
+    FIG8_SIZES,
+    SHUFFLE_APP_SIZES,
+    fig3_trace_cdf,
+    fig7_crosspoints,
+    fig8_crosspoint_dfsio,
+    fig10_trace_replay,
+    measurement_panels,
+)
+from repro.analysis.report import render_series, render_table
+from repro.apps import APP_REGISTRY, get_app
+from repro.core.architectures import table1_architectures
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.deployment import Deployment
+from repro.core.scheduler import PAPER_CROSS_POINTS
+from repro.errors import CapacityError, ReproError
+from repro.units import format_duration, format_size, parse_size
+from repro.workload.cdf import quantile
+from repro.workload.fb2009 import generate_fb2009
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print("Architectures (Table I + Section V):")
+    for name, spec in table1_architectures().items():
+        member = spec.members[0]
+        print(f"  {name:10s} {member.cluster.describe()} storage={spec.storage}")
+    print("\nScheduler cross points (Algorithm 1):")
+    print(f"  {PAPER_CROSS_POINTS.describe()}")
+    print("\nApplications:")
+    for name, app in sorted(APP_REGISTRY.items()):
+        kind = "shuffle-intensive" if app.shuffle_intensive else "map-intensive"
+        print(
+            f"  {name:16s} shuffle/input={app.shuffle_ratio:g} "
+            f"output/input={app.output_ratio:g} ({kind})"
+        )
+    print("\nCalibration: see repro.core.calibration.DEFAULT_CALIBRATION")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    archs = table1_architectures()
+    from repro.core.architectures import hybrid as hybrid_spec
+
+    archs["Hybrid"] = hybrid_spec()
+    if args.arch not in archs:
+        print(f"unknown architecture {args.arch!r}; choose from {sorted(archs)}")
+        return 2
+    app = get_app(args.app)
+    deployment = Deployment(archs[args.arch])
+    job = app.make_job(parse_size(args.size))
+    try:
+        result = deployment.run_job(job)
+    except CapacityError as exc:
+        print(f"infeasible: {exc}")
+        return 1
+    rows = [
+        ["execution time", format_duration(result.execution_time)],
+        ["map phase", format_duration(result.map_phase)],
+        ["shuffle phase", format_duration(result.shuffle_phase)],
+        ["reduce phase", format_duration(result.reduce_phase)],
+        ["ran on", result.cluster],
+    ]
+    print(
+        render_table(
+            ["metric", "value"],
+            rows,
+            title=f"{args.app} @ {format_size(job.input_bytes)} on {args.arch}",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    sizes: Sequence[float]
+    if args.sizes:
+        sizes = [parse_size(s) for s in args.sizes.split(",")]
+    else:
+        sizes = DFSIO_SIZES if app.name == "testdfsio-write" else SHUFFLE_APP_SIZES
+    panels = measurement_panels(app, sizes)
+    for key in ("execution", "map", "shuffle", "reduce"):
+        panel = panels[key]
+        print(render_series(panel.sizes, panel.series, title=panel.title))
+        print()
+    return 0
+
+
+def _cmd_crosspoints(args: argparse.Namespace) -> int:
+    from repro.analysis.asciichart import render_chart
+
+    fig7 = fig7_crosspoints(sizes=FIG7_SIZES)
+    print(render_series(fig7.sizes, fig7.series, title=fig7.title))
+    print()
+    print(render_chart(fig7.sizes, fig7.series, reference_y=1.0,
+                       x_formatter=format_size))
+    print()
+    fig8 = fig8_crosspoint_dfsio(sizes=FIG8_SIZES)
+    print(render_series(fig8.sizes, fig8.series, title=fig8.title))
+    print()
+    print(render_chart(fig8.sizes, fig8.series, reference_y=1.0,
+                       x_formatter=format_size))
+    print()
+    rows = []
+    for key, value in {**fig7.notes, **fig8.notes}.items():
+        rows.append([key, format_size(value) if value else "-"])
+    print(render_table(["cross point", "input size"], rows))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = generate_fb2009(num_jobs=args.jobs, seed=args.seed)
+    figure = fig3_trace_cdf(trace)
+    print(render_series(figure.sizes, figure.series, title=figure.title))
+    notes = figure.notes
+    print(
+        f"\n<1MB: {notes['share_below_1MB']:.1%}   "
+        f"1MB-30GB: {notes['share_1MB_to_30GB']:.1%}   "
+        f">30GB: {notes['share_above_30GB']:.1%}"
+    )
+    if args.out:
+        trace.save(args.out)
+        print(f"\ntrace written to {args.out}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate every paper figure's data into a directory."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis.figures import (
+        fig5_wordcount,
+        fig6_grep,
+        fig9_dfsio,
+    )
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    def dump(name: str, payload: dict, text: str) -> None:
+        (out_dir / f"{name}.json").write_text(json.dumps(payload, indent=1))
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"  wrote {name}.txt / .json")
+
+    print(f"regenerating figures into {out_dir}/ ...")
+    fig3 = fig3_trace_cdf(num_jobs=args.jobs, seed=args.seed)
+    dump("fig3", fig3.to_dict(), render_series(fig3.sizes, fig3.series,
+                                               title=fig3.title))
+    for name, producer in (
+        ("fig5_wordcount", fig5_wordcount),
+        ("fig6_grep", fig6_grep),
+        ("fig9_dfsio", fig9_dfsio),
+    ):
+        panels = producer()
+        text = "\n\n".join(
+            render_series(p.sizes, p.series, title=p.title)
+            for p in panels.values()
+        )
+        dump(name, {k: p.to_dict() for k, p in panels.items()}, text)
+    fig7 = fig7_crosspoints()
+    dump("fig7", fig7.to_dict(), render_series(fig7.sizes, fig7.series,
+                                               title=fig7.title))
+    fig8 = fig8_crosspoint_dfsio()
+    dump("fig8", fig8.to_dict(), render_series(fig8.sizes, fig8.series,
+                                               title=fig8.title))
+    print("done (Fig. 10 needs a replay: use `python -m repro replay`)")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.conclusions import evaluate_conclusions, render_findings
+
+    findings = evaluate_conclusions(replay_jobs=args.jobs)
+    print(render_findings(findings))
+    expected_misses = sum(1 for f in findings if not f.holds)
+    # The documented Fig 10(b) deviation is the only tolerated miss.
+    return 0 if expected_misses <= 1 else 1
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import advise_split
+    from repro.workload.fb2009 import DAY
+
+    trace = generate_fb2009(
+        num_jobs=args.jobs, seed=args.seed, duration=DAY * args.jobs / 6000
+    ).shrink(5.0)
+    advice = advise_split(
+        trace.to_jobspecs(), budget=args.budget, objective=args.objective
+    )
+    rows = [
+        [o.name, o.mean, o.p50, o.p99, o.max, o.makespan]
+        for o in advice.outcomes
+    ]
+    print(
+        render_table(
+            ["mix", "mean (s)", "p50 (s)", "p99 (s)", "max (s)", "makespan (s)"],
+            rows,
+            title=(
+                f"equal-cost splits for budget {args.budget:g} "
+                f"({args.jobs}-job FB-2009 sample)"
+            ),
+        )
+    )
+    print(f"\nrecommended ({args.objective}): {advice.best.name}")
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import phase_summary, render_timeline
+    from repro.core.architectures import hybrid as hybrid_spec
+    from repro.workload.fb2009 import DAY
+
+    trace = generate_fb2009(
+        num_jobs=args.jobs, seed=args.seed, duration=DAY * args.jobs / 6000
+    ).shrink(5.0)
+    deployment = Deployment(hybrid_spec())
+    results = deployment.run_trace(trace.to_jobspecs())
+    print(render_timeline(results, width=args.width, max_jobs=args.max_jobs))
+    totals = phase_summary(results)
+    print(
+        f"\nphase totals (s): queued {totals['queued']:.0f}, "
+        f"map {totals['map']:.0f}, shuffle {totals['shuffle']:.0f}, "
+        f"reduce {totals['reduce']:.0f}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    outcome = fig10_trace_replay(num_jobs=args.jobs, seed=args.seed)
+    headers = ["architecture", "class", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"]
+    rows: List[List[object]] = []
+    for name, replay in outcome.items():
+        for label, times in (
+            ("scale-up jobs", replay.scale_up_times),
+            ("scale-out jobs", replay.scale_out_times),
+        ):
+            p50, p90, p99 = quantile(times, [0.5, 0.9, 0.99])
+            rows.append([name, label, p50, p90, p99, float(np.max(times))])
+    print(
+        render_table(
+            headers, rows, title="Fig 10: FB-2009 replay (execution time CDFs)"
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hybrid-hadoop",
+        description="Hybrid scale-up/out Hadoop architecture (ICPP 2015) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="architectures, scheduler and calibration")
+
+    run = sub.add_parser("run", help="run one job on one architecture")
+    run.add_argument("--app", default="wordcount", choices=sorted(APP_REGISTRY))
+    run.add_argument("--size", default="8GB", help='input size, e.g. "32GB"')
+    run.add_argument("--arch", default="Hybrid", help="up-OFS/up-HDFS/out-OFS/out-HDFS/Hybrid")
+
+    sweep = sub.add_parser("sweep", help="size sweep on the four architectures")
+    sweep.add_argument("--app", default="wordcount", choices=sorted(APP_REGISTRY))
+    sweep.add_argument("--sizes", help='comma list, e.g. "1GB,4GB,16GB"')
+
+    sub.add_parser("crosspoints", help="Figs. 7/8 curves and cross points")
+
+    trace = sub.add_parser("trace", help="generate the FB-2009 trace (Fig. 3)")
+    trace.add_argument("--jobs", type=int, default=6000)
+    trace.add_argument("--seed", type=int, default=2009)
+    trace.add_argument("--out", help="write the trace JSON here")
+
+    replay = sub.add_parser("replay", help="Section V trace replay (Fig. 10)")
+    replay.add_argument("--jobs", type=int, default=1000)
+    replay.add_argument("--seed", type=int, default=2009)
+
+    figures = sub.add_parser(
+        "figures", help="regenerate all figure data (txt + json) into a dir"
+    )
+    figures.add_argument("--out", default="figures_out")
+    figures.add_argument("--jobs", type=int, default=6000)
+    figures.add_argument("--seed", type=int, default=2009)
+
+    verify = sub.add_parser(
+        "verify", help="re-derive the paper's conclusions on the model"
+    )
+    verify.add_argument("--jobs", type=int, default=300,
+                        help="replay sample size for the Section V checks")
+
+    advise = sub.add_parser(
+        "advise", help="recommend a scale-up/out budget split for a workload"
+    )
+    advise.add_argument("--budget", type=float, default=24.0,
+                        help="budget in scale-out-node price units")
+    advise.add_argument("--jobs", type=int, default=200)
+    advise.add_argument("--seed", type=int, default=2009)
+    advise.add_argument("--objective", default="mean",
+                        choices=("mean", "p50", "p99", "max", "makespan"))
+
+    timeline = sub.add_parser(
+        "timeline", help="Gantt view of a small hybrid replay"
+    )
+    timeline.add_argument("--jobs", type=int, default=30)
+    timeline.add_argument("--seed", type=int, default=2009)
+    timeline.add_argument("--width", type=int, default=100)
+    timeline.add_argument("--max-jobs", type=int, default=40)
+
+    return parser
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "run": _cmd_run,
+    "sweep": _cmd_sweep,
+    "crosspoints": _cmd_crosspoints,
+    "trace": _cmd_trace,
+    "replay": _cmd_replay,
+    "timeline": _cmd_timeline,
+    "advise": _cmd_advise,
+    "verify": _cmd_verify,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Cluster substrate: machines, interconnect, and cluster composition.
+
+`repro.cluster.specs` carries the paper's exact hardware catalogue
+(Section II-C): the Clemson Palmetto scale-up and scale-out nodes, the
+OrangeFS storage servers, and the equal-cost sizing rule (2 scale-up
+machines cost the same as 12 scale-out machines).
+"""
+
+from repro.cluster.machine import DiskSpec, MachineSpec
+from repro.cluster.network import NetworkModel
+from repro.cluster.cluster import Cluster, SlotConfig
+
+__all__ = ["DiskSpec", "MachineSpec", "NetworkModel", "Cluster", "SlotConfig"]

@@ -1,0 +1,96 @@
+"""Cluster composition: a homogeneous set of machines plus slot policy.
+
+The paper configures slots the Hadoop-1.x way: a fixed number of map slots
+and reduce slots per TaskTracker, with ``map + reduce == cores``
+("the total number of map and reduce slots is set to the number of cores").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.network import NetworkModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SlotConfig:
+    """Per-machine map/reduce slot split."""
+
+    map_slots: int
+    reduce_slots: int
+
+    def __post_init__(self) -> None:
+        if self.map_slots <= 0:
+            raise ConfigurationError(f"map_slots must be >= 1: {self.map_slots}")
+        if self.reduce_slots <= 0:
+            raise ConfigurationError(f"reduce_slots must be >= 1: {self.reduce_slots}")
+
+    @property
+    def total(self) -> int:
+        return self.map_slots + self.reduce_slots
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A named, homogeneous cluster.
+
+    The hybrid architecture is composed of two of these (one scale-up, one
+    scale-out) sharing a remote file system; the baselines are single
+    clusters.
+    """
+
+    name: str
+    machine: MachineSpec
+    count: int
+    slots: SlotConfig
+    network: NetworkModel
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigurationError(f"cluster {self.name!r} needs >= 1 machine")
+        # The paper sets slots so that a machine never runs more tasks of one
+        # kind than it has cores ("the total number of map and reduce slots is
+        # set to the number of cores"; on the scale-up nodes it reads the
+        # split as 24 map and 24 reduce slots).  We enforce the invariant both
+        # readings share: neither slot type may exceed the core count.
+        if self.slots.map_slots > self.machine.cores:
+            raise ConfigurationError(
+                f"cluster {self.name!r}: {self.slots.map_slots} map slots exceed "
+                f"{self.machine.cores} cores"
+            )
+        if self.slots.reduce_slots > self.machine.cores:
+            raise ConfigurationError(
+                f"cluster {self.name!r}: {self.slots.reduce_slots} reduce slots "
+                f"exceed {self.machine.cores} cores"
+            )
+
+    @property
+    def total_map_slots(self) -> int:
+        return self.slots.map_slots * self.count
+
+    @property
+    def total_reduce_slots(self) -> int:
+        return self.slots.reduce_slots * self.count
+
+    @property
+    def total_cores(self) -> int:
+        return self.machine.cores * self.count
+
+    @property
+    def total_price(self) -> float:
+        return self.machine.price * self.count
+
+    @property
+    def total_disk_capacity(self) -> float:
+        """Aggregate local-disk bytes — what bounds HDFS on this cluster."""
+        return self.machine.disk.capacity * self.count
+
+    def describe(self) -> str:
+        """One-line human summary used by the CLI and benches."""
+        return (
+            f"{self.name}: {self.count} x {self.machine.name} "
+            f"({self.machine.cores} cores @ {self.machine.core_speed:.2f}x, "
+            f"{self.slots.map_slots}m/{self.slots.reduce_slots}r slots)"
+        )

@@ -1,0 +1,89 @@
+"""Machine and disk specifications.
+
+A :class:`MachineSpec` is immutable hardware description; runtime state
+(slot occupancy, disk queues) lives in the simulation objects that
+reference it.  Core speed is expressed *relative to a scale-out core*
+(AMD Opteron 2356 @ 2.3 GHz = 1.0), because every argument in the paper is
+comparative ("more powerful CPU resources of the scale-up machines"), not
+absolute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """A local storage device (HDD or SSD).
+
+    Parameters
+    ----------
+    bandwidth:
+        Sustained sequential bytes/second the device can move, shared
+        fairly among concurrent streams.
+    capacity:
+        Usable bytes.  The paper's scale-up nodes have only 91 GB local
+        disk, which is why up-HDFS cannot run jobs above 80 GB.
+    """
+
+    bandwidth: float
+    capacity: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError(f"disk bandwidth must be positive: {self.bandwidth}")
+        if self.capacity <= 0:
+            raise ConfigurationError(f"disk capacity must be positive: {self.capacity}")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Immutable description of one compute node.
+
+    Parameters
+    ----------
+    name:
+        Catalogue label, e.g. ``"scale-up"``.
+    cores:
+        Physical cores; the paper sets map slots + reduce slots = cores.
+    core_speed:
+        Per-core effective speed relative to a scale-out core.  Folds in
+        clock (2.66 vs 2.3 GHz), cache and memory-bandwidth headroom.
+    ram:
+        Bytes of RAM.  Bounds the JVM heap and the tmpfs RAMdisk
+        (Palmetto allows half the RAM as tmpfs).
+    disk:
+        The node-local disk used by HDFS and (on scale-out) for shuffle.
+    nic_bandwidth:
+        Bytes/second of the network interface (10 Gbps Myrinet).
+    price:
+        Relative cost units, used only to build equal-cost clusters.
+    """
+
+    name: str
+    cores: int
+    core_speed: float
+    ram: float
+    disk: DiskSpec
+    nic_bandwidth: float
+    price: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"machine needs >= 1 core: {self.cores}")
+        if self.core_speed <= 0:
+            raise ConfigurationError(f"core_speed must be positive: {self.core_speed}")
+        if self.ram <= 0:
+            raise ConfigurationError(f"ram must be positive: {self.ram}")
+        if self.nic_bandwidth <= 0:
+            raise ConfigurationError(f"nic_bandwidth must be positive: {self.nic_bandwidth}")
+        if self.price <= 0:
+            raise ConfigurationError(f"price must be positive: {self.price}")
+
+    @property
+    def ramdisk_capacity(self) -> float:
+        """Bytes usable as tmpfs (half the RAM, per the paper's Palmetto setup)."""
+        return self.ram / 2.0

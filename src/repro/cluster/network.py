@@ -1,0 +1,48 @@
+"""Interconnect model.
+
+The paper's testbed uses 10 Gbps Myrinet everywhere (compute nodes and the
+OFS storage array), described as having "much lower protocol overhead than
+standard Ethernet".  For the phenomena the paper measures, two parameters
+of the fabric matter:
+
+* a fixed per-access **latency** for remote storage operations — the very
+  thing that makes OFS lose to HDFS on small jobs; and
+* a per-node **NIC bandwidth** cap on any single machine's aggregate
+  traffic, which bounds shuffle and remote-read rates.
+
+We do not model topology or congestion beyond these; the testbed is a
+single-rack, non-blocking HPC fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Fabric parameters shared by a cluster and its remote storage."""
+
+    #: One-way setup cost of a remote storage access, seconds.  Includes
+    #: metadata-server lookups and the JNI shim's protocol overhead.
+    latency: float
+    #: Bytes/second a single node can source or sink.
+    nic_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ConfigurationError(f"latency must be non-negative: {self.latency}")
+        if self.nic_bandwidth <= 0:
+            raise ConfigurationError(
+                f"nic_bandwidth must be positive: {self.nic_bandwidth}"
+            )
+
+    def stream_cap(self, concurrent_streams_per_node: int) -> float:
+        """Fair per-stream share of one node's NIC."""
+        if concurrent_streams_per_node <= 0:
+            raise ConfigurationError(
+                f"concurrent_streams_per_node must be >= 1: {concurrent_streams_per_node}"
+            )
+        return self.nic_bandwidth / concurrent_streams_per_node

@@ -1,0 +1,58 @@
+"""The paper's contribution: cross-point model, size-aware scheduler, and
+the hybrid scale-up/out architecture.
+
+* :mod:`repro.core.scheduler` — Algorithm 1 verbatim.
+* :mod:`repro.core.crosspoint` — deriving cross points from measurements
+  (the paper's method, so other deployments can re-calibrate).
+* :mod:`repro.core.architectures` — Table I architectures plus the
+  Section V deployments (Hybrid, THadoop, RHadoop).
+* :mod:`repro.core.deployment` — runnable instances of an architecture.
+* :mod:`repro.core.calibration` — every physical constant of the model.
+* :mod:`repro.core.loadbalance` — the paper's future-work load balancer.
+"""
+
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.scheduler import CrossPoints, Decision, SizeAwareScheduler, PAPER_CROSS_POINTS
+from repro.core.crosspoint import estimate_cross_point, derive_cross_points
+from repro.core.architectures import (
+    ArchitectureSpec,
+    hybrid,
+    out_hdfs,
+    out_ofs,
+    rhadoop,
+    table1_architectures,
+    thadoop,
+    up_hdfs,
+    up_ofs,
+)
+from repro.core.advisor import Advice, advise_split, mixed_architecture
+from repro.core.deployment import Deployment
+from repro.core.finegrained import InterpolatingScheduler, PAPER_ANCHORS
+from repro.core.loadbalance import LoadBalancingRouter
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "CrossPoints",
+    "Decision",
+    "SizeAwareScheduler",
+    "PAPER_CROSS_POINTS",
+    "estimate_cross_point",
+    "derive_cross_points",
+    "ArchitectureSpec",
+    "up_ofs",
+    "up_hdfs",
+    "out_ofs",
+    "out_hdfs",
+    "hybrid",
+    "thadoop",
+    "rhadoop",
+    "table1_architectures",
+    "Deployment",
+    "LoadBalancingRouter",
+    "InterpolatingScheduler",
+    "PAPER_ANCHORS",
+    "Advice",
+    "advise_split",
+    "mixed_architecture",
+]

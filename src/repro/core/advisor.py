@@ -1,0 +1,146 @@
+"""Capacity advisor: how to split a budget between scale-up and scale-out.
+
+The paper fixes its fleet (2 scale-up + 12 scale-out, priced like 24
+scale-out) and never asks whether that split is optimal for a given
+workload.  With a calibrated model the question is cheap:
+:func:`advise_split` replays a workload sample on every feasible
+equal-cost mix and recommends the one optimising the chosen objective.
+
+This generalises ``examples/capacity_planning.py`` into a supported API
+and powers the CLI's ``advise`` command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster import specs
+from repro.core.architectures import ArchitectureSpec, ClusterRole
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.deployment import Deployment
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+
+#: Supported optimisation objectives (seconds; lower is better).
+OBJECTIVES = ("mean", "p50", "p99", "max", "makespan")
+
+
+@dataclass
+class SplitOutcome:
+    """Replay statistics for one equal-cost machine mix."""
+
+    up_count: int
+    out_count: int
+    mean: float
+    p50: float
+    p99: float
+    max: float
+    makespan: float
+
+    @property
+    def name(self) -> str:
+        return f"{self.up_count}up+{self.out_count}out"
+
+    def metric(self, objective: str) -> float:
+        try:
+            return getattr(self, objective)
+        except AttributeError:
+            raise ConfigurationError(
+                f"objective must be one of {OBJECTIVES}: {objective!r}"
+            ) from None
+
+
+@dataclass
+class Advice:
+    """The advisor's output: every candidate plus the recommendation."""
+
+    objective: str
+    outcomes: List[SplitOutcome]
+    best: SplitOutcome
+
+
+def mixed_architecture(
+    up_count: int,
+    out_count: int,
+    name: Optional[str] = None,
+) -> ArchitectureSpec:
+    """An architecture with the given machine counts on a shared OFS.
+
+    Pure scale-up and pure scale-out mixes are allowed (single member).
+    """
+    if up_count < 0 or out_count < 0:
+        raise ConfigurationError("machine counts must be non-negative")
+    if up_count == 0 and out_count == 0:
+        raise ConfigurationError("need at least one machine")
+    members = []
+    if up_count > 0:
+        members.append(ClusterRole(specs.scale_up_cluster(up_count), "up"))
+    if out_count > 0:
+        members.append(ClusterRole(specs.scale_out_cluster(out_count), "out"))
+    return ArchitectureSpec(
+        name=name or f"{up_count}up+{out_count}out",
+        members=tuple(members),
+        storage="ofs",
+    )
+
+
+def equal_cost_splits(budget: float) -> List[tuple[int, int]]:
+    """All (up_count, out_count) mixes affordable within ``budget``
+    (priced in catalogue units), spending as much of it as possible."""
+    if budget < min(specs.SCALE_UP_NODE.price, specs.SCALE_OUT_NODE.price):
+        raise ConfigurationError(f"budget {budget} buys no machine at all")
+    splits = []
+    max_up = int(budget // specs.SCALE_UP_NODE.price)
+    for up_count in range(max_up + 1):
+        remaining = budget - up_count * specs.SCALE_UP_NODE.price
+        out_count = int(remaining // specs.SCALE_OUT_NODE.price)
+        if up_count == 0 and out_count == 0:
+            continue
+        splits.append((up_count, out_count))
+    return splits
+
+
+def advise_split(
+    jobs: Sequence[JobSpec],
+    budget: float = 24.0,
+    objective: str = "mean",
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    candidates: Optional[Sequence[tuple[int, int]]] = None,
+) -> Advice:
+    """Replay ``jobs`` on every equal-cost mix and recommend the best.
+
+    ``objective`` selects what "best" means: mean/median/p99/max job
+    execution time, or workload makespan.
+    """
+    if objective not in OBJECTIVES:
+        raise ConfigurationError(
+            f"objective must be one of {OBJECTIVES}: {objective!r}"
+        )
+    if not jobs:
+        raise ConfigurationError("need at least one job to advise on")
+    splits = list(candidates) if candidates is not None else equal_cost_splits(budget)
+    if not splits:
+        raise ConfigurationError("no candidate splits to evaluate")
+
+    outcomes = []
+    for up_count, out_count in splits:
+        spec = mixed_architecture(up_count, out_count)
+        deployment = Deployment(spec, calibration=calibration)
+        results = deployment.run_trace(jobs)
+        times = np.array([r.execution_time for r in results])
+        outcomes.append(
+            SplitOutcome(
+                up_count=up_count,
+                out_count=out_count,
+                mean=float(times.mean()),
+                p50=float(np.percentile(times, 50)),
+                p99=float(np.percentile(times, 99)),
+                max=float(times.max()),
+                makespan=float(max(r.end_time for r in results)),
+            )
+        )
+    best = min(outcomes, key=lambda o: o.metric(objective))
+    return Advice(objective=objective, outcomes=outcomes, best=best)

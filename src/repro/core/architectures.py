@@ -1,0 +1,170 @@
+"""Architecture factory: Table I and the Section V deployments.
+
+Table I measurement architectures (single cluster, single storage):
+
+====================  =====================  =========
+name                  cluster                storage
+====================  =====================  =========
+``up-OFS``            2 scale-up machines    OrangeFS
+``up-HDFS``           2 scale-up machines    HDFS
+``out-OFS``           12 scale-out machines  OrangeFS
+``out-HDFS``          12 scale-out machines  HDFS
+====================  =====================  =========
+
+Section V evaluation deployments (equal total cost):
+
+* ``Hybrid``  — 2 scale-up + 12 scale-out machines sharing one OrangeFS,
+  jobs routed by Algorithm 1.
+* ``THadoop`` — 24 scale-out machines with HDFS (traditional Hadoop).
+* ``RHadoop`` — 24 scale-out machines with OrangeFS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cluster import specs
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigurationError
+
+#: Valid storage kinds.
+STORAGE_KINDS = ("hdfs", "ofs")
+#: Valid cluster roles (select the paper's per-cluster Hadoop tuning).
+ROLES = ("up", "out")
+
+
+@dataclass(frozen=True)
+class ClusterRole:
+    """A member cluster and the tuning role it plays."""
+
+    cluster: Cluster
+    role: str
+
+    def __post_init__(self) -> None:
+        if self.role not in ROLES:
+            raise ConfigurationError(f"role must be one of {ROLES}: {self.role!r}")
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A named architecture: member clusters plus a storage kind.
+
+    ``storage == "ofs"`` means one shared OrangeFS instance mounted by all
+    members (the hybrid's enabling trick); ``"hdfs"`` gives each member
+    its own HDFS over its local disks.
+    """
+
+    name: str
+    members: Tuple[ClusterRole, ...]
+    storage: str
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ConfigurationError(f"architecture {self.name!r} needs >= 1 cluster")
+        if self.storage not in STORAGE_KINDS:
+            raise ConfigurationError(
+                f"storage must be one of {STORAGE_KINDS}: {self.storage!r}"
+            )
+        if self.storage == "hdfs" and len(self.members) > 1:
+            raise ConfigurationError(
+                "multi-cluster architectures require the shared remote file "
+                "system (the paper's data-storage challenge: HDFS cannot be "
+                "mounted across both clusters without constant transfers)"
+            )
+        names = [m.cluster.name for m in self.members]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate member cluster names: {names}")
+
+    @property
+    def is_hybrid(self) -> bool:
+        return len(self.members) > 1
+
+    def role_index(self, role: str) -> int:
+        """Index of the member with the given role."""
+        for i, member in enumerate(self.members):
+            if member.role == role:
+                return i
+        raise ConfigurationError(f"{self.name!r} has no {role!r} cluster")
+
+
+# -- Table I ---------------------------------------------------------------
+
+
+def up_ofs(count: int = 2) -> ArchitectureSpec:
+    """Scale-up machines with OrangeFS (up-OFS)."""
+    return ArchitectureSpec(
+        name="up-OFS",
+        members=(ClusterRole(specs.scale_up_cluster(count), "up"),),
+        storage="ofs",
+    )
+
+
+def up_hdfs(count: int = 2) -> ArchitectureSpec:
+    """Scale-up machines with HDFS (up-HDFS)."""
+    return ArchitectureSpec(
+        name="up-HDFS",
+        members=(ClusterRole(specs.scale_up_cluster(count), "up"),),
+        storage="hdfs",
+    )
+
+
+def out_ofs(count: int = 12) -> ArchitectureSpec:
+    """Scale-out machines with OrangeFS (out-OFS)."""
+    return ArchitectureSpec(
+        name="out-OFS",
+        members=(ClusterRole(specs.scale_out_cluster(count), "out"),),
+        storage="ofs",
+    )
+
+
+def out_hdfs(count: int = 12) -> ArchitectureSpec:
+    """Scale-out machines with HDFS (out-HDFS)."""
+    return ArchitectureSpec(
+        name="out-HDFS",
+        members=(ClusterRole(specs.scale_out_cluster(count), "out"),),
+        storage="hdfs",
+    )
+
+
+def table1_architectures() -> Dict[str, ArchitectureSpec]:
+    """All four measurement architectures, keyed by paper name."""
+    architectures = (up_ofs(), up_hdfs(), out_ofs(), out_hdfs())
+    return {a.name: a for a in architectures}
+
+
+# -- Section V ------------------------------------------------------------
+
+
+def hybrid(up_count: int = 2, out_count: int = 12) -> ArchitectureSpec:
+    """The hybrid scale-up/out architecture with a shared OrangeFS."""
+    return ArchitectureSpec(
+        name="Hybrid",
+        members=(
+            ClusterRole(specs.scale_up_cluster(up_count), "up"),
+            ClusterRole(specs.scale_out_cluster(out_count), "out"),
+        ),
+        storage="ofs",
+    )
+
+
+def thadoop(count: int | None = None) -> ArchitectureSpec:
+    """Traditional Hadoop baseline: equal-cost scale-out cluster + HDFS."""
+    if count is None:
+        count = specs.equal_cost_scale_out_count()
+    return ArchitectureSpec(
+        name="THadoop",
+        members=(ClusterRole(specs.scale_out_cluster(count, name="scale-out"), "out"),),
+        storage="hdfs",
+    )
+
+
+def rhadoop(count: int | None = None) -> ArchitectureSpec:
+    """Remote-FS Hadoop baseline: equal-cost scale-out cluster + OrangeFS."""
+    if count is None:
+        count = specs.equal_cost_scale_out_count()
+    return ArchitectureSpec(
+        name="RHadoop",
+        members=(ClusterRole(specs.scale_out_cluster(count, name="scale-out"), "out"),),
+        storage="ofs",
+    )

@@ -1,0 +1,124 @@
+"""Cross-point estimation from measurements (the paper's Figs. 7 and 8).
+
+The paper finds each application's cross point by plotting the scale-out
+execution time normalized by the scale-up execution time against input
+size and reading off where the curve crosses 1.0.  This module implements
+that procedure — including log-size interpolation between measured points
+— plus :func:`derive_cross_points`, which packages the full method:
+measure one representative application per shuffle/input-ratio band and
+produce the :class:`~repro.core.scheduler.CrossPoints` the scheduler
+needs.  This is how "other designers can ... measure the cross points in
+their systems and develop the hybrid architecture".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.scheduler import CrossPoints
+from repro.errors import ConfigurationError
+
+#: measure(app_name, input_bytes) -> (scale_up_seconds, scale_out_seconds)
+MeasureFn = Callable[[str, float], Tuple[float, float]]
+
+
+def normalized_ratio(
+    up_times: Sequence[float], out_times: Sequence[float]
+) -> np.ndarray:
+    """Scale-out time / scale-up time — the paper's Fig. 7/8 y-axis.
+
+    Values above 1 mean scale-up wins; below 1, scale-out wins.
+    """
+    up = np.asarray(up_times, dtype=float)
+    out = np.asarray(out_times, dtype=float)
+    if up.shape != out.shape:
+        raise ConfigurationError(
+            f"mismatched series: {up.shape} vs {out.shape}"
+        )
+    if np.any(up <= 0) or np.any(out <= 0):
+        raise ConfigurationError("execution times must be positive")
+    return out / up
+
+
+def estimate_cross_point(
+    sizes: Sequence[float],
+    up_times: Sequence[float],
+    out_times: Sequence[float],
+) -> Optional[float]:
+    """Input size at which the normalized ratio crosses 1.0 from above.
+
+    Interpolates linearly in *log input size* between the bracketing
+    measurements (the paper's sweeps are geometric in size).  Returns
+    ``None`` if the curve never crosses — one cluster dominates at every
+    measured size.  Noisy curves may cross several times; we return the
+    last crossing, after which scale-out stays ahead for good.
+    """
+    sizes_arr = np.asarray(sizes, dtype=float)
+    if sizes_arr.ndim != 1 or sizes_arr.size < 2:
+        raise ConfigurationError("need at least two measured sizes")
+    if np.any(sizes_arr <= 0):
+        raise ConfigurationError("input sizes must be positive")
+    if np.any(np.diff(sizes_arr) <= 0):
+        raise ConfigurationError("sizes must be strictly increasing")
+    ratio = normalized_ratio(up_times, out_times)
+    if ratio.shape != sizes_arr.shape:
+        raise ConfigurationError("sizes and times must align")
+
+    above = ratio > 1.0
+    crossings = np.flatnonzero(above[:-1] & ~above[1:])
+    if crossings.size == 0:
+        return None
+    i = int(crossings[-1])
+    # Interpolate log(size) at ratio == 1 between points i and i+1.
+    r0, r1 = ratio[i], ratio[i + 1]
+    if r0 == r1:  # flat segment touching 1.0
+        return float(sizes_arr[i])
+    t = (1.0 - r0) / (r1 - r0)
+    log_size = np.log(sizes_arr[i]) + t * (np.log(sizes_arr[i + 1]) - np.log(sizes_arr[i]))
+    return float(np.exp(log_size))
+
+
+def derive_cross_points(
+    measure: MeasureFn,
+    sizes: Sequence[float],
+    high_ratio_app: str = "wordcount",
+    mid_ratio_app: str = "grep",
+    low_ratio_app: str = "testdfsio-write",
+    ratio_high: float = 1.0,
+    ratio_low: float = 0.4,
+    fallback: Optional[CrossPoints] = None,
+) -> CrossPoints:
+    """Run the paper's calibration method end to end.
+
+    ``measure`` runs one application at one size on both clusters and
+    returns (scale-up, scale-out) execution times; any runner works — the
+    bundled simulator, or a wrapper around a real pair of clusters.
+
+    If an application never crosses within ``sizes``, the corresponding
+    band falls back to ``fallback`` (the paper's thresholds by default) —
+    with a dominance direction encoded as an extreme threshold when the
+    fallback is explicitly disabled.
+    """
+    fallback = fallback or CrossPoints()
+    results = {}
+    for band, app in (
+        ("high", high_ratio_app),
+        ("mid", mid_ratio_app),
+        ("low", low_ratio_app),
+    ):
+        up_times = []
+        out_times = []
+        for size in sizes:
+            t_up, t_out = measure(app, size)
+            up_times.append(t_up)
+            out_times.append(t_out)
+        results[band] = estimate_cross_point(sizes, up_times, out_times)
+    return CrossPoints(
+        high_ratio_cross=results["high"] or fallback.high_ratio_cross,
+        mid_ratio_cross=results["mid"] or fallback.mid_ratio_cross,
+        low_ratio_cross=results["low"] or fallback.low_ratio_cross,
+        ratio_high=ratio_high,
+        ratio_low=ratio_low,
+    )

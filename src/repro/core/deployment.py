@@ -1,0 +1,224 @@
+"""A runnable deployment of an architecture.
+
+``Deployment`` materialises an :class:`ArchitectureSpec` into a fresh
+simulation: runtime nodes, storage systems (one shared OrangeFS or a
+per-cluster HDFS), one JobTracker per member cluster, and a job router.
+
+Routing:
+
+* single-cluster architectures route everything to their only tracker;
+* the hybrid routes with Algorithm 1
+  (:class:`~repro.core.scheduler.SizeAwareScheduler`) by default, or any
+  custom router — e.g. the load-balancing extension.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.architectures import ArchitectureSpec
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.scheduler import Decision, SizeAwareScheduler
+from repro.errors import SchedulingError
+from repro.mapreduce.config import HadoopConfig
+from repro.mapreduce.job import JobResult, JobSpec
+from repro.mapreduce.jobtracker import JobTracker
+from repro.mapreduce.nodes import build_nodes
+from repro.simulator.engine import Simulation
+from repro.storage.base import StorageSystem
+from repro.storage.hdfs import HDFS
+from repro.storage.ofs import OrangeFS
+
+#: router(job, deployment) -> member index to run the job on.
+Router = Callable[[JobSpec, "Deployment"], int]
+
+
+def algorithm1_router(scheduler: Optional[object] = None) -> Router:
+    """Route with the paper's Algorithm 1 (requires up and out members).
+
+    ``scheduler`` is anything with a ``decide_job(spec) -> Decision``
+    method — :class:`SizeAwareScheduler` by default, or the fine-grained
+    :class:`~repro.core.finegrained.InterpolatingScheduler`.
+    """
+    scheduler = scheduler or SizeAwareScheduler()
+
+    def route(job: JobSpec, deployment: "Deployment") -> int:
+        decision = scheduler.decide_job(job)
+        role = "up" if decision is Decision.SCALE_UP else "out"
+        return deployment.spec.role_index(role)
+
+    return route
+
+
+class Deployment:
+    """One architecture instantiated on a fresh simulation clock."""
+
+    def __init__(
+        self,
+        spec: ArchitectureSpec,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        router: Optional[Router] = None,
+    ) -> None:
+        self.spec = spec
+        self.calibration = calibration
+        self.sim = Simulation()
+        self.trackers: List[JobTracker] = []
+        self.storages: List[StorageSystem] = []
+        self.results: List[JobResult] = []
+
+        shared_ofs: Optional[OrangeFS] = None
+        if spec.storage == "ofs":
+            shared_ofs = OrangeFS(
+                self.sim,
+                num_servers=calibration.ofs_stripe_width,
+                server_bandwidth=calibration.ofs_server_bandwidth,
+                access_latency=calibration.ofs_access_latency,
+                stream_cap=calibration.ofs_stream_cap,
+                per_job_overhead=calibration.ofs_per_job_overhead,
+                capacity=calibration.ofs_capacity,
+            )
+
+        for member in spec.members:
+            config = calibration.config_for(member.role)
+            cluster = calibration.effective_cluster(member.cluster, member.role)
+            nodes = build_nodes(
+                self.sim,
+                cluster,
+                config,
+                calibration.ramdisk_bandwidth,
+                disk_seek_penalty=calibration.disk_seek_penalty,
+            )
+            block_map = None
+            if shared_ofs is not None:
+                storage: StorageSystem = shared_ofs
+            else:
+                if calibration.hdfs_block_placement:
+                    from repro.storage.blockmap import BlockMap
+
+                    block_map = BlockMap(
+                        num_nodes=cluster.count,
+                        replication=min(config.replication, cluster.count),
+                    )
+                storage = HDFS(
+                    self.sim,
+                    devices=[n.local_disk for n in nodes],
+                    replication=min(config.replication, cluster.count),
+                    access_latency=calibration.hdfs_access_latency,
+                    per_job_overhead=calibration.hdfs_per_job_overhead,
+                    usable_fraction=calibration.hdfs_usable_fraction,
+                    write_buffer_factor=calibration.hdfs_write_buffer_factor,
+                    page_cache_bytes=calibration.hdfs_page_cache_bytes,
+                )
+            tracker = JobTracker(
+                self.sim, cluster, config, storage, nodes,
+                name=cluster.name,
+                block_map=block_map,
+            )
+            self.trackers.append(tracker)
+            self.storages.append(storage)
+
+        if router is not None:
+            self.router = router
+        elif spec.is_hybrid:
+            self.router = algorithm1_router()
+        else:
+            self.router = lambda job, deployment: 0
+
+    # -- conveniences -----------------------------------------------------
+
+    def tracker_for_role(self, role: str) -> JobTracker:
+        return self.trackers[self.spec.role_index(role)]
+
+    def config_for_member(self, index: int) -> HadoopConfig:
+        return self.trackers[index].config
+
+    @staticmethod
+    def job_footprint(job: JobSpec) -> float:
+        """Bytes of storage the job needs resident: its (read) input plus
+        its output.  TestDFSIO-write stores only what it writes."""
+        return job.input_bytes * job.input_read_fraction + job.output_bytes
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self,
+        job: JobSpec,
+        on_complete: Optional[Callable[[JobResult], None]] = None,
+        register_dataset: bool = False,
+    ) -> int:
+        """Route and submit a job at the current simulation time.
+
+        With ``register_dataset`` the job's footprint is placed on the
+        target storage first — raising
+        :class:`~repro.errors.CapacityError` when it cannot fit, which is
+        how up-HDFS's ~80 GB ceiling manifests — and released when the
+        job completes.  Returns the member index the job ran on.
+        """
+        index = self.router(job, self)
+        if not 0 <= index < len(self.trackers):
+            raise SchedulingError(f"router returned invalid member index {index}")
+        storage = self.storages[index]
+        footprint = self.job_footprint(job)
+        if register_dataset:
+            storage.register_dataset(footprint)
+
+        def done(result: JobResult) -> None:
+            if register_dataset:
+                storage.release_dataset(footprint)
+            self.results.append(result)
+            if on_complete is not None:
+                on_complete(result)
+
+        self.trackers[index].submit(job, done)
+        return index
+
+    def submit_at(
+        self,
+        job: JobSpec,
+        when: Optional[float] = None,
+        register_dataset: bool = False,
+    ) -> None:
+        """Schedule a future submission (defaults to the job's arrival time)."""
+        time = job.arrival_time if when is None else when
+        self.sim.schedule_at(time, lambda: self.submit(job, register_dataset=register_dataset))
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> List[JobResult]:
+        """Drain the event loop; returns all completed job results."""
+        self.sim.run(until=until)
+        return self.results
+
+    def run_job(self, job: JobSpec, register_dataset: bool = True) -> JobResult:
+        """Run one job in isolation and return its result.
+
+        Raises :class:`~repro.errors.CapacityError` if the job's data
+        cannot fit on the architecture's storage.
+        """
+        collected: List[JobResult] = []
+        self.submit(job, collected.append, register_dataset=register_dataset)
+        self.sim.run()
+        if not collected:
+            raise SchedulingError(f"job {job.job_id} did not complete")
+        return collected[0]
+
+    def run_trace(
+        self, jobs: Sequence[JobSpec], register_datasets: bool = False
+    ) -> List[JobResult]:
+        """Replay a workload trace by arrival time (the Section V setup)."""
+        for job in jobs:
+            self.submit_at(job, register_dataset=register_datasets)
+        self.sim.run()
+        return self.results
+
+
+def build_deployment(
+    spec: ArchitectureSpec,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    router: Optional[Router] = None,
+) -> Deployment:
+    """Factory alias, for symmetry with the architecture factories."""
+    return Deployment(spec, calibration=calibration, router=router)
+
+
+__all__ = ["Deployment", "Router", "algorithm1_router", "build_deployment"]

@@ -1,0 +1,77 @@
+"""Load-balancing router: the paper's stated future work.
+
+Section VII: "if many small jobs arrive at the same time without any
+large jobs, all the jobs will be scheduled to the scale-up machines,
+resulting in imbalance allocation of resources between the scale-up and
+scale-out machines."
+
+:class:`LoadBalancingRouter` implements the obvious remedy: start from
+Algorithm 1's preference, but when the preferred cluster's backlog
+(queued map tasks per map slot) exceeds the other cluster's by more than
+``imbalance_threshold``, divert the job.  Diversion is asymmetric by
+default: small jobs can spill from scale-up to scale-out (they merely run
+somewhat slower), but large jobs are never diverted *to* scale-up, whose
+few slots they would monopolise — the same conservatism Algorithm 1
+applies to unknown ratios.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.scheduler import Decision, SizeAwareScheduler
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deployment import Deployment
+
+
+class LoadBalancingRouter:
+    """Queue-aware variant of the Algorithm 1 router.
+
+    Parameters
+    ----------
+    scheduler:
+        The base size-aware scheduler (paper cross points by default).
+    imbalance_threshold:
+        Backlog difference (queued map tasks per slot) above which the
+        preferred cluster is considered overloaded.
+    allow_divert_to_up:
+        Permit diverting scale-out jobs to an idle scale-up cluster.
+        Off by default, per the reasoning above.
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[SizeAwareScheduler] = None,
+        imbalance_threshold: float = 2.0,
+        allow_divert_to_up: bool = False,
+    ) -> None:
+        if imbalance_threshold < 0:
+            raise ConfigurationError(
+                f"imbalance_threshold must be >= 0: {imbalance_threshold}"
+            )
+        self.scheduler = scheduler or SizeAwareScheduler()
+        self.imbalance_threshold = imbalance_threshold
+        self.allow_divert_to_up = allow_divert_to_up
+        #: Jobs moved off their Algorithm 1 preference, for reporting.
+        self.diversions = 0
+
+    def __call__(self, job: JobSpec, deployment: "Deployment") -> int:
+        up_index = deployment.spec.role_index("up")
+        out_index = deployment.spec.role_index("out")
+        decision = self.scheduler.decide_job(job)
+        preferred, other = (
+            (up_index, out_index)
+            if decision is Decision.SCALE_UP
+            else (out_index, up_index)
+        )
+        if decision is Decision.SCALE_OUT and not self.allow_divert_to_up:
+            return preferred
+        preferred_backlog = deployment.trackers[preferred].outstanding_work()
+        other_backlog = deployment.trackers[other].outstanding_work()
+        if preferred_backlog - other_backlog > self.imbalance_threshold:
+            self.diversions += 1
+            return other
+        return preferred

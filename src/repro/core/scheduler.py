@@ -1,0 +1,115 @@
+"""Algorithm 1: selecting scale-up or scale-out for a given job.
+
+The paper's decision procedure, verbatim:
+
+* shuffle/input ratio > 1       -> scale-up iff input < 32 GB
+* 0.4 <= shuffle/input <= 1     -> scale-up iff input < 16 GB
+* shuffle/input ratio < 0.4     -> scale-up iff input < 10 GB
+* ratio unknown                 -> treated as map-intensive (the 10 GB
+  cross point), "because we need to avoid scheduling any large jobs to
+  the scale-up machines"
+
+The thresholds come from the measurement study (Figs. 7 and 8) and are
+deployment-specific; :mod:`repro.core.crosspoint` re-derives them for any
+other pair of clusters, which is the paper's stated intent ("other
+designers can follow the same method").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+from repro.units import GB, format_size
+
+
+class Decision(enum.Enum):
+    """Which cluster a job should run on."""
+
+    SCALE_UP = "scale-up"
+    SCALE_OUT = "scale-out"
+
+
+@dataclass(frozen=True)
+class CrossPoints:
+    """Input-size thresholds per shuffle/input-ratio band.
+
+    ``ratio_low``/``ratio_high`` delimit the bands; ``*_cross`` give the
+    input size below which scale-up wins in each band.
+    """
+
+    high_ratio_cross: float = 32 * GB
+    mid_ratio_cross: float = 16 * GB
+    low_ratio_cross: float = 10 * GB
+    ratio_high: float = 1.0
+    ratio_low: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ratio_low <= self.ratio_high:
+            raise ConfigurationError(
+                f"need 0 <= ratio_low <= ratio_high, got "
+                f"{self.ratio_low}, {self.ratio_high}"
+            )
+        for name in ("high_ratio_cross", "mid_ratio_cross", "low_ratio_cross"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    def cross_for_ratio(self, ratio: Optional[float]) -> float:
+        """The input-size cross point applicable to a shuffle/input ratio."""
+        if ratio is None:
+            # Unknown ratio: assume map-intensive, the conservative choice.
+            return self.low_ratio_cross
+        if ratio < 0:
+            raise ConfigurationError(f"shuffle/input ratio must be >= 0: {ratio}")
+        if ratio > self.ratio_high:
+            return self.high_ratio_cross
+        if ratio >= self.ratio_low:
+            return self.mid_ratio_cross
+        return self.low_ratio_cross
+
+    def describe(self) -> str:
+        return (
+            f"ratio>{self.ratio_high:g}: {format_size(self.high_ratio_cross)}; "
+            f"{self.ratio_low:g}..{self.ratio_high:g}: "
+            f"{format_size(self.mid_ratio_cross)}; "
+            f"ratio<{self.ratio_low:g}: {format_size(self.low_ratio_cross)}"
+        )
+
+
+#: The thresholds measured in the paper's Section III.
+PAPER_CROSS_POINTS = CrossPoints()
+
+
+class SizeAwareScheduler:
+    """The hybrid architecture's job router (Algorithm 1).
+
+    The shuffle/input ratio "is input by the users, which means that
+    either the users once ran the jobs before or the jobs are well-known";
+    pass ``ratio=None`` for jobs whose ratio is unknown.
+    """
+
+    def __init__(self, cross_points: CrossPoints = PAPER_CROSS_POINTS) -> None:
+        self.cross_points = cross_points
+
+    def decide(self, input_bytes: float, ratio: Optional[float]) -> Decision:
+        """Algorithm 1 for one job, from its raw characteristics."""
+        if input_bytes < 0:
+            raise ConfigurationError(f"input size must be >= 0: {input_bytes}")
+        if input_bytes < self.cross_points.cross_for_ratio(ratio):
+            return Decision.SCALE_UP
+        return Decision.SCALE_OUT
+
+    def decide_job(self, spec: JobSpec, ratio_known: bool = True) -> Decision:
+        """Algorithm 1 for a :class:`JobSpec`."""
+        ratio = spec.shuffle_input_ratio if ratio_known else None
+        return self.decide(spec.input_bytes, ratio)
+
+    def schedule(
+        self, jobs: Iterator[JobSpec], ratio_known: bool = True
+    ) -> Iterator[tuple[JobSpec, Decision]]:
+        """Route a job queue, preserving order (the paper's while loop)."""
+        for spec in jobs:
+            yield spec, self.decide_job(spec, ratio_known=ratio_known)

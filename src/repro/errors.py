@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with one except clause while still
+letting programming errors (TypeError, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A cluster/Hadoop/storage configuration is inconsistent or unusable."""
+
+
+class CapacityError(ReproError):
+    """A storage system cannot hold the requested data.
+
+    The paper hits exactly this: up-HDFS (91 GB local disks) "cannot process
+    the jobs with input data size greater than 80GB".
+    """
+
+
+class SchedulingError(ReproError):
+    """A job could not be scheduled (unknown cluster, closed tracker, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or internally inconsistent."""

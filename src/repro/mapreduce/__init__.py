@@ -1,0 +1,22 @@
+"""Hadoop MapReduce execution model over the discrete-event engine.
+
+The model resolves exactly the mechanisms the paper uses to explain its
+measurements: map/reduce slots and task waves, per-task scheduling and JVM
+overheads, storage read/write flows, heap-bounded sort/merge buffers with
+spill-to-shuffle-store, the shuffle copy tail after the last map, and FIFO
+multi-job slot contention.
+"""
+
+from repro.mapreduce.config import HadoopConfig
+from repro.mapreduce.job import JobResult, JobSpec
+from repro.mapreduce.jobtracker import JobTracker
+from repro.mapreduce.nodes import NodeRuntime, build_nodes
+
+__all__ = [
+    "HadoopConfig",
+    "JobSpec",
+    "JobResult",
+    "JobTracker",
+    "NodeRuntime",
+    "build_nodes",
+]

@@ -1,0 +1,164 @@
+"""Hadoop configuration knobs (Section II-D of the paper).
+
+One :class:`HadoopConfig` instance describes how Hadoop is tuned on one
+cluster.  The paper tunes these per cluster — 8 GB task heaps and RAMdisk
+shuffle on scale-up, 1–1.5 GB heaps and local-disk shuffle on scale-out —
+so the architecture factory builds a different config for each side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+
+
+@dataclass(frozen=True)
+class HadoopConfig:
+    """Per-cluster Hadoop MapReduce tuning.
+
+    Parameters
+    ----------
+    block_size:
+        HDFS block / OFS stripe size; one map task per block (paper: 128 MB
+        for both, "to compare OFS fairly with HDFS").
+    replication:
+        HDFS replication factor (paper: 2; ignored by OFS, which has none).
+    heap_size:
+        JVM heap per task.  Bounds the map-side sort buffer and the
+        reduce-side in-memory shuffle buffer.
+    io_sort_fraction:
+        Fraction of the heap available as the map-side sort buffer
+        (io.sort.mb); map outputs larger than this spill to the shuffle
+        store and pay a merge pass.
+    reduce_buffer_fraction:
+        Fraction of the heap buffering shuffled data at a reducer; larger
+        shuffle shares spill ("if the shuffle data size is larger than the
+        size of in-memory buffer ... spilled to local disk").
+    task_overhead:
+        Per-task fixed cost: scheduling heartbeat, JVM setup/reuse.
+    job_setup_overhead:
+        Per-job fixed cost: job client, InputFormat splits, JobTracker
+        bookkeeping (storage adds its own per-job overhead on top).
+    shuffle_residual:
+        Fraction of shuffle data still to copy when the last map ends.
+        Hadoop overlaps the copy with the map phase; the paper's "shuffle
+        phase duration" metric starts at the last map's end, so only this
+        residual is on the measured critical path.
+    reduce_slowstart:
+        Fraction of a job's maps that must complete before its reducers
+        launch (mapred.reduce.slowstart.completed.maps; Hadoop 1.x
+        defaults to 0.05).  Early reducers *hold their reduce slots until
+        the job's maps finish* — the slot-hoarding convoy that makes
+        mixed FIFO workloads on a shared cluster so much worse than the
+        sum of their parts, and a key reason the hybrid's segregation
+        wins in Section V.
+    spill_io_factor:
+        Extra shuffle-store bytes per spilled byte (spill write + merge
+        read amortised; 2.0 would be a full write+read-back).
+    shuffle_to_ramdisk:
+        Place shuffle data on the node's tmpfs RAMdisk instead of the
+        local disk (the paper does this on scale-up machines only).
+    reducer_target_bytes:
+        Desired shuffle bytes per reduce task when sizing the reducer
+        count (capped at the cluster's reduce slots).
+    task_jitter:
+        Half-width of the deterministic per-task duration dispersion
+        (0.25 means task costs vary in [0.75x, 1.25x]).  Real task times
+        disperse with input skew and JVM warm-up; without this the wave
+        model produces unphysical cliffs at exact slot multiples.
+    scheduler_policy:
+        How pending tasks share slots across jobs: ``"fifo"`` (Hadoop
+        1.x default, what the paper runs) or ``"fair"`` (Fair-Scheduler
+        style max-min across active jobs; used by the ablations).
+    speculative_execution:
+        Launch backup copies of straggling map tasks on otherwise-idle
+        slots (mapred.map.tasks.speculative.execution).  A running map
+        is a straggler once its elapsed time exceeds
+        ``speculative_slack`` times the job's average completed map
+        duration; the first copy to finish wins, the loser's work is
+        discarded.  Reduce-side speculation is not modelled.
+    speculative_slack:
+        Straggler threshold multiplier (see above).
+    """
+
+    heap_size: float
+    block_size: float = 128 * MB
+    replication: int = 2
+    io_sort_fraction: float = 0.55
+    reduce_buffer_fraction: float = 0.66
+    task_overhead: float = 1.0
+    job_setup_overhead: float = 3.0
+    shuffle_residual: float = 0.35
+    reduce_slowstart: float = 0.05
+    spill_io_factor: float = 1.0
+    shuffle_to_ramdisk: bool = False
+    reducer_target_bytes: float = 1 * GB
+    task_jitter: float = 0.25
+    scheduler_policy: str = "fifo"
+    speculative_execution: bool = False
+    speculative_slack: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.heap_size <= 0:
+            raise ConfigurationError(f"heap_size must be positive: {self.heap_size}")
+        if self.block_size <= 0:
+            raise ConfigurationError(f"block_size must be positive: {self.block_size}")
+        if self.replication < 1:
+            raise ConfigurationError(f"replication must be >= 1: {self.replication}")
+        for field_name in ("io_sort_fraction", "reduce_buffer_fraction"):
+            value = getattr(self, field_name)
+            if not 0 < value <= 1:
+                raise ConfigurationError(f"{field_name} must be in (0, 1]: {value}")
+        for field_name in (
+            "task_overhead",
+            "job_setup_overhead",
+            "shuffle_residual",
+            "spill_io_factor",
+            "task_jitter",
+        ):
+            value = getattr(self, field_name)
+            if value < 0:
+                raise ConfigurationError(f"{field_name} must be non-negative: {value}")
+        if self.shuffle_residual > 1:
+            raise ConfigurationError(
+                f"shuffle_residual is a fraction, got {self.shuffle_residual}"
+            )
+        if not 0 <= self.reduce_slowstart <= 1:
+            raise ConfigurationError(
+                f"reduce_slowstart must be in [0, 1]: {self.reduce_slowstart}"
+            )
+        if self.task_jitter >= 1:
+            raise ConfigurationError(f"task_jitter must be < 1: {self.task_jitter}")
+        if self.reducer_target_bytes <= 0:
+            raise ConfigurationError(
+                f"reducer_target_bytes must be positive: {self.reducer_target_bytes}"
+            )
+        # Import here to avoid a cycle (queues needs nothing from config).
+        from repro.mapreduce.queues import SCHEDULER_POLICIES
+
+        if self.scheduler_policy not in SCHEDULER_POLICIES:
+            raise ConfigurationError(
+                f"scheduler_policy must be one of {SCHEDULER_POLICIES}: "
+                f"{self.scheduler_policy!r}"
+            )
+        if self.speculative_slack < 1:
+            raise ConfigurationError(
+                f"speculative_slack must be >= 1: {self.speculative_slack}"
+            )
+
+    @property
+    def sort_buffer(self) -> float:
+        """Map-side sort buffer bytes (io.sort.mb equivalent)."""
+        return self.heap_size * self.io_sort_fraction
+
+    @property
+    def reduce_buffer(self) -> float:
+        """Reduce-side in-memory shuffle buffer bytes."""
+        return self.heap_size * self.reduce_buffer_fraction
+
+    def with_options(self, **changes: Any) -> "HadoopConfig":
+        """Return a copy with fields replaced (ablation convenience)."""
+        return replace(self, **changes)

@@ -1,0 +1,137 @@
+"""Job specification and result records.
+
+A :class:`JobSpec` is everything the execution model needs to know about a
+job: its data volumes (input, shuffle, output) and its CPU intensity.
+This mirrors how the paper characterises applications — by input size and
+shuffle/input ratio, with output size along for the ride.
+
+A :class:`JobResult` carries the paper's four measured metrics (Section
+III-A): execution time, map phase duration, shuffle phase duration and
+reduce phase duration, computed from the same timestamps the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.units import format_size
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One MapReduce job.
+
+    Parameters
+    ----------
+    job_id:
+        Unique identifier within a run.
+    app:
+        Application label ("wordcount", "grep", ...), for reporting.
+    input_bytes, shuffle_bytes, output_bytes:
+        Data volumes.  For trace jobs these come straight from the trace;
+        for the measurement applications they derive from the app profile
+        (shuffle = ratio x input, etc.).
+    map_cpu_per_byte, reduce_cpu_per_byte:
+        Seconds of compute per byte on a *reference* (scale-out) core;
+        divided by the machine's ``core_speed`` at run time.  Reduce CPU
+        is charged per shuffle byte.
+    arrival_time:
+        Submission time (trace replay); 0 for isolated runs.
+    input_read_fraction:
+        Fraction of ``input_bytes`` actually read by maps.  1.0 normally;
+        ~0 for TestDFSIO-write, whose "input size" is the volume written.
+    map_writes_output:
+        If True, map tasks write ``output_bytes`` to the main storage
+        (TestDFSIO-write); otherwise reducers write the output.
+    num_reducers_hint:
+        Force the reducer count (TestDFSIO uses exactly 1).
+    """
+
+    job_id: str
+    app: str
+    input_bytes: float
+    shuffle_bytes: float
+    output_bytes: float
+    map_cpu_per_byte: float
+    reduce_cpu_per_byte: float
+    arrival_time: float = 0.0
+    input_read_fraction: float = 1.0
+    map_writes_output: bool = False
+    num_reducers_hint: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for field_name in ("input_bytes", "shuffle_bytes", "output_bytes"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be non-negative")
+        for field_name in ("map_cpu_per_byte", "reduce_cpu_per_byte"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be non-negative")
+        if not 0 <= self.input_read_fraction <= 1:
+            raise ConfigurationError(
+                f"input_read_fraction must be in [0, 1]: {self.input_read_fraction}"
+            )
+        if self.arrival_time < 0:
+            raise ConfigurationError(f"arrival_time must be non-negative: {self.arrival_time}")
+        if self.num_reducers_hint is not None and self.num_reducers_hint < 1:
+            raise ConfigurationError(f"num_reducers_hint must be >= 1")
+
+    @property
+    def shuffle_input_ratio(self) -> float:
+        """The paper's shuffle/input ratio (0 for empty inputs)."""
+        if self.input_bytes <= 0:
+            return 0.0
+        return self.shuffle_bytes / self.input_bytes
+
+    def describe(self) -> str:
+        return (
+            f"{self.job_id} [{self.app}] in={format_size(self.input_bytes)} "
+            f"shuffle={format_size(self.shuffle_bytes)} "
+            f"out={format_size(self.output_bytes)}"
+        )
+
+
+@dataclass
+class JobResult:
+    """Timestamps and derived phase durations for one executed job.
+
+    Phase definitions follow Section III-A exactly:
+
+    * map phase      = last map end   - first map start
+    * shuffle phase  = last shuffle end - last map end
+    * reduce phase   = job end        - last shuffle end
+    * execution time = job end        - job start (start = submission)
+    """
+
+    job_id: str
+    app: str
+    cluster: str
+    input_bytes: float
+    shuffle_bytes: float
+    submit_time: float = 0.0
+    first_map_start: float = field(default=float("nan"))
+    last_map_end: float = field(default=float("nan"))
+    last_shuffle_end: float = field(default=float("nan"))
+    end_time: float = field(default=float("nan"))
+
+    @property
+    def execution_time(self) -> float:
+        return self.end_time - self.submit_time
+
+    @property
+    def map_phase(self) -> float:
+        return self.last_map_end - self.first_map_start
+
+    @property
+    def shuffle_phase(self) -> float:
+        return self.last_shuffle_end - self.last_map_end
+
+    @property
+    def reduce_phase(self) -> float:
+        return self.end_time - self.last_shuffle_end
+
+    @property
+    def queue_delay(self) -> float:
+        """Time between submission and the first map launching."""
+        return self.first_map_start - self.submit_time

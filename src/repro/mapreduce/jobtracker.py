@@ -1,0 +1,557 @@
+"""Per-cluster JobTracker: FIFO multi-job task scheduling over the DES.
+
+The tracker owns the cluster's map/reduce slots and runs every task
+through the same lifecycle the paper reasons about:
+
+map task:    slot -> task overhead -> input read -> map CPU
+             -> materialise map output on the shuffle store (spill model)
+reduce task: slot -> task overhead -> shuffle copy tail (+ spill/merge)
+             -> reduce CPU -> output write
+
+Tasks of all submitted jobs share one FIFO queue per slot type, which is
+Hadoop 1.x's default scheduler and exactly the paper's Section V setup —
+small jobs stuck behind a large job's waves is the phenomenon that makes
+THadoop lose to the hybrid.
+
+Reducers launch when their job's maps are all done; the copy that real
+Hadoop overlaps with the map phase is modelled by charging only the
+post-map *residual* (see ``HadoopConfig.shuffle_residual``), matching the
+paper's phase-duration definitions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.errors import SchedulingError
+from repro.mapreduce.config import HadoopConfig
+from repro.mapreduce.job import JobResult, JobSpec
+from repro.mapreduce.nodes import NodeRuntime
+from repro.mapreduce.queues import make_queue
+from repro.mapreduce.spill import map_output_store_bytes, reduce_shuffle_store_bytes
+from repro.storage.blockmap import BlockMap
+from repro.simulator.engine import Simulation
+from repro.storage.base import StorageSystem
+from repro.units import blocks_for
+
+JobCallback = Callable[[JobResult], None]
+
+
+def decide_num_reducers(
+    spec: JobSpec, total_reduce_slots: int, target_bytes: float
+) -> int:
+    """Reducer count: one per ``target_bytes`` of shuffle, capped at the
+    cluster's reduce slots (a single reduce wave, as the paper configures)."""
+    if spec.num_reducers_hint is not None:
+        return min(spec.num_reducers_hint, total_reduce_slots)
+    if spec.shuffle_bytes <= 0:
+        return 1
+    wanted = max(1, round(spec.shuffle_bytes / target_bytes))
+    return min(wanted, total_reduce_slots)
+
+
+class _JobState:
+    """Mutable bookkeeping for one in-flight job."""
+
+    __slots__ = (
+        "spec",
+        "result",
+        "num_maps",
+        "num_reducers",
+        "maps_done",
+        "reduces_copied",
+        "reduces_done",
+        "reduces_enqueued",
+        "map_phase_waiters",
+        "map_running",
+        "map_done_flags",
+        "map_duplicated",
+        "completed_map_time_sum",
+        "on_complete",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        spec: JobSpec,
+        result: JobResult,
+        num_maps: int,
+        num_reducers: int,
+        on_complete: Optional[JobCallback],
+    ) -> None:
+        self.spec = spec
+        self.result = result
+        self.num_maps = num_maps
+        self.num_reducers = num_reducers
+        self.maps_done = 0
+        self.reduces_copied = 0
+        self.reduces_done = 0
+        self.reduces_enqueued = False
+        #: Reducers holding a slot, parked until the map phase completes.
+        self.map_phase_waiters: List[Callable[[], None]] = []
+        #: Running (not yet won) map tasks: index -> first start time.
+        self.map_running: dict[int, float] = {}
+        #: Map indices whose first copy already finished.
+        self.map_done_flags: set[int] = set()
+        #: Map indices that already have a speculative backup.
+        self.map_duplicated: set[int] = set()
+        #: Sum of completed map durations (for the straggler heuristic).
+        self.completed_map_time_sum = 0.0
+        self.on_complete = on_complete
+        # Deterministic per-job stream; seeding with the job id string uses
+        # SHA-512 under the hood, so results are stable across processes.
+        self._rng = random.Random(f"jitter:{spec.job_id}")
+
+    def average_map_duration(self) -> Optional[float]:
+        """Mean duration of this job's completed maps (None before any)."""
+        if self.maps_done == 0:
+            return None
+        return self.completed_map_time_sum / self.maps_done
+
+    def jitter(self, width: float) -> float:
+        """Per-task duration multiplier in [1 - width, 1 + width]."""
+        if width <= 0:
+            return 1.0
+        return 1.0 + width * (2.0 * self._rng.random() - 1.0)
+
+
+class JobTracker:
+    """FIFO job/task scheduler for one cluster."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        cluster: Cluster,
+        config: HadoopConfig,
+        storage: StorageSystem,
+        nodes: Sequence[NodeRuntime],
+        name: Optional[str] = None,
+        block_map: Optional[BlockMap] = None,
+    ) -> None:
+        if len(nodes) != cluster.count:
+            raise SchedulingError(
+                f"need one runtime node per machine: {len(nodes)} != {cluster.count}"
+            )
+        self.sim = sim
+        self.cluster = cluster
+        self.config = config
+        self.storage = storage
+        self.nodes = list(nodes)
+        self.name = name or cluster.name
+        self._free_map = [cluster.slots.map_slots] * cluster.count
+        self._free_reduce = [cluster.slots.reduce_slots] * cluster.count
+        self._map_queue = make_queue(config.scheduler_policy)
+        self._reduce_queue = make_queue(config.scheduler_policy)
+        self.results: List[JobResult] = []
+        self._active_jobs = 0
+        self._active_states: List[_JobState] = []
+        #: Backup map copies launched (speculative execution statistics).
+        self.speculative_launches = 0
+        #: Optional explicit block placement (None = perfect locality).
+        self.block_map = block_map
+        #: Locality statistics (meaningful only with a block map).
+        self.local_map_reads = 0
+        self.remote_map_reads = 0
+        # Heartbeat loop for straggler detection (armed while jobs run).
+        self._speculation_tick_armed = False
+        # Busy-slot-time integrals for utilization reporting.
+        self._map_busy_integral = 0.0
+        self._reduce_busy_integral = 0.0
+        self._last_accounting = sim.now
+        # Map tasks committed (submitted) but not yet completed.  Counted
+        # from submission — not from enqueue after the setup delay — so
+        # routers see the backlog the moment jobs are accepted.
+        self._committed_map_tasks = 0
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, spec: JobSpec, on_complete: Optional[JobCallback] = None) -> None:
+        """Submit a job now; it queues behind earlier jobs' pending tasks."""
+        num_maps = blocks_for(spec.input_bytes, self.config.block_size)
+        num_reducers = decide_num_reducers(
+            spec, self.cluster.total_reduce_slots, self.config.reducer_target_bytes
+        )
+        result = JobResult(
+            job_id=spec.job_id,
+            app=spec.app,
+            cluster=self.name,
+            input_bytes=spec.input_bytes,
+            shuffle_bytes=spec.shuffle_bytes,
+            submit_time=self.sim.now,
+        )
+        state = _JobState(spec, result, num_maps, num_reducers, on_complete)
+        if self.block_map is not None:
+            self.block_map.place_dataset(spec.job_id, num_maps)
+        self._active_jobs += 1
+        self._active_states.append(state)
+        self._committed_map_tasks += num_maps
+        setup = self.config.job_setup_overhead + self.storage.per_job_overhead
+        self.sim.schedule(setup, lambda: self._enqueue_maps(state))
+        if self.config.speculative_execution:
+            self._arm_speculation_tick()
+
+    def _enqueue_maps(self, state: _JobState) -> None:
+        for idx in range(state.num_maps):
+            self._map_queue.push(state, idx)
+        if self._slowstart_threshold(state) == 0:
+            self._enqueue_reduces(state)
+        self._dispatch_maps()
+
+    def _slowstart_threshold(self, state: _JobState) -> int:
+        """Maps that must finish before the job's reducers launch."""
+        return math.ceil(self.config.reduce_slowstart * state.num_maps)
+
+    # -- introspection (used by the load-balancing extension) -------------
+
+    @property
+    def active_jobs(self) -> int:
+        return self._active_jobs
+
+    @property
+    def queued_map_tasks(self) -> int:
+        return len(self._map_queue)
+
+    @property
+    def total_free_map_slots(self) -> int:
+        return sum(self._free_map)
+
+    def outstanding_work(self) -> float:
+        """Backlog proxy: committed-but-incomplete map tasks per map slot.
+
+        Roughly "how many task waves are already promised to this
+        cluster" — what the load-balancing router compares.
+        """
+        return self._committed_map_tasks / max(1, self.cluster.total_map_slots)
+
+    # -- utilization accounting ---------------------------------------------
+
+    def _account(self) -> None:
+        """Accumulate busy-slot-time up to the current instant."""
+        now = self.sim.now
+        dt = now - self._last_accounting
+        if dt > 0:
+            busy_map = self.cluster.total_map_slots - sum(self._free_map)
+            busy_reduce = self.cluster.total_reduce_slots - sum(self._free_reduce)
+            self._map_busy_integral += busy_map * dt
+            self._reduce_busy_integral += busy_reduce * dt
+        self._last_accounting = now
+
+    def map_slot_utilization(self) -> float:
+        """Mean fraction of map slots busy since the simulation started."""
+        self._account()
+        if self.sim.now <= 0:
+            return 0.0
+        return self._map_busy_integral / (
+            self.sim.now * self.cluster.total_map_slots
+        )
+
+    def reduce_slot_utilization(self) -> float:
+        """Mean fraction of reduce slots busy (holding reducers count)."""
+        self._account()
+        if self.sim.now <= 0:
+            return 0.0
+        return self._reduce_busy_integral / (
+            self.sim.now * self.cluster.total_reduce_slots
+        )
+
+    # -- slot dispatch ------------------------------------------------------
+
+    def _pick_node(self, free: List[int]) -> Optional[NodeRuntime]:
+        """Most-free-slots placement (deterministic, spreads load evenly)."""
+        best_index = -1
+        best_free = 0
+        for i, count in enumerate(free):
+            if count > best_free:
+                best_free = count
+                best_index = i
+        if best_index < 0:
+            return None
+        return self.nodes[best_index]
+
+    def _pick_map_node(self, state: _JobState, idx: int) -> Optional[NodeRuntime]:
+        """Node for a map task: with a block map, prefer a free replica
+        holder (Hadoop's locality scheduling); otherwise most-free."""
+        if self.block_map is not None:
+            replicas = self.block_map.replicas(state.spec.job_id, idx)
+            candidates = [n for n in replicas if self._free_map[n] > 0]
+            if candidates:
+                best = max(candidates, key=lambda n: self._free_map[n])
+                return self.nodes[best]
+        return self._pick_node(self._free_map)
+
+    def _dispatch_maps(self) -> None:
+        self._account()
+        while len(self._map_queue):
+            if self._pick_node(self._free_map) is None:
+                return
+            entry = self._map_queue.pop()
+            if entry is None:
+                return
+            state, idx = entry
+            node = self._pick_map_node(state, idx)
+            self._free_map[node.index] -= 1
+            self._start_map(state, idx, node)
+        if self.config.speculative_execution:
+            self._dispatch_speculative_maps()
+
+    def _find_straggler(self) -> Optional[tuple[_JobState, int]]:
+        """The running map task worst overdue vs its job's average, or
+        None.  Only tasks without an existing backup are eligible, and a
+        job needs at least one completed map to define "average"."""
+        now = self.sim.now
+        worst: Optional[tuple[_JobState, int]] = None
+        worst_ratio = self.config.speculative_slack
+        for state in self._active_states:
+            average = state.average_map_duration()
+            if average is None or average <= 0:
+                continue
+            for idx, started_at in state.map_running.items():
+                if idx in state.map_duplicated or idx in state.map_done_flags:
+                    continue
+                ratio = (now - started_at) / average
+                if ratio > worst_ratio:
+                    worst_ratio = ratio
+                    worst = (state, idx)
+        return worst
+
+    #: Straggler-detection heartbeat period, seconds.  Matches the order
+    #: of Hadoop's TaskTracker heartbeat; stragglers develop over many
+    #: seconds, so the exact value is uncritical.
+    SPECULATION_TICK = 3.0
+
+    def _arm_speculation_tick(self) -> None:
+        """Poll for stragglers while any job is active.  Real Hadoop does
+        this on heartbeats; completion events alone would miss a
+        straggler that outlives every other running task."""
+        if self._speculation_tick_armed:
+            return
+        self._speculation_tick_armed = True
+
+        def tick() -> None:
+            if self._active_jobs == 0:
+                self._speculation_tick_armed = False
+                return
+            self._dispatch_speculative_maps()
+            self.sim.schedule(self.SPECULATION_TICK, tick)
+
+        self.sim.schedule(self.SPECULATION_TICK, tick)
+
+    def _dispatch_speculative_maps(self) -> None:
+        """Hand idle map slots to backup copies of straggling maps."""
+        self._account()
+        while True:
+            node = self._pick_node(self._free_map)
+            if node is None:
+                return
+            straggler = self._find_straggler()
+            if straggler is None:
+                return
+            state, idx = straggler
+            state.map_duplicated.add(idx)
+            self.speculative_launches += 1
+            self._free_map[node.index] -= 1
+            self._start_map(state, idx, node, speculative=True)
+
+    def _dispatch_reduces(self) -> None:
+        self._account()
+        while len(self._reduce_queue):
+            node = self._pick_node(self._free_reduce)
+            if node is None:
+                return
+            entry = self._reduce_queue.pop()
+            if entry is None:
+                return
+            state, idx = entry
+            self._free_reduce[node.index] -= 1
+            self._start_reduce(state, idx, node)
+
+    # -- map task lifecycle -------------------------------------------------
+
+    def _start_map(
+        self,
+        state: _JobState,
+        idx: int,
+        node: NodeRuntime,
+        speculative: bool = False,
+    ) -> None:
+        """Run one copy of map task ``idx``.
+
+        With speculation a task can have two live copies; the first to
+        finish wins and advances the job, the loser merely returns its
+        slot when done (the model does not interrupt in-flight copies —
+        a conservative reading of Hadoop's kill-the-loser behaviour).
+        """
+        spec = state.spec
+        result = state.result
+        if result.first_map_start != result.first_map_start:  # NaN check
+            result.first_map_start = self.sim.now
+        node.task_started()
+        if not speculative:
+            state.map_running[idx] = self.sim.now
+        jitter = state.jitter(self.config.task_jitter)
+        read_bytes = spec.input_bytes * spec.input_read_fraction / state.num_maps
+        nominal_bytes = spec.input_bytes / state.num_maps
+        cpu_seconds = (
+            spec.map_cpu_per_byte
+            * nominal_bytes
+            * jitter
+            / node.effective_core_speed()
+        )
+
+        def finish() -> None:
+            self._account()
+            node.task_finished()
+            self._free_map[node.index] += 1
+            if not speculative:
+                # Exactly one queue pop per task index; report it back
+                # whether this copy won or lost.
+                self._map_queue.task_finished(state)
+            if idx in state.map_done_flags:
+                # The other copy already won; this one just frees its slot.
+                self._dispatch_maps()
+                return
+            state.map_done_flags.add(idx)
+            started_at = state.map_running.pop(idx, self.sim.now)
+            state.completed_map_time_sum += self.sim.now - started_at
+            self._committed_map_tasks -= 1
+            state.maps_done += 1
+            if (
+                not state.reduces_enqueued
+                and state.maps_done >= self._slowstart_threshold(state)
+            ):
+                self._enqueue_reduces(state)
+            if state.maps_done == state.num_maps:
+                result.last_map_end = self.sim.now
+                # Wake reducers that launched early (slowstart) and have
+                # been holding their slots waiting for the map phase.
+                waiters = state.map_phase_waiters
+                state.map_phase_waiters = []
+                for resume in waiters:
+                    resume()
+            self._dispatch_maps()
+
+        def write_output() -> None:
+            if spec.map_writes_output:
+                # TestDFSIO-style: each map writes its slice of the output
+                # file directly to the main storage system.
+                out_bytes = spec.output_bytes / state.num_maps
+                self.storage.write(
+                    out_bytes,
+                    node.index,
+                    finish,
+                    stream_cap=node.nic_share(),
+                    dataset_bytes=spec.output_bytes,
+                )
+            else:
+                store_bytes = map_output_store_bytes(
+                    spec.shuffle_bytes / state.num_maps,
+                    self.config.sort_buffer,
+                    self.config.spill_io_factor,
+                )
+                node.shuffle_store.transfer(store_bytes, finish)
+
+        def run_cpu() -> None:
+            self.sim.schedule(cpu_seconds, write_output)
+
+        def read_input() -> None:
+            if read_bytes > 0:
+                kwargs = dict(
+                    stream_cap=node.nic_share(),
+                    dataset_bytes=spec.input_bytes,
+                )
+                if self.block_map is not None:
+                    replicas = self.block_map.replicas(spec.job_id, idx)
+                    if replicas and node.index not in replicas:
+                        # Rack-remote read: a replica holder's disk serves
+                        # the block over the network.
+                        kwargs["source_node"] = replicas[0]
+                        self.remote_map_reads += 1
+                    else:
+                        self.local_map_reads += 1
+                self.storage.read(read_bytes, node.index, run_cpu, **kwargs)
+            else:
+                run_cpu()
+
+        self.sim.schedule(self.config.task_overhead * jitter, read_input)
+
+    # -- reduce task lifecycle ------------------------------------------------
+
+    def _enqueue_reduces(self, state: _JobState) -> None:
+        state.reduces_enqueued = True
+        for idx in range(state.num_reducers):
+            self._reduce_queue.push(state, idx)
+        self._dispatch_reduces()
+
+    def _start_reduce(self, state: _JobState, idx: int, node: NodeRuntime) -> None:
+        spec = state.spec
+        result = state.result
+        node.task_started()
+        jitter = state.jitter(self.config.task_jitter)
+        share = spec.shuffle_bytes / state.num_reducers
+        store_bytes = reduce_shuffle_store_bytes(
+            share,
+            self.config.shuffle_residual,
+            self.config.reduce_buffer,
+            self.config.spill_io_factor,
+        )
+        cpu_seconds = (
+            spec.reduce_cpu_per_byte * share * jitter / node.effective_core_speed()
+        )
+
+        def finish() -> None:
+            self._account()
+            node.task_finished()
+            self._free_reduce[node.index] += 1
+            self._reduce_queue.task_finished(state)
+            state.reduces_done += 1
+            if state.reduces_done == state.num_reducers:
+                result.end_time = self.sim.now
+                self._active_jobs -= 1
+                self._active_states.remove(state)
+                if self.block_map is not None:
+                    self.block_map.remove_dataset(state.spec.job_id)
+                self.results.append(result)
+                if state.on_complete is not None:
+                    state.on_complete(result)
+            self._dispatch_reduces()
+
+        def write_output() -> None:
+            if spec.map_writes_output:
+                # Output already written by the maps; the reducer only
+                # aggregates statistics (TestDFSIO's single reducer).
+                finish()
+                return
+            out_bytes = spec.output_bytes / state.num_reducers
+            self.storage.write(
+                out_bytes,
+                node.index,
+                finish,
+                stream_cap=node.nic_share(),
+                dataset_bytes=spec.output_bytes,
+            )
+
+        def run_cpu() -> None:
+            self.sim.schedule(cpu_seconds, write_output)
+
+        def copied() -> None:
+            state.reduces_copied += 1
+            if state.reduces_copied == state.num_reducers:
+                result.last_shuffle_end = self.sim.now
+            run_cpu()
+
+        def copy() -> None:
+            node.shuffle_store.transfer(store_bytes, copied, cap=node.nic_share())
+
+        def begin() -> None:
+            if state.maps_done == state.num_maps:
+                copy()
+            else:
+                # Slowstart: the slot is held while the reducer trickles
+                # in early map outputs; the measured copy tail starts when
+                # the job's last map ends.
+                state.map_phase_waiters.append(copy)
+
+        self.sim.schedule(self.config.task_overhead * jitter, begin)

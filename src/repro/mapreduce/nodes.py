@@ -1,0 +1,105 @@
+"""Per-node runtime state: local devices and task occupancy.
+
+Each simulated machine owns a local disk device (HDFS datanode + scale-out
+shuffle store) and, on scale-up machines, a tmpfs RAMdisk used as the
+shuffle store.  The node also counts its resident tasks so storage flows
+can be capped by a fair share of the node's NIC.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.machine import MachineSpec
+from repro.errors import ConfigurationError
+from repro.mapreduce.config import HadoopConfig
+from repro.simulator.engine import Simulation
+from repro.storage.disk import DiskDevice, RamDisk
+
+
+class NodeRuntime:
+    """Runtime state of one machine in a simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        index: int,
+        machine: MachineSpec,
+        config: HadoopConfig,
+        ramdisk_bandwidth: float,
+        disk_seek_penalty: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.index = index
+        self.machine = machine
+        self.local_disk = DiskDevice(
+            sim,
+            bandwidth=machine.disk.bandwidth,
+            capacity=machine.disk.capacity,
+            name=f"node{index}-disk",
+            seek_penalty=disk_seek_penalty,
+        )
+        self.ramdisk: RamDisk | None = None
+        if config.shuffle_to_ramdisk:
+            self.ramdisk = RamDisk(
+                sim,
+                bandwidth=ramdisk_bandwidth,
+                capacity=machine.ramdisk_capacity,
+                name=f"node{index}-ramdisk",
+            )
+        #: Tasks currently executing on this node (map or reduce).
+        self.active_tasks = 0
+        #: Performance degradation factor (failure injection): CPU work
+        #: on this node runs at ``1 / slowdown`` speed.  1.0 = healthy;
+        #: 4.0 models the sick-but-alive node that motivates Hadoop's
+        #: speculative execution.
+        self.slowdown = 1.0
+
+    def degrade(self, slowdown: float) -> None:
+        """Inject a performance fault: slow this node's CPU by ``slowdown``x."""
+        if slowdown < 1.0:
+            raise ConfigurationError(f"slowdown must be >= 1: {slowdown}")
+        self.slowdown = slowdown
+
+    def effective_core_speed(self) -> float:
+        """Relative core speed after any injected degradation."""
+        return self.machine.core_speed / self.slowdown
+
+    @property
+    def shuffle_store(self) -> DiskDevice:
+        """Where intermediate data lands: RAMdisk if mounted, else local disk."""
+        return self.ramdisk if self.ramdisk is not None else self.local_disk
+
+    def nic_share(self) -> float:
+        """Fair NIC share for one more stream given current occupancy.
+
+        Evaluated when a flow starts; a cheap, documented approximation to
+        continuously re-shared NIC bandwidth (task populations are stable
+        within a wave, where it matters).
+        """
+        return self.machine.nic_bandwidth / max(1, self.active_tasks)
+
+    def task_started(self) -> None:
+        self.active_tasks += 1
+
+    def task_finished(self) -> None:
+        if self.active_tasks <= 0:
+            raise ConfigurationError(f"node {self.index}: task_finished underflow")
+        self.active_tasks -= 1
+
+
+def build_nodes(
+    sim: Simulation,
+    cluster: Cluster,
+    config: HadoopConfig,
+    ramdisk_bandwidth: float,
+    disk_seek_penalty: float = 0.0,
+) -> List[NodeRuntime]:
+    """Materialise runtime nodes for every machine in ``cluster``."""
+    return [
+        NodeRuntime(
+            sim, i, cluster.machine, config, ramdisk_bandwidth, disk_seek_penalty
+        )
+        for i in range(cluster.count)
+    ]

@@ -1,0 +1,75 @@
+"""Heap-buffer spill model.
+
+Hadoop buffers map outputs in the JVM heap (io.sort.mb) and shuffled data
+in reducer memory; whatever does not fit is spilled to the shuffle store
+and merged back.  The paper leans on this twice: scale-up's 8 GB heaps
+make spills rare, and when spills do happen scale-up absorbs them on a
+RAMdisk while scale-out pays HDD bandwidth.
+
+The functions here turn "how much data vs how much buffer" into "how many
+extra bytes cross the shuffle-store device", which is all the simulator
+needs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def spill_count(data_bytes: float, buffer_bytes: float) -> int:
+    """Number of spill files a buffer of ``buffer_bytes`` produces.
+
+    0 means the data never left memory; 1 means a single final spill
+    (no merge needed); >1 requires a merge pass.
+    """
+    if buffer_bytes <= 0:
+        raise ConfigurationError(f"buffer must be positive: {buffer_bytes}")
+    if data_bytes < 0:
+        raise ConfigurationError(f"data size must be non-negative: {data_bytes}")
+    if data_bytes == 0:
+        return 0
+    return math.ceil(data_bytes / buffer_bytes)
+
+
+def map_output_store_bytes(
+    output_bytes: float, sort_buffer: float, spill_io_factor: float
+) -> float:
+    """Shuffle-store bytes written while materialising one map's output.
+
+    The final map output file is always written once (``output_bytes``).
+    If the output overflowed the sort buffer more than once, the merge
+    pass re-reads and re-writes the spills, charged as
+    ``spill_io_factor`` extra bytes per output byte.
+    """
+    spills = spill_count(output_bytes, sort_buffer)
+    if spills <= 1:
+        return output_bytes
+    return output_bytes * (1.0 + spill_io_factor)
+
+
+def reduce_shuffle_store_bytes(
+    shuffle_share: float,
+    residual_fraction: float,
+    reduce_buffer: float,
+    spill_io_factor: float,
+) -> float:
+    """Shuffle-store bytes a reducer moves during its measured copy tail.
+
+    ``shuffle_share`` is the reducer's total shuffle input; only
+    ``residual_fraction`` of it remains to copy after the last map ends
+    (the rest overlapped the map phase).  If the share exceeds the
+    reducer's in-memory buffer, the whole share passes through the store
+    (spill + merge), charged at ``spill_io_factor``.
+    """
+    if not 0 <= residual_fraction <= 1:
+        raise ConfigurationError(
+            f"residual_fraction must be in [0, 1]: {residual_fraction}"
+        )
+    if shuffle_share < 0:
+        raise ConfigurationError(f"shuffle_share must be non-negative: {shuffle_share}")
+    store_bytes = shuffle_share * residual_fraction
+    if spill_count(shuffle_share, reduce_buffer) > 1:
+        store_bytes += shuffle_share * spill_io_factor
+    return store_bytes

@@ -1,0 +1,12 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event-driven core used by the Hadoop execution
+model: a clock + event heap (:mod:`repro.simulator.engine`) and the two
+resource primitives every result in the paper hinges on — FIFO slot pools
+and processor-sharing bandwidth (:mod:`repro.simulator.resources`).
+"""
+
+from repro.simulator.engine import Simulation
+from repro.simulator.resources import FairShareResource, SlotPool
+
+__all__ = ["Simulation", "SlotPool", "FairShareResource"]

@@ -1,0 +1,303 @@
+"""Resource primitives: FIFO slot pools and processor-sharing bandwidth.
+
+These two primitives carry the paper's whole performance story:
+
+* **Slots** (map/reduce slots per machine) limit task parallelism; the
+  resulting task *waves* are why scale-out wins for large inputs.
+* **Shared bandwidth** (a local disk shared by co-resident tasks, the OFS
+  storage servers shared by the whole cluster, a RAMdisk) is why up-HDFS
+  collapses at large inputs and why shuffle is always faster on scale-up.
+
+:class:`FairShareResource` implements max–min fair sharing with per-flow
+rate caps via progressive filling, re-evaluated on every flow arrival or
+departure.  That is the standard fluid approximation for concurrent
+sequential I/O streams over one device/array.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.simulator.engine import Simulation
+
+#: Residual bytes below which a flow counts as complete (float dust guard).
+#: Also applied relatively (see :func:`_done`): one part in 1e9 of the
+#: flow's size, so multi-GB flows complete despite accumulated rounding.
+_COMPLETION_EPSILON = 1e-6
+_RELATIVE_EPSILON = 1e-9
+
+
+def _done(flow: "Flow") -> bool:
+    return flow.remaining <= max(
+        _COMPLETION_EPSILON, _RELATIVE_EPSILON * flow.total_bytes
+    )
+
+
+class SlotPool:
+    """A counted resource with FIFO admission, e.g. a cluster's map slots.
+
+    Requests are callbacks: ``request(fn)`` invokes ``fn()`` immediately if
+    a slot is free, otherwise queues it.  ``release()`` hands the slot to
+    the oldest waiter.  FIFO matches Hadoop 1.x's default scheduler, which
+    the paper uses ("we ran the Facebook workload consecutively ... based
+    on the job arrival time").
+    """
+
+    def __init__(self, sim: Simulation, capacity: int, name: str = "slots") -> None:
+        if capacity <= 0:
+            raise SimulationError(f"slot pool {name!r} needs capacity >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiters: deque[Callable[[], None]] = deque()
+        # busy-time integral for utilization reporting
+        self._busy_integral = 0.0
+        self._last_change = sim.now
+
+    def _account(self) -> None:
+        now = self.sim.now
+        self._busy_integral += self.in_use * (now - self._last_change)
+        self._last_change = now
+
+    def request(self, fn: Callable[[], None]) -> None:
+        """Run ``fn`` once a slot is held.  The slot is held until release()."""
+        if self.in_use < self.capacity:
+            self._account()
+            self.in_use += 1
+            fn()
+        else:
+            self._waiters.append(fn)
+
+    def release(self) -> None:
+        """Return a slot; wakes the oldest waiter, if any."""
+        if self.in_use <= 0:
+            raise SimulationError(f"release on idle slot pool {self.name!r}")
+        if self._waiters:
+            # Slot changes hands without ever becoming free; in_use unchanged.
+            fn = self._waiters.popleft()
+            fn()
+        else:
+            self._account()
+            self.in_use -= 1
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiters)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.in_use
+
+    def utilization(self) -> float:
+        """Mean fraction of slots busy since the simulation started."""
+        self._account()
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+
+class Flow:
+    """One I/O stream inside a :class:`FairShareResource`."""
+
+    __slots__ = ("total_bytes", "remaining", "cap", "on_complete", "started_at", "finished_at")
+
+    def __init__(
+        self,
+        total_bytes: float,
+        cap: Optional[float],
+        on_complete: Callable[[], None],
+        started_at: float,
+    ) -> None:
+        self.total_bytes = total_bytes
+        self.remaining = total_bytes
+        self.cap = cap
+        self.on_complete = on_complete
+        self.started_at = started_at
+        self.finished_at: Optional[float] = None
+
+
+class FairShareResource:
+    """Processor-sharing bandwidth with per-flow caps (max–min fair).
+
+    Parameters
+    ----------
+    capacity:
+        Aggregate bytes/second the resource can move, or ``None`` for
+        unlimited aggregate (each flow then runs at its own cap).
+    name:
+        For error messages and debugging.
+
+    Every flow arrival/departure re-solves the progressive-filling
+    allocation and reschedules the next completion event, so rates are
+    exact piecewise-constant fluid dynamics, not per-flow snapshots.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        capacity: Optional[float],
+        name: str = "bandwidth",
+        capacity_fn: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        """``capacity_fn(n_active_flows)`` optionally makes the aggregate
+        capacity depend on concurrency — how spinning disks lose sequential
+        bandwidth to seeks as streams multiply.  It overrides ``capacity``
+        whenever at least one flow is active."""
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"resource {name!r} needs positive capacity")
+        self.sim = sim
+        self.capacity = capacity
+        self.capacity_fn = capacity_fn
+        self.name = name
+        self._flows: list[Flow] = []
+        self._last_update = sim.now
+        self._completion_event = None
+        self.bytes_completed = 0.0
+
+    # -- public API -----------------------------------------------------
+
+    def start_flow(
+        self,
+        num_bytes: float,
+        on_complete: Callable[[], None],
+        cap: Optional[float] = None,
+    ) -> Flow:
+        """Begin transferring ``num_bytes``; ``on_complete()`` fires when done.
+
+        ``cap`` bounds this flow's rate (models the per-stream protocol
+        ceiling of OFS or a task's NIC share).  If both ``cap`` and the
+        aggregate capacity are ``None`` the flow would never bottleneck,
+        which is a configuration bug — we reject it.
+        """
+        if num_bytes < 0:
+            raise SimulationError(f"negative flow size {num_bytes!r}")
+        if cap is not None and cap <= 0:
+            raise SimulationError(f"flow cap must be positive, got {cap!r}")
+        if cap is None and self.capacity is None and self.capacity_fn is None:
+            raise SimulationError(
+                f"resource {self.name!r} is uncapacitated and flow has no cap"
+            )
+        self._advance()
+        flow = Flow(num_bytes, cap, on_complete, self.sim.now)
+        if num_bytes <= _COMPLETION_EPSILON:
+            # Zero-byte transfers complete immediately but asynchronously,
+            # preserving callback ordering guarantees.
+            flow.remaining = 0.0
+            flow.finished_at = self.sim.now
+            self.sim.call_soon(on_complete)
+            return flow
+        self._flows.append(flow)
+        self._reschedule()
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        """Abort a flow; its completion callback will not fire."""
+        self._advance()
+        if flow in self._flows:
+            self._flows.remove(flow)
+            self._reschedule()
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def current_rates(self) -> list[float]:
+        """Instantaneous per-flow rates (bytes/s), for tests and metrics."""
+        return self._allocate()
+
+    # -- fluid dynamics ---------------------------------------------------
+
+    def _allocate(self) -> list[float]:
+        """Progressive-filling max–min allocation for the active flows."""
+        flows = self._flows
+        n = len(flows)
+        if n == 0:
+            return []
+        if self.capacity_fn is not None:
+            capacity = self.capacity_fn(n)
+            if capacity <= 0:
+                raise SimulationError(
+                    f"resource {self.name!r}: capacity_fn({n}) must be positive"
+                )
+        else:
+            capacity = self.capacity
+        if capacity is None:
+            return [f.cap for f in flows]  # all caps non-None by construction
+        # Fast path (the overwhelmingly common case in this model): all
+        # flows share one cap value — either uncapped disk streams or
+        # same-ceiling remote-FS streams.  Max-min then degenerates to an
+        # equal split, clipped by the cap.
+        first_cap = flows[0].cap
+        if all(f.cap == first_cap for f in flows):
+            share = capacity / n
+            rate = share if first_cap is None else min(first_cap, share)
+            return [rate] * n
+        rates = [0.0] * n
+        # General progressive filling: sort indices by cap (uncapped flows
+        # last); each flow takes min(cap, equal share of what's left).
+        order = sorted(
+            range(n), key=lambda i: flows[i].cap if flows[i].cap is not None else float("inf")
+        )
+        remaining_capacity = capacity
+        remaining_flows = n
+        for idx in order:
+            share = remaining_capacity / remaining_flows
+            cap = flows[idx].cap
+            rate = share if cap is None else min(cap, share)
+            rates[idx] = rate
+            remaining_capacity -= rate
+            remaining_flows -= 1
+        return rates
+
+    def _advance(self) -> None:
+        """Progress all flows from the last update instant to sim.now."""
+        now = self.sim.now
+        dt = now - self._last_update
+        self._last_update = now
+        if dt <= 0 or not self._flows:
+            return
+        rates = self._allocate()
+        finished: list[Flow] = []
+        for flow, rate in zip(self._flows, rates):
+            flow.remaining -= rate * dt
+            if _done(flow):
+                flow.remaining = 0.0
+                flow.finished_at = now
+                finished.append(flow)
+        for flow in finished:
+            self._flows.remove(flow)
+            self.bytes_completed += flow.total_bytes
+            flow.on_complete()
+
+    def _reschedule(self) -> None:
+        """(Re)arm the event for the earliest upcoming flow completion."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._flows:
+            return
+        rates = self._allocate()
+        horizon = min(
+            flow.remaining / rate
+            for flow, rate in zip(self._flows, rates)
+            if rate > 0
+        )
+        # Guarantee the clock strictly advances even when the horizon
+        # underflows below the float resolution at the current time;
+        # together with the relative completion epsilon this prevents
+        # zero-progress event loops on residual dust.
+        target = self.sim.now + horizon
+        if target <= self.sim.now:
+            target = math.nextafter(self.sim.now, math.inf)
+        self._completion_event = self.sim.schedule_at(target, self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion_event = None
+        self._advance()
+        self._reschedule()

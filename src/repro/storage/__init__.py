@@ -1,0 +1,19 @@
+"""Storage substrate: local devices, HDFS, and the OrangeFS remote store.
+
+Two storage personalities drive every result in the paper:
+
+* :class:`repro.storage.hdfs.HDFS` — node-local disks: negligible access
+  latency, but bandwidth shared by every co-resident task and capacity
+  capped by the local disks (91 GB on scale-up nodes).
+* :class:`repro.storage.ofs.OrangeFS` — a dedicated striped server array:
+  per-access protocol latency (bad for small jobs), but large aggregate
+  bandwidth and a shared namespace both clusters can mount (what makes the
+  hybrid architecture possible at all).
+"""
+
+from repro.storage.base import StorageSystem
+from repro.storage.disk import DiskDevice, RamDisk
+from repro.storage.hdfs import HDFS
+from repro.storage.ofs import OrangeFS
+
+__all__ = ["StorageSystem", "DiskDevice", "RamDisk", "HDFS", "OrangeFS"]

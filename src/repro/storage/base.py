@@ -1,0 +1,68 @@
+"""Abstract storage-system interface used by the MapReduce execution model.
+
+A storage system moves bytes for tasks running on numbered nodes and
+answers capacity questions.  Reads and writes are asynchronous: they
+complete by invoking a callback on the simulation clock, so storage
+contention composes naturally with slot scheduling in the jobtracker.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+
+class StorageSystem(ABC):
+    """Interface for HDFS/OFS as seen by map and reduce tasks."""
+
+    #: Human-readable name ("HDFS", "OFS").
+    name: str
+
+    #: Extra one-time cost added to every job's setup when its input/output
+    #: live on this system (client mount, metadata handshakes).  This is
+    #: the per-*job* component of the remote-storage penalty; the
+    #: per-*access* component is inside read()/write().
+    per_job_overhead: float
+
+    @abstractmethod
+    def read(
+        self,
+        num_bytes: float,
+        node_index: int,
+        on_complete: Callable[[], None],
+        stream_cap: float | None = None,
+        dataset_bytes: float | None = None,
+    ) -> None:
+        """Start reading ``num_bytes`` from a task on node ``node_index``.
+
+        ``stream_cap`` optionally bounds this stream's rate (the caller's
+        fair NIC share); local storage may ignore it.  ``dataset_bytes``
+        tells cache-aware systems how large the dataset being read is.
+        """
+
+    @abstractmethod
+    def write(
+        self,
+        num_bytes: float,
+        node_index: int,
+        on_complete: Callable[[], None],
+        stream_cap: float | None = None,
+        dataset_bytes: float | None = None,
+    ) -> None:
+        """Start writing ``num_bytes`` from a task on node ``node_index``.
+
+        ``dataset_bytes`` tells cache-aware systems how large the output
+        being written is.
+        """
+
+    @abstractmethod
+    def register_dataset(self, num_bytes: float) -> None:
+        """Account for a dataset materialised on this system.
+
+        Raises :class:`repro.errors.CapacityError` when it does not fit —
+        this is how the model reproduces up-HDFS's 80 GB job ceiling.
+        """
+
+    @abstractmethod
+    def release_dataset(self, num_bytes: float) -> None:
+        """Return previously registered capacity (job output cleaned up)."""

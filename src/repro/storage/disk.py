@@ -1,0 +1,107 @@
+"""Node-local storage devices: spinning disks and tmpfs RAMdisks.
+
+A device couples a :class:`FairShareResource` (bandwidth shared by the
+streams currently touching the device) with capacity accounting.  HDFS
+datanodes, scale-out shuffle spills, and scale-up RAMdisk shuffle stores
+are all built from these.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.simulator.engine import Simulation
+from repro.simulator.resources import FairShareResource
+from repro.units import format_size
+
+
+class DiskDevice:
+    """A sequential-bandwidth device with finite capacity.
+
+    Reads and writes contend for the same bandwidth pool — accurate for
+    both HDDs (one arm) and the RAID sets in the testbed, and it is what
+    couples HDFS traffic with shuffle spills on scale-out nodes.
+
+    ``seek_penalty`` models the defining weakness of spinning disks: every
+    additional concurrent stream turns sequential access into seeking, so
+    the *aggregate* bandwidth with ``n`` streams is
+    ``bandwidth / (1 + seek_penalty * (n - 1))``.  This is why a scale-up
+    node running 24 map tasks against one local disk collapses while the
+    OFS array (few streams per spindle, RAID) does not.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bandwidth: float,
+        capacity: float,
+        name: str = "disk",
+        seek_penalty: float = 0.0,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ConfigurationError(f"device {name!r} bandwidth must be positive")
+        if capacity <= 0:
+            raise ConfigurationError(f"device {name!r} capacity must be positive")
+        if seek_penalty < 0:
+            raise ConfigurationError(f"device {name!r} seek_penalty must be >= 0")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self.used = 0.0
+        self.bandwidth = bandwidth
+        self.seek_penalty = seek_penalty
+        capacity_fn = None
+        if seek_penalty > 0:
+            capacity_fn = lambda n: bandwidth / (1.0 + seek_penalty * (n - 1))
+        self.resource = FairShareResource(
+            sim, bandwidth, name=name, capacity_fn=capacity_fn
+        )
+
+    # -- bandwidth ------------------------------------------------------
+
+    def transfer(
+        self,
+        num_bytes: float,
+        on_complete: Callable[[], None],
+        cap: Optional[float] = None,
+    ) -> None:
+        """Move ``num_bytes`` through the device (direction-agnostic)."""
+        self.resource.start_flow(num_bytes, on_complete, cap=cap)
+
+    # -- capacity -------------------------------------------------------
+
+    def allocate(self, num_bytes: float) -> None:
+        """Reserve space; raises :class:`CapacityError` if it does not fit."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"cannot allocate negative bytes: {num_bytes}")
+        if self.used + num_bytes > self.capacity:
+            raise CapacityError(
+                f"{self.name}: {format_size(num_bytes)} does not fit "
+                f"({format_size(self.used)} used of {format_size(self.capacity)})"
+            )
+        self.used += num_bytes
+
+    def free(self, num_bytes: float) -> None:
+        """Release previously allocated space."""
+        if num_bytes < 0:
+            raise ConfigurationError(f"cannot free negative bytes: {num_bytes}")
+        self.used = max(0.0, self.used - num_bytes)
+
+    @property
+    def available(self) -> float:
+        return self.capacity - self.used
+
+
+class RamDisk(DiskDevice):
+    """tmpfs-backed device (the paper mounts half of a scale-up node's
+    505 GB RAM as tmpfs and points shuffle there)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        bandwidth: float,
+        capacity: float,
+        name: str = "ramdisk",
+    ) -> None:
+        super().__init__(sim, bandwidth, capacity, name=name)

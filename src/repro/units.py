@@ -1,0 +1,109 @@
+"""Size and time units, parsing and formatting.
+
+Every byte quantity in the library is a plain ``float`` (or ``int``) number
+of bytes; every duration is a ``float`` number of simulated seconds.  This
+module centralises the constants and the human-facing conversions so that
+call sites read like the paper ("32 GB", "128 MB blocks").
+
+The paper mixes decimal prefixes loosely; we follow common Hadoop practice
+and use binary multiples (1 GB = 2**30 bytes) throughout.  Nothing in the
+reproduction depends on the 7% difference, but being consistent keeps
+block-count arithmetic exact (1 GB / 128 MB = 8 blocks).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+KB: int = 1 << 10
+MB: int = 1 << 20
+GB: int = 1 << 30
+TB: int = 1 << 40
+
+#: Multipliers accepted by :func:`parse_size`.
+_SIZE_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KB,
+    "kb": KB,
+    "m": MB,
+    "mb": MB,
+    "g": GB,
+    "gb": GB,
+    "t": TB,
+    "tb": TB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int | float) -> float:
+    """Parse a human-readable size ("128MB", "0.5 GB", "448g") into bytes.
+
+    Numbers pass through unchanged, so APIs can accept either form.
+
+    >>> parse_size("128MB") == 128 * MB
+    True
+    >>> parse_size(1024)
+    1024.0
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ValueError(f"size must be non-negative, got {text!r}")
+        return float(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, suffix = match.groups()
+    try:
+        multiplier = _SIZE_SUFFIXES[suffix.lower()]
+    except KeyError:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}") from None
+    return float(value) * multiplier
+
+
+def format_size(num_bytes: float) -> str:
+    """Render a byte count the way the paper labels its axes.
+
+    >>> format_size(32 * GB)
+    '32GB'
+    >>> format_size(512 * KB)
+    '512KB'
+    """
+    if num_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {num_bytes!r}")
+    for unit, name in ((TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if num_bytes >= unit:
+            value = num_bytes / unit
+            if value >= 10 or value == int(value):
+                return f"{value:.0f}{name}"
+            return f"{value:.3g}{name}"
+    return f"{num_bytes:.0f}B"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly ("48.5s", "2m14s", "1h05m")."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds!r}")
+    if seconds < 60:
+        return f"{seconds:.4g}s"
+    if seconds < 3600:
+        minutes, secs = divmod(seconds, 60)
+        return f"{int(minutes)}m{secs:02.0f}s"
+    hours, rem = divmod(seconds, 3600)
+    return f"{int(hours)}h{int(rem // 60):02d}m"
+
+
+def blocks_for(input_bytes: float, block_bytes: float) -> int:
+    """Number of HDFS blocks / OFS stripes an input occupies.
+
+    The paper: ``number of data blocks = ceil(input data size / block size)``,
+    and one map task per block.  Zero-byte inputs still launch one map task
+    (matches Hadoop, which creates a single empty split).
+    """
+    if block_bytes <= 0:
+        raise ValueError(f"block size must be positive, got {block_bytes!r}")
+    if input_bytes < 0:
+        raise ValueError(f"input size must be non-negative, got {input_bytes!r}")
+    return max(1, math.ceil(input_bytes / block_bytes))

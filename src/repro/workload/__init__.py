@@ -1,0 +1,29 @@
+"""Workload substrate: the FB-2009 synthesized trace and CDF utilities.
+
+The paper drives its Section V evaluation with the Facebook synthesized
+workload FB-2009 (Chen et al.): >6000 jobs whose input sizes span KB to
+TB — 40 % under 1 MB, 49 % between 1 MB and 30 GB, 11 % above 30 GB
+(Fig. 3) — replayed by arrival time with all data sizes shrunk 5x.
+:mod:`repro.workload.fb2009` regenerates a trace with those marginals.
+"""
+
+from repro.workload.cdf import empirical_cdf, cdf_at, quantile
+from repro.workload.trace import Trace, TraceJob
+from repro.workload.fb2009 import FB2009Generator, generate_fb2009
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.mix import WorkloadMix
+from repro.workload.swim import load_swim, save_swim
+
+__all__ = [
+    "empirical_cdf",
+    "cdf_at",
+    "quantile",
+    "Trace",
+    "TraceJob",
+    "FB2009Generator",
+    "generate_fb2009",
+    "poisson_arrivals",
+    "load_swim",
+    "save_swim",
+    "WorkloadMix",
+]

@@ -1,0 +1,53 @@
+"""Empirical CDF utilities (vectorized).
+
+Used for Fig. 3 (input-size CDF of the trace) and Fig. 10 (execution-time
+CDFs per architecture).  Pure NumPy; no interpolation surprises — the
+empirical CDF is the right-continuous step function F(x) = P[X <= x].
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Sorted sample points and their cumulative probabilities.
+
+    Returns ``(x, p)`` with ``p[i] = (i + 1) / n``, i.e. the fraction of
+    the sample at or below ``x[i]``.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("empirical_cdf needs a non-empty 1-D sample")
+    x = np.sort(arr)
+    p = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return x, p
+
+
+def cdf_at(values: Sequence[float], points: Sequence[float]) -> np.ndarray:
+    """Evaluate the empirical CDF of ``values`` at ``points``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("cdf_at needs a non-empty 1-D sample")
+    pts = np.asarray(points, dtype=float)
+    sorted_arr = np.sort(arr)
+    counts = np.searchsorted(sorted_arr, pts, side="right")
+    return counts / arr.size
+
+
+def quantile(values: Sequence[float], q: float | Sequence[float]) -> np.ndarray:
+    """Sample quantile(s) with the inverse-CDF (type-1) definition, the
+    natural inverse of :func:`empirical_cdf`."""
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("quantile needs a non-empty 1-D sample")
+    q_arr = np.atleast_1d(np.asarray(q, dtype=float))
+    if np.any((q_arr < 0) | (q_arr > 1)):
+        raise ConfigurationError(f"quantiles must be in [0, 1]: {q!r}")
+    sorted_arr = np.sort(arr)
+    indices = np.clip(np.ceil(q_arr * arr.size).astype(int) - 1, 0, arr.size - 1)
+    return sorted_arr[indices]

@@ -1,0 +1,182 @@
+"""Workload trace container.
+
+A :class:`Trace` is an ordered list of :class:`TraceJob` records (arrival
+time plus input/shuffle/output sizes — the schema of the Facebook
+synthesized traces) with the transformations the paper applies: the 5x
+size shrink ("we shrank the input/shuffle/output data size of the
+workload by a factor of 5 to avoid disk insufficiency") and arrival-time
+compression for shorter replays.  Traces round-trip through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence
+
+from repro.errors import TraceError
+from repro.mapreduce.job import JobSpec
+from repro.units import MB
+
+#: Default CPU intensities for trace jobs, whose applications are unknown:
+#: a mid-weight map function and a light reducer (seconds per MB on a
+#: reference scale-out core).
+TRACE_MAP_CPU_PER_MB = 0.04
+TRACE_REDUCE_CPU_PER_MB = 0.002
+
+
+@dataclass(frozen=True)
+class TraceJob:
+    """One job record in a workload trace."""
+
+    job_id: str
+    arrival_time: float
+    input_bytes: float
+    shuffle_bytes: float
+    output_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise TraceError(f"{self.job_id}: negative arrival time")
+        for name in ("input_bytes", "shuffle_bytes", "output_bytes"):
+            if getattr(self, name) < 0:
+                raise TraceError(f"{self.job_id}: negative {name}")
+
+    @property
+    def shuffle_input_ratio(self) -> float:
+        if self.input_bytes <= 0:
+            return 0.0
+        return self.shuffle_bytes / self.input_bytes
+
+    def to_jobspec(
+        self,
+        map_cpu_per_mb: float = TRACE_MAP_CPU_PER_MB,
+        reduce_cpu_per_mb: float = TRACE_REDUCE_CPU_PER_MB,
+    ) -> JobSpec:
+        """Convert to an executable job specification."""
+        return JobSpec(
+            job_id=self.job_id,
+            app="trace",
+            input_bytes=self.input_bytes,
+            shuffle_bytes=self.shuffle_bytes,
+            output_bytes=self.output_bytes,
+            map_cpu_per_byte=map_cpu_per_mb / MB,
+            reduce_cpu_per_byte=reduce_cpu_per_mb / MB,
+            arrival_time=self.arrival_time,
+        )
+
+
+@dataclass
+class Trace:
+    """An ordered workload trace plus provenance metadata."""
+
+    jobs: List[TraceJob]
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise TraceError("a trace needs at least one job")
+        times = [j.arrival_time for j in self.jobs]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise TraceError("trace jobs must be sorted by arrival time")
+        ids = {j.job_id for j in self.jobs}
+        if len(ids) != len(self.jobs):
+            raise TraceError("trace job ids must be unique")
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[TraceJob]:
+        return iter(self.jobs)
+
+    # -- transformations -------------------------------------------------
+
+    def shrink(self, factor: float = 5.0) -> "Trace":
+        """Divide all data sizes by ``factor`` (the paper uses 5)."""
+        if factor <= 0:
+            raise TraceError(f"shrink factor must be positive: {factor}")
+        jobs = [
+            TraceJob(
+                job_id=j.job_id,
+                arrival_time=j.arrival_time,
+                input_bytes=j.input_bytes / factor,
+                shuffle_bytes=j.shuffle_bytes / factor,
+                output_bytes=j.output_bytes / factor,
+            )
+            for j in self.jobs
+        ]
+        metadata = dict(self.metadata)
+        metadata["shrink_factor"] = factor * float(metadata.get("shrink_factor", 1.0))
+        return Trace(jobs, metadata)
+
+    def compress_time(self, factor: float) -> "Trace":
+        """Divide all arrival times by ``factor`` (replay faster)."""
+        if factor <= 0:
+            raise TraceError(f"compression factor must be positive: {factor}")
+        jobs = [
+            TraceJob(
+                job_id=j.job_id,
+                arrival_time=j.arrival_time / factor,
+                input_bytes=j.input_bytes,
+                shuffle_bytes=j.shuffle_bytes,
+                output_bytes=j.output_bytes,
+            )
+            for j in self.jobs
+        ]
+        metadata = dict(self.metadata)
+        metadata["time_compression"] = factor * float(
+            metadata.get("time_compression", 1.0)
+        )
+        return Trace(jobs, metadata)
+
+    def head(self, count: int) -> "Trace":
+        """The first ``count`` jobs (smaller replays for benchmarks)."""
+        if count <= 0:
+            raise TraceError(f"count must be >= 1: {count}")
+        return Trace(self.jobs[: min(count, len(self.jobs))], dict(self.metadata))
+
+    def to_jobspecs(
+        self,
+        map_cpu_per_mb: float = TRACE_MAP_CPU_PER_MB,
+        reduce_cpu_per_mb: float = TRACE_REDUCE_CPU_PER_MB,
+    ) -> List[JobSpec]:
+        return [j.to_jobspec(map_cpu_per_mb, reduce_cpu_per_mb) for j in self.jobs]
+
+    def input_sizes(self) -> List[float]:
+        return [j.input_bytes for j in self.jobs]
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as JSON."""
+        payload = {
+            "metadata": self.metadata,
+            "jobs": [asdict(j) for j in self.jobs],
+        }
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise TraceError(f"cannot load trace from {path}: {exc}") from exc
+        try:
+            jobs = [TraceJob(**record) for record in payload["jobs"]]
+            metadata = payload.get("metadata", {})
+        except (KeyError, TypeError) as exc:
+            raise TraceError(f"malformed trace file {path}: {exc}") from exc
+        return cls(jobs, metadata)
+
+
+def merge_traces(traces: Sequence[Trace]) -> Trace:
+    """Interleave several traces by arrival time (workload mixing)."""
+    if not traces:
+        raise TraceError("nothing to merge")
+    jobs = sorted(
+        (j for t in traces for j in t.jobs), key=lambda j: (j.arrival_time, j.job_id)
+    )
+    metadata = {"merged_from": [t.metadata.get("name", "?") for t in traces]}
+    return Trace(jobs, metadata)

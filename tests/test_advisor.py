@@ -1,0 +1,118 @@
+"""Tests for the capacity advisor."""
+
+import pytest
+
+from repro.core.advisor import (
+    Advice,
+    advise_split,
+    equal_cost_splits,
+    mixed_architecture,
+)
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+from repro.units import GB, MB
+
+
+def trace_job(job_id, input_gb, ratio=0.5, arrival=0.0):
+    size = input_gb * GB
+    return JobSpec(
+        job_id=job_id,
+        app="trace",
+        input_bytes=size,
+        shuffle_bytes=size * ratio,
+        output_bytes=size * 0.05,
+        map_cpu_per_byte=0.04 / MB,
+        reduce_cpu_per_byte=0.002 / MB,
+        arrival_time=arrival,
+    )
+
+
+class TestEqualCostSplits:
+    def test_paper_budget_includes_paper_mix(self):
+        splits = equal_cost_splits(24.0)
+        assert (2, 12) in splits
+        assert (0, 24) in splits
+        assert (4, 0) in splits
+
+    def test_split_costs_never_exceed_budget(self):
+        from repro.cluster import specs
+
+        for up, out in equal_cost_splits(24.0):
+            cost = up * specs.SCALE_UP_NODE.price + out * specs.SCALE_OUT_NODE.price
+            assert cost <= 24.0
+
+    def test_tiny_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            equal_cost_splits(0.5)
+
+
+class TestMixedArchitecture:
+    def test_hybrid_mix(self):
+        spec = mixed_architecture(2, 12)
+        assert spec.is_hybrid
+        assert spec.storage == "ofs"
+
+    def test_pure_out(self):
+        spec = mixed_architecture(0, 24)
+        assert not spec.is_hybrid
+        assert spec.members[0].role == "out"
+
+    def test_pure_up(self):
+        spec = mixed_architecture(4, 0)
+        assert spec.members[0].role == "up"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            mixed_architecture(0, 0)
+        with pytest.raises(ConfigurationError):
+            mixed_architecture(-1, 12)
+
+
+class TestAdviseSplit:
+    @pytest.fixture(scope="class")
+    def mixed_jobs(self):
+        jobs = []
+        t = 0.0
+        for i in range(30):
+            size = 40.0 if i % 10 == 0 else 1.0
+            jobs.append(trace_job(f"j{i}", size, arrival=t))
+            t += 20.0
+        return jobs
+
+    def test_returns_best_of_candidates(self, mixed_jobs):
+        advice = advise_split(
+            mixed_jobs, candidates=[(0, 24), (2, 12)], objective="mean"
+        )
+        assert isinstance(advice, Advice)
+        assert len(advice.outcomes) == 2
+        assert advice.best.metric("mean") == min(
+            o.mean for o in advice.outcomes
+        )
+
+    def test_mixed_workload_prefers_some_scale_up(self, mixed_jobs):
+        """A workload dominated by small jobs should pull the optimum
+        away from the all-scale-out corner."""
+        advice = advise_split(
+            mixed_jobs, candidates=[(0, 24), (1, 18), (2, 12)], objective="p50"
+        )
+        assert advice.best.up_count >= 1
+
+    def test_objective_validated(self, mixed_jobs):
+        with pytest.raises(ConfigurationError):
+            advise_split(mixed_jobs, objective="vibes")
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            advise_split([], objective="mean")
+
+    def test_all_metrics_positive(self, mixed_jobs):
+        advice = advise_split(mixed_jobs, candidates=[(2, 12)])
+        outcome = advice.outcomes[0]
+        for name in ("mean", "p50", "p99", "max", "makespan"):
+            assert outcome.metric(name) > 0
+        assert outcome.name == "2up+12out"
+
+    def test_metric_unknown_name(self, mixed_jobs):
+        advice = advise_split(mixed_jobs, candidates=[(2, 12)])
+        with pytest.raises(ConfigurationError):
+            advice.outcomes[0].metric("latency")

@@ -1,0 +1,116 @@
+"""Tests for the analysis layer: metrics, report rendering, sweeps."""
+
+import pytest
+
+from repro.analysis.metrics import geometric_mean, normalize_series, speedup
+from repro.analysis.report import render_series, render_table
+from repro.analysis.sweep import run_isolated, sweep_architectures
+from repro.apps import WORDCOUNT
+from repro.core.architectures import up_hdfs, up_ofs
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestNormalizeSeries:
+    def test_reference_becomes_ones(self):
+        series = {"a": [10.0, 20.0], "b": [20.0, 10.0]}
+        normalized = normalize_series(series, "a")
+        assert normalized["a"] == [1.0, 1.0]
+        assert normalized["b"] == [2.0, 0.5]
+
+    def test_none_propagates(self):
+        series = {"a": [10.0, 10.0], "b": [None, 20.0]}
+        normalized = normalize_series(series, "a")
+        assert normalized["b"] == [None, 2.0]
+
+    def test_none_in_reference_blanks_column(self):
+        series = {"a": [10.0, None], "b": [20.0, 20.0]}
+        normalized = normalize_series(series, "a")
+        assert normalized["b"] == [2.0, None]
+
+    def test_missing_reference(self):
+        with pytest.raises(ConfigurationError):
+            normalize_series({"a": [1.0]}, "zzz")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            normalize_series({"a": [1.0], "b": [1.0, 2.0]}, "a")
+
+
+class TestMetrics:
+    def test_speedup(self):
+        assert speedup(20.0, 10.0) == pytest.approx(1.0)
+
+    def test_speedup_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            speedup(0.0, 10.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+
+class TestRenderTable:
+    def test_renders_aligned_columns(self):
+        text = render_table(
+            ["arch", "time"], [["up-OFS", 12.5], ["out-OFS", 120.0]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "arch" in lines[1] and "time" in lines[1]
+        assert "up-OFS" in text and "120.0" in text
+
+    def test_none_rendered_as_dash(self):
+        text = render_table(["a"], [[None]])
+        assert "-" in text
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+
+class TestRenderSeries:
+    def test_one_row_per_size(self):
+        text = render_series(
+            [GB, 2 * GB], {"up": [1.0, 2.0], "out": [3.0, 4.0]}
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header + rule + 2 rows
+        assert "1GB" in text and "2GB" in text
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            render_series([GB], {"up": [1.0, 2.0]})
+
+
+class TestSweep:
+    def test_run_isolated_returns_result(self):
+        result = run_isolated(up_ofs(), WORDCOUNT, "1GB")
+        assert result is not None
+        assert result.execution_time > 0
+
+    def test_run_isolated_infeasible_returns_none(self):
+        assert run_isolated(up_hdfs(), WORDCOUNT, "200GB") is None
+
+    def test_sweep_grid_shape(self):
+        grid = sweep_architectures(
+            (up_ofs(), up_hdfs()), WORDCOUNT, ["0.5GB", "1GB"]
+        )
+        assert set(grid) == {"up-OFS", "up-HDFS"}
+        assert len(grid["up-OFS"].execution_times) == 2
+        assert grid["up-OFS"].app == "wordcount"
+        assert grid["up-OFS"].sizes == [0.5 * GB, 1 * GB]
+
+    def test_sweep_phase_accessors(self):
+        grid = sweep_architectures((up_ofs(),), WORDCOUNT, ["1GB"])
+        sweep = grid["up-OFS"]
+        assert sweep.map_phases[0] > 0
+        assert sweep.shuffle_phases[0] >= 0
+        assert sweep.reduce_phases[0] >= 0

@@ -1,0 +1,63 @@
+"""Tests for the closed-form execution-time estimator."""
+
+import pytest
+
+from repro.analysis.analytic import AnalyticEstimate, estimate
+from repro.apps import GREP, TESTDFSIO_WRITE, WORDCOUNT
+from repro.core.architectures import hybrid, out_ofs, up_hdfs, up_ofs
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestEstimate:
+    def test_phases_positive_and_sum(self):
+        result = estimate(up_ofs(), WORDCOUNT.make_job(4 * GB))
+        assert result.setup > 0
+        assert result.map_phase > 0
+        assert result.shuffle_phase > 0
+        assert result.reduce_phase >= 0
+        assert result.execution_time == pytest.approx(
+            result.setup + result.map_phase + result.shuffle_phase
+            + result.reduce_phase
+        )
+
+    def test_monotone_in_input_size(self):
+        small = estimate(out_ofs(), GREP.make_job(2 * GB)).execution_time
+        large = estimate(out_ofs(), GREP.make_job(32 * GB)).execution_time
+        assert large > small
+
+    def test_wave_steps_visible(self):
+        """One extra wave (crossing a slot multiple) bumps the map phase."""
+        spec = up_ofs()  # 48 map slots
+        just_fits = estimate(spec, GREP.make_job(48 * 128 * 2**20))
+        one_more = estimate(spec, GREP.make_job(49 * 128 * 2**20))
+        assert one_more.map_phase > just_fits.map_phase * 1.5
+
+    def test_rejects_hybrid(self):
+        with pytest.raises(ConfigurationError):
+            estimate(hybrid(), WORDCOUNT.make_job(GB))
+
+    def test_dfsio_write_has_trivial_shuffle(self):
+        result = estimate(out_ofs(), TESTDFSIO_WRITE.make_job(30 * GB))
+        assert result.shuffle_phase < 8.0
+        assert result.reduce_phase < 8.0
+
+    def test_matches_simulator_direction_on_architecture_choice(self):
+        """The estimator agrees with the simulator about who wins at the
+        extremes — the minimum bar for using it as a sanity oracle."""
+        small = WORDCOUNT.make_job(2 * GB)
+        assert (
+            estimate(up_ofs(), small).execution_time
+            < estimate(out_ofs(), small).execution_time
+        )
+        # The algebra's crossing sits later than the simulator's (no
+        # jitter smoothing), so probe deep into scale-out territory.
+        large = WORDCOUNT.make_job(256 * GB)
+        assert (
+            estimate(out_ofs(), large).execution_time
+            < estimate(up_ofs(), large).execution_time
+        )
+
+    def test_hdfs_architectures_supported(self):
+        result = estimate(up_hdfs(), GREP.make_job(4 * GB))
+        assert result.execution_time > 0

@@ -1,0 +1,141 @@
+"""Tests for the architecture factory and calibration plumbing."""
+
+import pytest
+
+from repro.core.architectures import (
+    ArchitectureSpec,
+    ClusterRole,
+    hybrid,
+    out_hdfs,
+    out_ofs,
+    rhadoop,
+    table1_architectures,
+    thadoop,
+    up_hdfs,
+    up_ofs,
+)
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.cluster import specs
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestTable1:
+    def test_all_four_present(self):
+        archs = table1_architectures()
+        assert set(archs) == {"up-OFS", "up-HDFS", "out-OFS", "out-HDFS"}
+
+    def test_up_architectures_use_two_machines(self):
+        assert up_ofs().members[0].cluster.count == 2
+        assert up_hdfs().members[0].cluster.count == 2
+
+    def test_out_architectures_use_twelve_machines(self):
+        assert out_ofs().members[0].cluster.count == 12
+        assert out_hdfs().members[0].cluster.count == 12
+
+    def test_storage_kinds(self):
+        assert up_ofs().storage == "ofs"
+        assert up_hdfs().storage == "hdfs"
+
+    def test_roles(self):
+        assert up_ofs().members[0].role == "up"
+        assert out_ofs().members[0].role == "out"
+
+
+class TestSectionV:
+    def test_hybrid_is_up_plus_out_on_ofs(self):
+        spec = hybrid()
+        assert spec.is_hybrid
+        assert spec.storage == "ofs"
+        assert {m.role for m in spec.members} == {"up", "out"}
+        assert spec.role_index("up") == 0
+        assert spec.role_index("out") == 1
+
+    def test_baselines_are_equal_cost(self):
+        hybrid_cost = sum(m.cluster.total_price for m in hybrid().members)
+        assert thadoop().members[0].cluster.total_price == hybrid_cost
+        assert rhadoop().members[0].cluster.total_price == hybrid_cost
+
+    def test_baselines_have_24_machines(self):
+        assert thadoop().members[0].cluster.count == 24
+        assert rhadoop().members[0].cluster.count == 24
+        assert thadoop().storage == "hdfs"
+        assert rhadoop().storage == "ofs"
+
+
+class TestSpecValidation:
+    def test_multi_cluster_hdfs_rejected(self):
+        members = (
+            ClusterRole(specs.scale_up_cluster(), "up"),
+            ClusterRole(specs.scale_out_cluster(), "out"),
+        )
+        with pytest.raises(ConfigurationError):
+            ArchitectureSpec(name="bad", members=members, storage="hdfs")
+
+    def test_unknown_storage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureSpec(
+                name="bad",
+                members=(ClusterRole(specs.scale_up_cluster(), "up"),),
+                storage="nfs",
+            )
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterRole(specs.scale_up_cluster(), "sideways")
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureSpec(name="bad", members=(), storage="ofs")
+
+    def test_duplicate_cluster_names_rejected(self):
+        members = (
+            ClusterRole(specs.scale_up_cluster(name="x"), "up"),
+            ClusterRole(specs.scale_out_cluster(name="x"), "out"),
+        )
+        with pytest.raises(ConfigurationError):
+            ArchitectureSpec(name="bad", members=members, storage="ofs")
+
+    def test_missing_role_lookup(self):
+        with pytest.raises(ConfigurationError):
+            up_ofs().role_index("out")
+
+
+class TestCalibration:
+    def test_default_is_valid(self):
+        assert DEFAULT_CALIBRATION.heap_up == 8 * GB
+
+    def test_config_roles_differ_as_in_the_paper(self):
+        up = DEFAULT_CALIBRATION.config_for("up")
+        out = DEFAULT_CALIBRATION.config_for("out")
+        assert up.heap_size > out.heap_size
+        assert up.shuffle_to_ramdisk and not out.shuffle_to_ramdisk
+        assert up.task_overhead < out.task_overhead
+
+    def test_unknown_role(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_CALIBRATION.config_for("diagonal")
+
+    def test_with_options(self):
+        changed = DEFAULT_CALIBRATION.with_options(heap_up=16 * GB)
+        assert changed.heap_up == 16 * GB
+        assert DEFAULT_CALIBRATION.heap_up == 8 * GB
+
+    def test_effective_cluster_overrides_up_core_speed(self):
+        cal = DEFAULT_CALIBRATION.with_options(core_speed_up=1.9)
+        cluster = cal.effective_cluster(specs.scale_up_cluster(), "up")
+        assert cluster.machine.core_speed == 1.9
+
+    def test_effective_cluster_leaves_out_untouched(self):
+        cluster = specs.scale_out_cluster()
+        assert DEFAULT_CALIBRATION.effective_cluster(cluster, "out") is cluster
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Calibration(core_speed_up=0)
+        with pytest.raises(ConfigurationError):
+            Calibration(hdfs_usable_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            Calibration(ofs_stream_cap=0)
+        with pytest.raises(ConfigurationError):
+            Calibration(hdfs_write_buffer_factor=0.5)

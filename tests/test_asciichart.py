@@ -1,0 +1,86 @@
+"""Tests for the ASCII line-chart renderer."""
+
+import pytest
+
+from repro.analysis.asciichart import GLYPHS, render_chart
+from repro.errors import ConfigurationError
+from repro.units import GB, format_size
+
+
+class TestRenderChart:
+    def test_basic_structure(self):
+        text = render_chart(
+            [1.0, 10.0, 100.0],
+            {"a": [1.0, 2.0, 3.0]},
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert any("+---" in line for line in lines)
+        assert "*=a" in lines[-1]
+
+    def test_glyphs_assigned_in_order(self):
+        text = render_chart(
+            [1.0, 2.0],
+            {"first": [1.0, 2.0], "second": [2.0, 1.0]},
+            log_x=False,
+        )
+        assert "*=first" in text
+        assert "o=second" in text
+        assert "*" in text and "o" in text
+
+    def test_reference_line_drawn(self):
+        text = render_chart(
+            [1.0, 2.0], {"a": [0.5, 1.5]}, reference_y=1.0, log_x=False
+        )
+        assert "- - " in text
+
+    def test_none_points_skipped(self):
+        text = render_chart(
+            [1.0, 2.0, 3.0], {"a": [1.0, None, 3.0]}, log_x=False
+        )
+        grid = "\n".join(l for l in text.splitlines() if "|" in l)
+        assert grid.count("*") == 2
+
+    def test_extremes_hit_grid_edges(self):
+        text = render_chart(
+            [1.0, 100.0], {"a": [0.0, 10.0]}, log_x=True, height=8
+        )
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert "*" in lines[0]   # max value on the top row
+        assert "*" in lines[-1]  # min value on the bottom row
+
+    def test_x_formatter_used_for_ticks(self):
+        text = render_chart(
+            [GB, 100 * GB], {"a": [1.0, 2.0]}, x_formatter=format_size
+        )
+        assert "1GB" in text and "100GB" in text
+
+    def test_constant_series_does_not_crash(self):
+        text = render_chart([1.0, 2.0], {"a": [5.0, 5.0]}, log_x=False)
+        assert "*" in text
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(x_values=[], series={"a": []}),
+            dict(x_values=[1.0], series={}),
+            dict(x_values=[1.0], series={"a": [1.0, 2.0]}),
+            dict(x_values=[0.0, 1.0], series={"a": [1.0, 2.0]}, log_x=True),
+            dict(x_values=[1.0], series={"a": [None]}),
+        ],
+    )
+    def test_validation(self, kwargs):
+        kwargs.setdefault("log_x", False)
+        with pytest.raises(ConfigurationError):
+            render_chart(**kwargs)
+
+    def test_size_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_chart([1.0], {"a": [1.0]}, width=10)
+
+    def test_many_series_glyph_supply(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(len(GLYPHS))}
+        text = render_chart([1.0, 2.0], series, log_x=False)
+        for glyph in GLYPHS:
+            assert glyph in text

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_lists_architectures_and_thresholds(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for name in ("up-OFS", "up-HDFS", "out-OFS", "out-HDFS"):
+            assert name in out
+        assert "32GB" in out and "16GB" in out and "10GB" in out
+        assert "wordcount" in out
+
+
+class TestRun:
+    def test_runs_job_and_prints_phases(self, capsys):
+        assert main(["run", "--app", "grep", "--size", "1GB", "--arch", "up-OFS"]) == 0
+        out = capsys.readouterr().out
+        assert "execution time" in out
+        assert "map phase" in out
+        assert "scale-up" in out
+
+    def test_hybrid_routes_by_size(self, capsys):
+        assert main(["run", "--app", "wordcount", "--size", "1GB"]) == 0
+        assert "scale-up" in capsys.readouterr().out
+
+    def test_unknown_arch_fails_cleanly(self, capsys):
+        assert main(["run", "--arch", "mainframe"]) == 2
+        assert "unknown architecture" in capsys.readouterr().out
+
+    def test_infeasible_job_reports_capacity(self, capsys):
+        code = main(["run", "--app", "wordcount", "--size", "200GB",
+                     "--arch", "up-HDFS"])
+        assert code == 1
+        assert "infeasible" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_custom_sizes_print_four_panels(self, capsys):
+        assert main(["sweep", "--app", "grep", "--sizes", "1GB,4GB"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized execution time" in out
+        assert "shuffle phase duration" in out
+        assert "reduce phase duration" in out
+        assert "4GB" in out
+
+
+class TestTrace:
+    def test_prints_cdf_and_shares(self, capsys):
+        assert main(["trace", "--jobs", "500", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "CDF" in out
+        assert "<1MB" in out
+
+    def test_writes_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(["trace", "--jobs", "50", "--out", str(path)]) == 0
+        assert path.exists()
+        from repro.workload.trace import Trace
+
+        assert len(Trace.load(path)) == 50
+
+
+class TestReplay:
+    def test_prints_percentile_table(self, capsys):
+        assert main(["replay", "--jobs", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Hybrid" in out and "THadoop" in out and "RHadoop" in out
+        assert "scale-up jobs" in out and "scale-out jobs" in out
+
+
+class TestTimeline:
+    def test_renders_gantt_and_totals(self, capsys):
+        assert main(["timeline", "--jobs", "8", "--width", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "phase totals" in out
+        assert "fb2009-00000" in out
+
+
+class TestAdvise:
+    def test_recommends_a_split(self, capsys):
+        assert main(["advise", "--jobs", "40", "--objective", "p50"]) == 0
+        out = capsys.readouterr().out
+        assert "equal-cost splits" in out
+        assert "recommended (p50):" in out
+        assert "2up+12out" in out
+
+
+class TestFigures:
+    def test_writes_all_panels(self, tmp_path, capsys):
+        assert main(["figures", "--out", str(tmp_path), "--jobs", "200"]) == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        for stem in ("fig3", "fig5_wordcount", "fig6_grep", "fig7", "fig8",
+                     "fig9_dfsio"):
+            assert f"{stem}.txt" in names
+            assert f"{stem}.json" in names
+        import json
+
+        payload = json.loads((tmp_path / "fig7.json").read_text())
+        assert "wordcount_cross_point" in payload["notes"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,151 @@
+"""Tests for machine specs, network model and cluster composition."""
+
+import pytest
+
+from repro.cluster import Cluster, DiskSpec, MachineSpec, NetworkModel, SlotConfig
+from repro.cluster import specs
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+
+
+def make_machine(**overrides):
+    defaults = dict(
+        name="test",
+        cores=8,
+        core_speed=1.0,
+        ram=16 * GB,
+        disk=DiskSpec(bandwidth=120 * MB, capacity=193 * GB),
+        nic_bandwidth=1.25e9,
+    )
+    defaults.update(overrides)
+    return MachineSpec(**defaults)
+
+
+class TestDiskSpec:
+    def test_valid(self):
+        disk = DiskSpec(bandwidth=100.0, capacity=1000.0)
+        assert disk.bandwidth == 100.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(bandwidth=0, capacity=1),
+        dict(bandwidth=1, capacity=0),
+        dict(bandwidth=-5, capacity=1),
+    ])
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DiskSpec(**kwargs)
+
+
+class TestMachineSpec:
+    def test_ramdisk_is_half_the_ram(self):
+        machine = make_machine(ram=505 * GB)
+        assert machine.ramdisk_capacity == 252.5 * GB
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("cores", 0),
+            ("core_speed", 0),
+            ("ram", -1),
+            ("nic_bandwidth", 0),
+            ("price", 0),
+        ],
+    )
+    def test_rejects_nonpositive(self, field, value):
+        with pytest.raises(ConfigurationError):
+            make_machine(**{field: value})
+
+
+class TestNetworkModel:
+    def test_stream_cap_divides_nic(self):
+        net = NetworkModel(latency=0.001, nic_bandwidth=1000.0)
+        assert net.stream_cap(4) == 250.0
+
+    def test_stream_cap_rejects_zero_streams(self):
+        net = NetworkModel(latency=0.001, nic_bandwidth=1000.0)
+        with pytest.raises(ConfigurationError):
+            net.stream_cap(0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            NetworkModel(latency=-1, nic_bandwidth=100.0)
+
+
+class TestSlotConfig:
+    def test_total(self):
+        assert SlotConfig(6, 2).total == 8
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ConfigurationError):
+            SlotConfig(0, 2)
+        with pytest.raises(ConfigurationError):
+            SlotConfig(6, 0)
+
+
+class TestCluster:
+    def make(self, **overrides):
+        defaults = dict(
+            name="c",
+            machine=make_machine(),
+            count=12,
+            slots=SlotConfig(6, 2),
+            network=specs.MYRINET,
+        )
+        defaults.update(overrides)
+        return Cluster(**defaults)
+
+    def test_totals(self):
+        cluster = self.make()
+        assert cluster.total_map_slots == 72
+        assert cluster.total_reduce_slots == 24
+        assert cluster.total_cores == 96
+        assert cluster.total_disk_capacity == 12 * 193 * GB
+
+    def test_rejects_slot_type_exceeding_cores(self):
+        with pytest.raises(ConfigurationError):
+            self.make(slots=SlotConfig(9, 2))
+        with pytest.raises(ConfigurationError):
+            self.make(slots=SlotConfig(6, 9))
+
+    def test_allows_overcommit_split(self):
+        # 24 map + 24 reduce on a 24-core machine (the scale-up reading).
+        machine = make_machine(cores=24)
+        cluster = self.make(machine=machine, slots=SlotConfig(24, 24), count=2)
+        assert cluster.total_map_slots == 48
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ConfigurationError):
+            self.make(count=0)
+
+    def test_describe_mentions_name_and_count(self):
+        text = self.make().describe()
+        assert "c" in text and "12" in text
+
+
+class TestPaperCatalogue:
+    def test_scale_up_cluster_shape(self):
+        cluster = specs.scale_up_cluster()
+        assert cluster.count == 2
+        assert cluster.machine.cores == 24
+        assert cluster.total_map_slots == 48
+        assert cluster.machine.ram == 505 * GB
+        assert cluster.machine.disk.capacity == 91 * GB
+
+    def test_scale_out_cluster_shape(self):
+        cluster = specs.scale_out_cluster()
+        assert cluster.count == 12
+        assert cluster.machine.cores == 8
+        assert cluster.total_map_slots == 72
+        assert cluster.slots.total == cluster.machine.cores
+
+    def test_equal_cost_rule(self):
+        # 2 scale-up == 12 scale-out in cost, so the baseline is 24.
+        assert specs.SCALE_UP_NODE.price == 6 * specs.SCALE_OUT_NODE.price
+        assert specs.equal_cost_scale_out_count() == 24
+
+    def test_myrinet_is_10gbps(self):
+        assert specs.MYRINET.nic_bandwidth == pytest.approx(1.25e9)
+
+    def test_custom_counts(self):
+        assert specs.scale_up_cluster(count=4).count == 4
+        assert specs.scale_out_cluster(count=24).count == 24

@@ -1,0 +1,59 @@
+"""Tests for the conclusions checker and its CLI command."""
+
+import pytest
+
+from repro.analysis.conclusions import (
+    Finding,
+    evaluate_conclusions,
+    render_findings,
+)
+
+
+@pytest.fixture(scope="module")
+def findings():
+    return evaluate_conclusions(replay_jobs=150)
+
+
+class TestEvaluateConclusions:
+    def test_returns_all_nine_claims(self, findings):
+        assert len(findings) == 9
+
+    def test_only_the_documented_deviation_misses(self, findings):
+        misses = [f for f in findings if not f.holds]
+        assert len(misses) <= 1
+        if misses:
+            assert "deviation" in misses[0].claim
+
+    def test_every_finding_carries_evidence(self, findings):
+        for finding in findings:
+            assert finding.evidence
+            assert finding.claim
+
+    def test_cross_point_evidence_mentions_sizes(self, findings):
+        cross = next(f for f in findings if "cross points" in f.claim)
+        assert "GB" in cross.evidence
+        assert cross.holds
+
+
+class TestRenderFindings:
+    def test_renders_marks_and_tally(self, findings):
+        text = render_findings(findings)
+        assert "[PASS]" in text
+        assert "conclusions hold" in text
+        assert f"/{len(findings)}" in text
+
+    def test_render_synthetic(self):
+        text = render_findings(
+            [Finding(claim="x", holds=False, evidence="y")]
+        )
+        assert "[MISS] x" in text
+        assert "0/1" in text
+
+
+class TestVerifyCommand:
+    def test_cli_verify_exits_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["verify", "--jobs", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "conclusions hold" in out

@@ -1,0 +1,166 @@
+"""Tests for Deployment: building, routing, running jobs and traces."""
+
+import pytest
+
+from repro.apps import TESTDFSIO_WRITE, WORDCOUNT
+from repro.core.architectures import hybrid, out_ofs, thadoop, up_hdfs, up_ofs
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.deployment import Deployment, algorithm1_router
+from repro.errors import CapacityError, SchedulingError
+from repro.mapreduce.job import JobSpec
+from repro.storage.hdfs import HDFS
+from repro.storage.ofs import OrangeFS
+from repro.units import GB, MB
+
+
+def trace_job(job_id, input_gb, ratio=0.5, arrival=0.0):
+    size = input_gb * GB
+    return JobSpec(
+        job_id=job_id,
+        app="trace",
+        input_bytes=size,
+        shuffle_bytes=size * ratio,
+        output_bytes=size * 0.1,
+        map_cpu_per_byte=0.04 / MB,
+        reduce_cpu_per_byte=0.002 / MB,
+        arrival_time=arrival,
+    )
+
+
+class TestBuild:
+    def test_single_cluster_has_one_tracker(self):
+        deployment = Deployment(up_ofs())
+        assert len(deployment.trackers) == 1
+        assert isinstance(deployment.storages[0], OrangeFS)
+
+    def test_hdfs_architecture_uses_hdfs(self):
+        deployment = Deployment(up_hdfs())
+        assert isinstance(deployment.storages[0], HDFS)
+
+    def test_hybrid_shares_one_ofs(self):
+        deployment = Deployment(hybrid())
+        assert len(deployment.trackers) == 2
+        assert deployment.storages[0] is deployment.storages[1]
+
+    def test_calibration_core_speed_applied(self):
+        deployment = Deployment(hybrid())
+        up_cluster = deployment.tracker_for_role("up").cluster
+        assert up_cluster.machine.core_speed == DEFAULT_CALIBRATION.core_speed_up
+
+    def test_up_cluster_gets_ramdisk_shuffle(self):
+        deployment = Deployment(hybrid())
+        up_nodes = deployment.tracker_for_role("up").nodes
+        out_nodes = deployment.tracker_for_role("out").nodes
+        assert all(n.ramdisk is not None for n in up_nodes)
+        assert all(n.ramdisk is None for n in out_nodes)
+
+
+class TestRouting:
+    def test_single_cluster_routes_everything_to_zero(self):
+        deployment = Deployment(out_ofs())
+        index = deployment.submit(trace_job("a", 100.0))
+        assert index == 0
+
+    def test_hybrid_routes_by_algorithm1(self):
+        deployment = Deployment(hybrid())
+        small = deployment.submit(trace_job("small", 1.0, ratio=0.5))
+        large = deployment.submit(trace_job("large", 100.0, ratio=0.5))
+        assert small == deployment.spec.role_index("up")
+        assert large == deployment.spec.role_index("out")
+
+    def test_custom_router(self):
+        deployment = Deployment(hybrid(), router=lambda job, dep: 1)
+        assert deployment.submit(trace_job("x", 0.1)) == 1
+
+    def test_router_bounds_checked(self):
+        deployment = Deployment(hybrid(), router=lambda job, dep: 7)
+        with pytest.raises(SchedulingError):
+            deployment.submit(trace_job("x", 0.1))
+
+    def test_algorithm1_router_requires_roles(self):
+        deployment = Deployment(out_ofs(), router=algorithm1_router())
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            deployment.submit(trace_job("small", 1.0))
+
+
+class TestRunJob:
+    def test_returns_result_with_cluster_label(self):
+        deployment = Deployment(up_ofs())
+        result = deployment.run_job(WORDCOUNT.make_job("1GB"))
+        assert result.cluster == "scale-up"
+        assert result.execution_time > 0
+
+    def test_capacity_error_on_up_hdfs_large_job(self):
+        """The paper: up-HDFS cannot process jobs above ~80 GB."""
+        deployment = Deployment(up_hdfs())
+        with pytest.raises(CapacityError):
+            deployment.run_job(WORDCOUNT.make_job("120GB"))
+
+    def test_up_hdfs_80gb_feasible(self):
+        deployment = Deployment(up_hdfs())
+        result = deployment.run_job(WORDCOUNT.make_job("64GB"))
+        assert result.execution_time > 0
+
+    def test_dataset_released_after_job(self):
+        deployment = Deployment(up_hdfs())
+        deployment.run_job(WORDCOUNT.make_job("64GB"))
+        assert deployment.storages[0].used == 0.0
+
+    def test_dfsio_footprint_is_output_only(self):
+        job = TESTDFSIO_WRITE.make_job("10GB")
+        assert Deployment.job_footprint(job) == pytest.approx(10 * GB)
+
+    def test_hybrid_runs_small_job_on_up(self):
+        deployment = Deployment(hybrid())
+        result = deployment.run_job(WORDCOUNT.make_job("2GB"))
+        assert result.cluster == "scale-up"
+
+    def test_hybrid_runs_large_job_on_out(self):
+        deployment = Deployment(hybrid())
+        result = deployment.run_job(WORDCOUNT.make_job("64GB"))
+        assert result.cluster == "scale-out"
+
+
+class TestRunTrace:
+    def test_all_jobs_complete_in_submission_order_agnostic_way(self):
+        deployment = Deployment(hybrid())
+        jobs = [
+            trace_job("t0", 0.5, arrival=0.0),
+            trace_job("t1", 20.0, arrival=5.0),
+            trace_job("t2", 0.2, arrival=10.0),
+        ]
+        results = deployment.run_trace(jobs)
+        assert sorted(r.job_id for r in results) == ["t0", "t1", "t2"]
+
+    def test_arrival_times_respected(self):
+        deployment = Deployment(up_ofs())
+        jobs = [trace_job("later", 0.5, arrival=100.0)]
+        results = deployment.run_trace(jobs)
+        assert results[0].submit_time == pytest.approx(100.0)
+        assert results[0].end_time > 100.0
+
+    def test_mixed_trace_uses_both_hybrid_clusters(self):
+        deployment = Deployment(hybrid())
+        jobs = [
+            trace_job("s0", 0.5, arrival=0.0),
+            trace_job("l0", 50.0, arrival=0.0),
+        ]
+        results = deployment.run_trace(jobs)
+        clusters = {r.job_id: r.cluster for r in results}
+        assert clusters["s0"] == "scale-up"
+        assert clusters["l0"] == "scale-out"
+
+    def test_contention_slows_jobs_down(self):
+        """The same job takes longer when submitted alongside many others
+        than alone — slot contention is real."""
+        alone = Deployment(out_ofs()).run_trace([trace_job("x", 5.0)])
+        alone_time = alone[0].execution_time
+
+        crowd = [trace_job(f"c{i}", 5.0) for i in range(10)] + [trace_job("x", 5.0)]
+        crowded = Deployment(out_ofs()).run_trace(crowd)
+        crowded_time = next(
+            r.execution_time for r in crowded if r.job_id == "x"
+        )
+        assert crowded_time > alone_time

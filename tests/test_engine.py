@@ -1,0 +1,150 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator import Simulation
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulation()
+        fired = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(5.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.5]
+        assert sim.now == 5.5
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule_at(7.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.0]
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(2.0, lambda: sim.call_soon(lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_rejects_scheduling_into_the_past(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulation()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                sim.schedule(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 5.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulation()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulation()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_resume_after_horizon(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == [10]
+
+    def test_until_advances_clock_even_without_events(self):
+        sim = Simulation()
+        sim.run(until=42.0)
+        assert sim.now == 42.0
+
+
+class TestSafety:
+    def test_max_events_guard(self):
+        sim = Simulation(max_events=10)
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_not_reentrant(self):
+        sim = Simulation()
+        errors = []
+
+        def inner():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, inner)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_counters(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.events_processed == 1
+        assert sim.pending_events == 0

@@ -1,0 +1,80 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken one is a broken promise.
+Each runs in-process (import + main) with reduced workloads where the
+script supports it.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    path = EXAMPLES / name
+    old_argv = sys.argv
+    sys.argv = [str(path), *argv]
+    try:
+        runpy.run_path(str(path), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert "quickstart.py" in names
+        assert len(names) >= 3
+
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "Algorithm 1 routing decisions" in out
+        assert "scale-up" in out and "scale-out" in out
+
+    def test_custom_application(self, capsys):
+        run_example("custom_application.py")
+        out = capsys.readouterr().out
+        assert "sessionize" in out
+        assert "ratio unknown" in out
+
+    def test_facebook_trace_replay_small(self, capsys):
+        run_example("facebook_trace_replay.py", ["40"])
+        out = capsys.readouterr().out
+        assert "Fig 10(a)" in out and "Fig 10(b)" in out
+        assert "Hybrid" in out
+
+    def test_iterative_ml(self, capsys):
+        run_example("iterative_ml.py")
+        out = capsys.readouterr().out
+        assert "router switched clusters" in out
+        assert "scale-out" in out and "scale-up" in out
+
+    def test_straggler_mitigation(self, capsys):
+        run_example("straggler_mitigation.py")
+        out = capsys.readouterr().out
+        assert "backup copies launched" in out
+        assert "speculation recovered" in out
+
+    @pytest.mark.slow
+    def test_swim_workflow(self, capsys):
+        run_example("swim_workflow.py")
+        out = capsys.readouterr().out
+        assert "legend" in out
+        assert "recommended" in out
+
+    @pytest.mark.slow
+    def test_crosspoint_analysis(self, capsys):
+        run_example("crosspoint_analysis.py")
+        out = capsys.readouterr().out
+        assert "Derived cross points" in out
+
+    @pytest.mark.slow
+    def test_capacity_planning(self, capsys):
+        run_example("capacity_planning.py")
+        out = capsys.readouterr().out
+        assert "2up+12out" in out

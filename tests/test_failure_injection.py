@@ -1,0 +1,95 @@
+"""Failure injection: degraded nodes, and speculation as the remedy.
+
+Hadoop's speculative execution exists for exactly one scenario — a node
+that is alive but sick (failing disk, swapping, noisy neighbour) running
+its tasks far slower than the rest.  These tests inject that scenario
+and verify both the damage and the cure.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulator import Simulation
+
+from tests.test_jobtracker import make_cluster, make_config, make_job, make_tracker
+
+
+def make_victim_job():
+    """CPU-dominated job (8 maps, ~8 s of map CPU per block, light
+    shuffle) so node health, not storage, decides its fate."""
+    from repro.units import MB
+
+    return make_job(
+        input_gb=1.0,
+        shuffle_ratio=0.1,
+        job_id="victim",
+        map_cpu_per_byte=8.0 / (128 * MB),
+    )
+
+
+def run_with_degraded_node(speculative, slowdown=6.0, job=None):
+    sim = Simulation()
+    tracker = make_tracker(
+        sim,
+        cluster=make_cluster(count=4, map_slots=2, reduce_slots=2, cores=4),
+        config=make_config(
+            task_jitter=0.0,
+            speculative_execution=speculative,
+            speculative_slack=1.3,
+        ),
+    )
+    tracker.nodes[0].degrade(slowdown)
+    done = []
+    tracker.submit(job or make_victim_job(), done.append)
+    sim.run()
+    return done[0], tracker
+
+
+class TestDegradedNodes:
+    def test_degrade_validation(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        with pytest.raises(ConfigurationError):
+            tracker.nodes[0].degrade(0.5)
+
+    def test_effective_core_speed(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        node = tracker.nodes[0]
+        baseline = node.effective_core_speed()
+        node.degrade(4.0)
+        assert node.effective_core_speed() == pytest.approx(baseline / 4)
+
+    def test_degraded_node_slows_the_job(self):
+        healthy, _ = run_with_degraded_node(speculative=False, slowdown=1.0)
+        sick, _ = run_with_degraded_node(speculative=False, slowdown=6.0)
+        assert sick.execution_time > healthy.execution_time * 1.5
+
+    def test_speculation_rescues_degraded_node_tasks(self):
+        """The headline property: with a 6x-slow node, backups on healthy
+        nodes cut the job's map phase substantially."""
+        without, _ = run_with_degraded_node(speculative=False)
+        with_spec, tracker = run_with_degraded_node(speculative=True)
+        assert tracker.speculative_launches > 0
+        assert with_spec.execution_time < without.execution_time * 0.8
+
+    def test_speculation_cannot_beat_all_healthy(self):
+        """Speculation mitigates, it does not create capacity: the
+        rescued run is still no faster than an all-healthy run."""
+        healthy, _ = run_with_degraded_node(speculative=False, slowdown=1.0)
+        rescued, _ = run_with_degraded_node(speculative=True, slowdown=6.0)
+        assert rescued.execution_time >= healthy.execution_time * 0.95
+
+    def test_degraded_node_affects_multiple_jobs(self):
+        sim = Simulation()
+        tracker = make_tracker(
+            sim,
+            cluster=make_cluster(count=2, map_slots=2, reduce_slots=2, cores=4),
+            config=make_config(task_jitter=0.0),
+        )
+        tracker.nodes[1].degrade(8.0)
+        done = []
+        for i in range(3):
+            tracker.submit(make_job(input_gb=0.5, job_id=f"d{i}"), done.append)
+        sim.run()
+        assert len(done) == 3

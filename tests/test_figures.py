@@ -1,0 +1,96 @@
+"""Tests for the per-figure data producers (small sizes for speed).
+
+The full paper-scale shapes are asserted by the benchmark harness and
+tests/test_paper_fidelity.py; here we verify plumbing: shapes, panel
+structure, classification and determinism.
+"""
+
+import pytest
+
+from repro.analysis.figures import (
+    FigureData,
+    crosspoint_series,
+    fig3_trace_cdf,
+    fig10_trace_replay,
+    measurement_panels,
+)
+from repro.apps import GREP
+from repro.units import GB
+
+
+class TestMeasurementPanels:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return measurement_panels(GREP, sizes=[1 * GB, 4 * GB])
+
+    def test_four_panels(self, panels):
+        assert set(panels) == {"execution", "map", "shuffle", "reduce"}
+        for panel in panels.values():
+            assert isinstance(panel, FigureData)
+            assert len(panel.sizes) == 2
+
+    def test_all_architectures_present(self, panels):
+        for panel in panels.values():
+            assert set(panel.series) == {
+                "up-OFS", "up-HDFS", "out-OFS", "out-HDFS",
+            }
+
+    def test_execution_normalized_by_up_ofs(self, panels):
+        assert panels["execution"].series["up-OFS"] == [1.0, 1.0]
+        assert panels["map"].series["up-OFS"] == [1.0, 1.0]
+
+    def test_shuffle_panel_is_raw_seconds(self, panels):
+        # Raw durations, not ratios: values can't all be ~1.
+        values = panels["shuffle"].series["out-OFS"]
+        assert all(v >= 0 for v in values)
+
+
+class TestCrosspointSeries:
+    def test_returns_ratios_and_estimate(self):
+        sizes = [1 * GB, 8 * GB, 32 * GB]
+        ratios, cross = crosspoint_series("grep", sizes)
+        assert len(ratios) == 3
+        assert all(r > 0 for r in ratios)
+        # Grep's cross is ~16 GB, inside this span.
+        assert cross is None or 1 * GB < cross < 32 * GB
+
+
+class TestFig3:
+    def test_notes_and_monotone_cdf(self):
+        figure = fig3_trace_cdf(num_jobs=400, seed=3)
+        assert figure.notes["num_jobs"] == 400
+        cdf = figure.series["CDF"]
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = fig3_trace_cdf(num_jobs=100, seed=5)
+        b = fig3_trace_cdf(num_jobs=100, seed=5)
+        assert a.series == b.series
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return fig10_trace_replay(num_jobs=80, seed=11)
+
+    def test_three_architectures(self, outcome):
+        assert set(outcome) == {"Hybrid", "THadoop", "RHadoop"}
+
+    def test_every_job_classified_once(self, outcome):
+        for replay in outcome.values():
+            total = len(replay.scale_up_times) + len(replay.scale_out_times)
+            assert total == 80
+            assert len(replay.results) == 80
+
+    def test_same_classification_across_architectures(self, outcome):
+        counts = {
+            name: (len(r.scale_up_times), len(r.scale_out_times))
+            for name, r in outcome.items()
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_maxima_accessors(self, outcome):
+        for replay in outcome.values():
+            assert replay.max_scale_up_time > 0
+            assert replay.max_scale_out_time > 0

@@ -1,0 +1,103 @@
+"""Tests for the fine-grained (interpolating) scheduler extension."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.finegrained import (
+    InterpolatingScheduler,
+    PAPER_ANCHORS,
+    anchors_from_measurements,
+)
+from repro.core.scheduler import Decision, SizeAwareScheduler
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestInterpolation:
+    def test_hits_anchors_exactly(self):
+        scheduler = InterpolatingScheduler()
+        assert scheduler.cross_for_ratio(0.0) == pytest.approx(10 * GB)
+        assert scheduler.cross_for_ratio(0.4) == pytest.approx(16 * GB)
+        assert scheduler.cross_for_ratio(1.6) == pytest.approx(32 * GB)
+
+    def test_clamps_outside_range(self):
+        scheduler = InterpolatingScheduler()
+        assert scheduler.cross_for_ratio(5.0) == pytest.approx(32 * GB)
+        assert scheduler.cross_for_ratio(None) == pytest.approx(10 * GB)
+
+    def test_log_interpolation_between_anchors(self):
+        scheduler = InterpolatingScheduler()
+        # Midpoint of 0.4..1.6 in ratio -> geometric mean of 16 and 32 GB.
+        mid = scheduler.cross_for_ratio(1.0)
+        assert mid == pytest.approx((16 * GB * 32 * GB) ** 0.5, rel=1e-9)
+
+    @given(st.floats(min_value=0, max_value=3))
+    def test_monotone_in_ratio(self, ratio):
+        scheduler = InterpolatingScheduler()
+        assert scheduler.cross_for_ratio(ratio) <= scheduler.cross_for_ratio(
+            ratio + 0.1
+        ) + 1e-6
+
+    def test_agrees_with_algorithm1_at_band_representatives(self):
+        """At the measured ratios the two schedulers make identical calls."""
+        banded = SizeAwareScheduler()
+        fine = InterpolatingScheduler()
+        for ratio, cross in PAPER_ANCHORS:
+            for size in (cross * 0.9, cross * 1.1):
+                # Algorithm 1 band for ratio 0.0 and 0.4 are different
+                # bands but share the measured cross points at the edges.
+                assert fine.decide(size, ratio) in (
+                    Decision.SCALE_UP, Decision.SCALE_OUT,
+                )
+        # A 0.8-ratio 20 GB job: banded says scale-out (16 GB band),
+        # fine-grained interpolates ~21.4 GB and says scale-up.
+        assert banded.decide(20 * GB, 0.8) is Decision.SCALE_OUT
+        assert fine.decide(20 * GB, 0.8) is Decision.SCALE_UP
+
+    def test_decide_job(self):
+        from repro.mapreduce.job import JobSpec
+
+        job = JobSpec(
+            job_id="x", app="t", input_bytes=20 * GB,
+            shuffle_bytes=16 * GB, output_bytes=0,
+            map_cpu_per_byte=0, reduce_cpu_per_byte=0,
+        )
+        fine = InterpolatingScheduler()
+        assert fine.decide_job(job) is Decision.SCALE_UP
+        assert fine.decide_job(job, ratio_known=False) is Decision.SCALE_OUT
+
+
+class TestValidation:
+    def test_needs_two_anchors(self):
+        with pytest.raises(ConfigurationError):
+            InterpolatingScheduler([(0.4, 16 * GB)])
+
+    def test_rejects_duplicate_ratios(self):
+        with pytest.raises(ConfigurationError):
+            InterpolatingScheduler([(0.4, 16 * GB), (0.4, 20 * GB)])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ConfigurationError):
+            InterpolatingScheduler([(-0.1, 16 * GB), (0.4, 20 * GB)])
+        with pytest.raises(ConfigurationError):
+            InterpolatingScheduler([(0.1, 0.0), (0.4, 20 * GB)])
+
+    def test_rejects_negative_query(self):
+        with pytest.raises(ConfigurationError):
+            InterpolatingScheduler().cross_for_ratio(-1.0)
+
+
+class TestAnchorsFromMeasurements:
+    def test_drops_non_crossings(self):
+        anchors = anchors_from_measurements(
+            [(0.0, 10 * GB), (0.4, None), (1.6, 32 * GB)]
+        )
+        assert anchors == [(0.0, 10 * GB), (1.6, 32 * GB)]
+
+    def test_requires_two_crossings(self):
+        with pytest.raises(ConfigurationError):
+            anchors_from_measurements([(0.0, 10 * GB), (0.4, None)])
+
+    def test_sorts_by_ratio(self):
+        anchors = anchors_from_measurements([(1.6, 32 * GB), (0.0, 10 * GB)])
+        assert anchors[0][0] == 0.0

@@ -1,0 +1,97 @@
+"""Tests for the HDFS page-cache read/write model and seek coupling."""
+
+import pytest
+
+from repro.simulator import Simulation
+from repro.storage import HDFS, DiskDevice
+from repro.units import GB, MB
+
+
+def make_fs(sim, cache_bytes, n_devices=2, bandwidth=100 * MB, wbuf=1.0):
+    devices = [
+        DiskDevice(sim, bandwidth=bandwidth, capacity=1000 * GB, name=f"d{i}")
+        for i in range(n_devices)
+    ]
+    fs = HDFS(
+        sim,
+        devices,
+        replication=1,
+        access_latency=0.0,
+        page_cache_bytes=cache_bytes,
+        write_buffer_factor=wbuf,
+    )
+    return fs, devices
+
+
+class TestColdFraction:
+    def test_small_dataset_fully_cached(self):
+        sim = Simulation()
+        fs, _ = make_fs(sim, cache_bytes=10 * GB)
+        assert fs.cold_fraction(2 * GB) == 0.0
+
+    def test_large_dataset_mostly_cold(self):
+        sim = Simulation()
+        fs, _ = make_fs(sim, cache_bytes=10 * GB)
+        assert fs.cold_fraction(100 * GB) == pytest.approx(0.9)
+
+    def test_unknown_dataset_fully_cold(self):
+        sim = Simulation()
+        fs, _ = make_fs(sim, cache_bytes=10 * GB)
+        assert fs.cold_fraction(None) == 1.0
+        assert fs.cold_fraction(0) == 1.0
+
+    def test_zero_cache_always_cold(self):
+        sim = Simulation()
+        fs, _ = make_fs(sim, cache_bytes=0.0)
+        assert fs.cold_fraction(1 * MB) == 1.0
+
+
+class TestCachedIO:
+    def test_cached_read_touches_no_disk(self):
+        sim = Simulation()
+        fs, devices = make_fs(sim, cache_bytes=10 * GB)
+        done = []
+        fs.read(100 * MB, 0, lambda: done.append(sim.now), dataset_bytes=1 * GB)
+        sim.run()
+        assert done == [pytest.approx(0.0)]
+        assert devices[0].resource.bytes_completed == 0.0
+
+    def test_cold_read_pays_disk_time(self):
+        sim = Simulation()
+        fs, devices = make_fs(sim, cache_bytes=0.0)
+        done = []
+        fs.read(100 * MB, 0, lambda: done.append(sim.now), dataset_bytes=100 * GB)
+        sim.run()
+        assert done == [pytest.approx(1.0)]
+
+    def test_partially_cold_read_scales(self):
+        sim = Simulation()
+        fs, _ = make_fs(sim, cache_bytes=50 * GB)
+        done = []
+        fs.read(100 * MB, 0, lambda: done.append(sim.now), dataset_bytes=100 * GB)
+        sim.run()
+        assert done == [pytest.approx(0.5)]  # 50% cold at 100 MB/s
+
+    def test_cached_write_is_absorbed(self):
+        sim = Simulation()
+        fs, devices = make_fs(sim, cache_bytes=10 * GB)
+        done = []
+        fs.write(100 * MB, 0, lambda: done.append(sim.now), dataset_bytes=1 * GB)
+        sim.run()
+        assert done == [pytest.approx(0.0)]
+
+    def test_cold_write_drains_with_buffer_factor(self):
+        sim = Simulation()
+        fs, _ = make_fs(sim, cache_bytes=0.0, wbuf=2.0)
+        done = []
+        fs.write(100 * MB, 0, lambda: done.append(sim.now), dataset_bytes=100 * GB)
+        sim.run()
+        assert done == [pytest.approx(0.5)]  # half the bytes at 100 MB/s
+
+    def test_write_without_dataset_hint_is_cold(self):
+        sim = Simulation()
+        fs, _ = make_fs(sim, cache_bytes=10 * GB, wbuf=1.0)
+        done = []
+        fs.write(100 * MB, 0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0)]

@@ -1,0 +1,129 @@
+"""Cross-module integration tests: the library's main workflows end to end."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Deployment,
+    GB,
+    SizeAwareScheduler,
+    WORDCOUNT,
+    derive_cross_points,
+    get_app,
+    hybrid,
+    out_ofs,
+    thadoop,
+    up_ofs,
+)
+from repro.core.crosspoint import estimate_cross_point
+from repro.core.scheduler import Decision
+from repro.workload.fb2009 import DAY, generate_fb2009
+
+
+class TestMeasureThenSchedule:
+    """The paper's full methodology: measure -> derive cross points ->
+    schedule, all against the bundled simulator."""
+
+    def test_derived_cross_points_route_sensibly(self):
+        def measure(app_name, size):
+            app = get_app(app_name)
+            up = Deployment(up_ofs()).run_job(app.make_job(size)).execution_time
+            out = Deployment(out_ofs()).run_job(app.make_job(size)).execution_time
+            return up, out
+
+        sizes = [s * GB for s in (2, 6, 12, 24, 48)]
+        cross_points = derive_cross_points(measure, sizes)
+        scheduler = SizeAwareScheduler(cross_points)
+
+        # Tiny jobs go up, huge jobs go out, whatever the exact crossings.
+        assert scheduler.decide(0.5 * GB, 1.6) is Decision.SCALE_UP
+        assert scheduler.decide(200 * GB, 1.6) is Decision.SCALE_OUT
+        # Derived thresholds must be ordered by shuffle ratio like the
+        # paper's 32/16/10.
+        assert (
+            cross_points.high_ratio_cross
+            >= cross_points.mid_ratio_cross
+            >= cross_points.low_ratio_cross
+        )
+
+    def test_scheduler_decision_matches_measured_winner_away_from_cross(self):
+        """Far from the cross point, Algorithm 1 must agree with direct
+        measurement on the bundled model."""
+        scheduler = SizeAwareScheduler()
+        for size, expected in ((2 * GB, Decision.SCALE_UP),
+                               (128 * GB, Decision.SCALE_OUT)):
+            job = WORDCOUNT.make_job(size)
+            assert scheduler.decide_job(job) is expected
+            up = Deployment(up_ofs()).run_job(job).execution_time
+            out = Deployment(out_ofs()).run_job(job).execution_time
+            measured = Decision.SCALE_UP if up < out else Decision.SCALE_OUT
+            assert measured is expected
+
+
+class TestHybridEndToEnd:
+    def test_shared_ofs_sees_both_clusters_traffic(self):
+        deployment = Deployment(hybrid())
+        small = WORDCOUNT.make_job("1GB", job_id="s")
+        large = WORDCOUNT.make_job("40GB", job_id="l")
+        deployment.submit(small)
+        deployment.submit(large)
+        deployment.run()
+        ofs = deployment.storages[0]
+        # Both jobs' input reads and output writes crossed the one array.
+        expected_min = small.input_bytes + large.input_bytes
+        assert ofs.array.bytes_completed > expected_min * 0.9
+
+    def test_hybrid_vs_thadoop_on_a_mixed_burst(self):
+        """A burst of small jobs plus one large job: the hybrid isolates
+        the small jobs from the large job's waves."""
+        trace_jobs = [WORDCOUNT.make_job("1GB", job_id=f"s{i}", arrival_time=0.0)
+                      for i in range(10)]
+        trace_jobs.insert(0, WORDCOUNT.make_job("48GB", job_id="big",
+                                                arrival_time=0.0))
+
+        def small_mean(spec):
+            results = Deployment(spec).run_trace(trace_jobs)
+            return np.mean(
+                [r.execution_time for r in results if r.job_id != "big"]
+            )
+
+        assert small_mean(hybrid()) < small_mean(thadoop())
+
+
+class TestTraceReplayEndToEnd:
+    def test_replay_conserves_jobs_and_orders_time(self):
+        trace = generate_fb2009(num_jobs=120, seed=5,
+                                duration=DAY * 120 / 6000).shrink(5.0)
+        deployment = Deployment(hybrid())
+        results = deployment.run_trace(trace.to_jobspecs())
+        assert len(results) == 120
+        for result in results:
+            assert result.end_time >= result.submit_time
+            assert result.map_phase >= 0
+            assert result.shuffle_phase >= 0
+            assert result.reduce_phase >= 0
+
+    def test_replay_deterministic(self):
+        trace = generate_fb2009(num_jobs=40, seed=6).shrink(5.0)
+        jobs = trace.to_jobspecs()
+
+        def run():
+            results = Deployment(hybrid()).run_trace(jobs)
+            return [(r.job_id, r.execution_time) for r in results]
+
+        assert run() == run()
+
+
+class TestCrossPointConsistency:
+    def test_simulated_curve_crosses_once_cleanly(self):
+        """The normalized wordcount curve from the model is monotone
+        enough for a single crossing in the measured range."""
+        sizes = [s * GB for s in (2, 8, 16, 32, 64, 128)]
+        up_times, out_times = [], []
+        for size in sizes:
+            job = WORDCOUNT.make_job(size)
+            up_times.append(Deployment(up_ofs()).run_job(job).execution_time)
+            out_times.append(Deployment(out_ofs()).run_job(job).execution_time)
+        cross = estimate_cross_point(sizes, up_times, out_times)
+        assert cross is not None
+        assert sizes[0] < cross < sizes[-1]

@@ -1,0 +1,126 @@
+"""Tests for JobSpec / JobResult and the app profiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps import APP_REGISTRY, GREP, TERASORT, TESTDFSIO_WRITE, WORDCOUNT, get_app
+from repro.apps.base import AppProfile
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobResult, JobSpec
+from repro.units import GB, MB
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        job_id="j1",
+        app="wordcount",
+        input_bytes=1 * GB,
+        shuffle_bytes=1.6 * GB,
+        output_bytes=50 * MB,
+        map_cpu_per_byte=1e-8,
+        reduce_cpu_per_byte=1e-9,
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+class TestJobSpec:
+    def test_shuffle_input_ratio(self):
+        assert make_spec().shuffle_input_ratio == pytest.approx(1.6)
+
+    def test_ratio_of_empty_input_is_zero(self):
+        spec = make_spec(input_bytes=0, shuffle_bytes=0, output_bytes=0)
+        assert spec.shuffle_input_ratio == 0.0
+
+    def test_describe_mentions_sizes(self):
+        text = make_spec().describe()
+        assert "j1" in text and "1GB" in text
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("input_bytes", -1),
+            ("shuffle_bytes", -1),
+            ("map_cpu_per_byte", -1),
+            ("arrival_time", -1),
+            ("input_read_fraction", 1.5),
+            ("num_reducers_hint", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            make_spec(**{field: value})
+
+
+class TestJobResult:
+    def test_phase_arithmetic_matches_paper_definitions(self):
+        result = JobResult(
+            job_id="j",
+            app="wordcount",
+            cluster="scale-up",
+            input_bytes=GB,
+            shuffle_bytes=GB,
+            submit_time=10.0,
+            first_map_start=15.0,
+            last_map_end=40.0,
+            last_shuffle_end=52.0,
+            end_time=60.0,
+        )
+        assert result.execution_time == 50.0
+        assert result.map_phase == 25.0
+        assert result.shuffle_phase == 12.0
+        assert result.reduce_phase == 8.0
+        assert result.queue_delay == 5.0
+
+
+class TestAppProfiles:
+    def test_registry_contains_the_paper_apps(self):
+        assert {"wordcount", "grep", "testdfsio-write", "terasort"} <= set(
+            APP_REGISTRY
+        )
+
+    def test_paper_ratios(self):
+        assert WORDCOUNT.shuffle_ratio == pytest.approx(1.6)
+        assert GREP.shuffle_ratio == pytest.approx(0.4)
+        assert TESTDFSIO_WRITE.shuffle_ratio < 0.001
+        assert TERASORT.shuffle_ratio == pytest.approx(1.0)
+
+    def test_make_job_scales_volumes(self):
+        job = WORDCOUNT.make_job(2 * GB)
+        assert job.input_bytes == 2 * GB
+        assert job.shuffle_bytes == pytest.approx(3.2 * GB)
+        assert job.output_bytes == pytest.approx(0.1 * GB)
+
+    def test_make_job_accepts_strings(self):
+        assert GREP.make_job("32GB").input_bytes == 32 * GB
+
+    def test_dfsio_shape(self):
+        job = TESTDFSIO_WRITE.make_job(10 * GB)
+        assert job.input_read_fraction == 0.0
+        assert job.map_writes_output
+        assert job.num_reducers_hint == 1
+        assert job.output_bytes == 10 * GB
+
+    def test_get_app_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_app("sleepsort")
+
+    def test_custom_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            AppProfile(
+                name="bad",
+                shuffle_ratio=-1,
+                output_ratio=0,
+                map_cpu_per_mb=0.01,
+                reduce_cpu_per_mb=0,
+            )
+
+    @given(st.floats(min_value=1e3, max_value=1e13))
+    def test_ratio_roundtrip(self, size):
+        job = WORDCOUNT.make_job(size)
+        assert job.shuffle_input_ratio == pytest.approx(WORDCOUNT.shuffle_ratio)
+
+    def test_job_ids_default_unique_per_size(self):
+        a = WORDCOUNT.make_job(GB)
+        b = WORDCOUNT.make_job(2 * GB)
+        assert a.job_id != b.job_id

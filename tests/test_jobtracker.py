@@ -1,0 +1,288 @@
+"""Behavioural tests for the JobTracker over a tiny deterministic cluster."""
+
+import pytest
+
+from repro.cluster import Cluster, DiskSpec, MachineSpec, NetworkModel, SlotConfig
+from repro.mapreduce import HadoopConfig, JobSpec, JobTracker, build_nodes
+from repro.mapreduce.jobtracker import decide_num_reducers
+from repro.simulator import Simulation
+from repro.storage import OrangeFS
+from repro.units import GB, MB
+
+
+def make_cluster(count=2, map_slots=2, reduce_slots=1, cores=4, core_speed=1.0):
+    machine = MachineSpec(
+        name="tiny",
+        cores=cores,
+        core_speed=core_speed,
+        ram=16 * GB,
+        disk=DiskSpec(bandwidth=100 * MB, capacity=100 * GB),
+        nic_bandwidth=1.25e9,
+    )
+    return Cluster(
+        name="tiny-cluster",
+        machine=machine,
+        count=count,
+        slots=SlotConfig(map_slots, reduce_slots),
+        network=NetworkModel(latency=1e-4, nic_bandwidth=1.25e9),
+    )
+
+
+def make_config(**overrides):
+    defaults = dict(
+        heap_size=1 * GB,
+        task_overhead=1.0,
+        job_setup_overhead=2.0,
+        task_jitter=0.0,
+    )
+    defaults.update(overrides)
+    return HadoopConfig(**defaults)
+
+
+def make_storage(sim, latency=0.0, stream_cap=100 * MB, per_job=0.0):
+    return OrangeFS(
+        sim,
+        num_servers=8,
+        server_bandwidth=400 * MB,
+        access_latency=latency,
+        stream_cap=stream_cap,
+        per_job_overhead=per_job,
+        capacity=10_000 * GB,
+    )
+
+
+def make_tracker(sim, cluster=None, config=None, storage=None):
+    cluster = cluster or make_cluster()
+    config = config or make_config()
+    storage = storage or make_storage(sim)
+    nodes = build_nodes(sim, cluster, config, ramdisk_bandwidth=2 * GB)
+    return JobTracker(sim, cluster, config, storage, nodes)
+
+
+def make_job(input_gb=0.5, shuffle_ratio=1.0, **overrides):
+    input_bytes = input_gb * GB
+    defaults = dict(
+        job_id=f"job-{input_gb}-{shuffle_ratio}",
+        app="test",
+        input_bytes=input_bytes,
+        shuffle_bytes=input_bytes * shuffle_ratio,
+        output_bytes=input_bytes * 0.1,
+        map_cpu_per_byte=2.0 / (128 * MB),  # 2 s per block on a 1.0x core
+        reduce_cpu_per_byte=0.0,
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)
+
+
+class TestSingleJob:
+    def test_job_completes_with_ordered_timestamps(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        done = []
+        tracker.submit(make_job(), done.append)
+        sim.run()
+        assert len(done) == 1
+        r = done[0]
+        assert r.submit_time == 0.0
+        assert r.submit_time < r.first_map_start
+        assert r.first_map_start < r.last_map_end
+        assert r.last_map_end <= r.last_shuffle_end
+        assert r.last_shuffle_end <= r.end_time
+        assert r.execution_time > 0
+
+    def test_phase_durations_are_consistent(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        done = []
+        tracker.submit(make_job(), done.append)
+        sim.run()
+        r = done[0]
+        total_from_phases = (
+            r.queue_delay + r.map_phase + r.shuffle_phase + r.reduce_phase
+        )
+        assert r.execution_time == pytest.approx(total_from_phases)
+
+    def test_setup_overhead_delays_first_map(self):
+        sim = Simulation()
+        storage = make_storage(sim, per_job=3.0)
+        tracker = make_tracker(sim, config=make_config(job_setup_overhead=2.0),
+                               storage=storage)
+        done = []
+        tracker.submit(make_job(), done.append)
+        sim.run()
+        # setup (2) + storage per-job (3) + task overhead (1) before I/O.
+        assert done[0].first_map_start >= 5.0
+
+    def test_wave_arithmetic(self):
+        """8 blocks on 4 map slots with equal task times = exactly 2 waves."""
+        sim = Simulation()
+        tracker = make_tracker(sim)  # 2 machines x 2 map slots
+        one_wave = []
+        tracker.submit(make_job(input_gb=0.5, job_id="w1"), one_wave.append)
+        sim.run()
+        sim2 = Simulation()
+        tracker2 = make_tracker(sim2)
+        two_waves = []
+        tracker2.submit(make_job(input_gb=1.0, job_id="w2"), two_waves.append)
+        sim2.run()
+        assert two_waves[0].map_phase == pytest.approx(
+            2 * one_wave[0].map_phase, rel=0.05
+        )
+
+    def test_more_slots_shrink_map_phase(self):
+        sim = Simulation()
+        tracker = make_tracker(sim, cluster=make_cluster(map_slots=2))
+        few = []
+        tracker.submit(make_job(input_gb=2.0, job_id="few"), few.append)
+        sim.run()
+        sim2 = Simulation()
+        tracker2 = make_tracker(
+            sim2, cluster=make_cluster(count=8, map_slots=2)
+        )
+        many = []
+        tracker2.submit(make_job(input_gb=2.0, job_id="many"), many.append)
+        sim2.run()
+        assert many[0].map_phase < few[0].map_phase
+
+    def test_faster_cores_shrink_cpu_bound_map(self):
+        job = make_job(input_gb=1.0)
+        times = {}
+        for speed in (1.0, 2.0):
+            sim = Simulation()
+            tracker = make_tracker(sim, cluster=make_cluster(core_speed=speed))
+            done = []
+            tracker.submit(job, done.append)
+            sim.run()
+            times[speed] = done[0].map_phase
+        assert times[2.0] < times[1.0]
+
+    def test_empty_job_still_completes(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        done = []
+        tracker.submit(
+            make_job(input_gb=0.0, shuffle_ratio=0.0, job_id="empty"), done.append
+        )
+        sim.run()
+        assert len(done) == 1
+
+    def test_map_writes_output_goes_to_storage(self):
+        sim = Simulation()
+        storage = make_storage(sim)
+        tracker = make_tracker(sim, storage=storage)
+        done = []
+        job = make_job(
+            input_gb=0.5,
+            shuffle_ratio=0.0,
+            job_id="dfsio",
+            output_bytes=0.5 * GB,
+            input_read_fraction=0.0,
+            map_writes_output=True,
+            num_reducers_hint=1,
+        )
+        tracker.submit(job, done.append)
+        sim.run()
+        assert storage.array.bytes_completed == pytest.approx(0.5 * GB)
+
+    def test_slots_return_after_completion(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        tracker.submit(make_job())
+        sim.run()
+        assert tracker.total_free_map_slots == tracker.cluster.total_map_slots
+        assert tracker.queued_map_tasks == 0
+        for node in tracker.nodes:
+            assert node.active_tasks == 0
+
+    def test_determinism_across_runs(self):
+        def run_once():
+            sim = Simulation()
+            tracker = make_tracker(sim, config=make_config(task_jitter=0.25))
+            done = []
+            tracker.submit(make_job(job_id="fixed"), done.append)
+            sim.run()
+            return done[0].execution_time
+
+        assert run_once() == run_once()
+
+    def test_jitter_perturbs_but_preserves_scale(self):
+        def run(jitter):
+            sim = Simulation()
+            tracker = make_tracker(sim, config=make_config(task_jitter=jitter))
+            done = []
+            tracker.submit(make_job(job_id="jit"), done.append)
+            sim.run()
+            return done[0].execution_time
+
+        smooth, jittered = run(0.0), run(0.3)
+        assert jittered != smooth
+        assert jittered == pytest.approx(smooth, rel=0.35)
+
+
+class TestMultiJob:
+    def test_fifo_ordering_between_jobs(self):
+        """A small job behind a big one waits for the big job's waves."""
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        done = {}
+        big = make_job(input_gb=4.0, job_id="big")
+        small = make_job(input_gb=0.25, job_id="small")
+        tracker.submit(big, lambda r: done.setdefault("big", r))
+        tracker.submit(small, lambda r: done.setdefault("small", r))
+        sim.run()
+        # The small job's first map cannot start before the queue drains
+        # enough; with FIFO it effectively runs after the big job's maps.
+        assert done["small"].first_map_start > done["big"].first_map_start
+        assert done["small"].execution_time > 10.0
+
+    def test_isolated_small_job_is_fast(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        done = []
+        tracker.submit(make_job(input_gb=0.25, job_id="alone"), done.append)
+        sim.run()
+        assert done[0].execution_time < 15.0
+
+    def test_concurrent_jobs_share_slots(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        results = []
+        for i in range(3):
+            tracker.submit(make_job(input_gb=0.5, job_id=f"c{i}"), results.append)
+        sim.run()
+        assert len(results) == 3
+        assert tracker.active_jobs == 0
+
+    def test_results_recorded_on_tracker(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        tracker.submit(make_job(job_id="r0"))
+        tracker.submit(make_job(job_id="r1"))
+        sim.run()
+        assert sorted(r.job_id for r in tracker.results) == ["r0", "r1"]
+
+
+class TestDecideNumReducers:
+    def make_spec(self, shuffle_gb, hint=None):
+        return make_job(
+            input_gb=1.0,
+            shuffle_ratio=0.0,
+            job_id=f"nr{shuffle_gb}{hint}",
+            shuffle_bytes=shuffle_gb * GB,
+            num_reducers_hint=hint,
+        )
+
+    def test_hint_wins(self):
+        assert decide_num_reducers(self.make_spec(50, hint=1), 24, GB) == 1
+
+    def test_hint_capped_by_slots(self):
+        assert decide_num_reducers(self.make_spec(50, hint=99), 24, GB) == 24
+
+    def test_zero_shuffle_one_reducer(self):
+        assert decide_num_reducers(self.make_spec(0), 24, GB) == 1
+
+    def test_sized_by_target(self):
+        assert decide_num_reducers(self.make_spec(6), 24, GB) == 6
+
+    def test_capped_by_slots(self):
+        assert decide_num_reducers(self.make_spec(100), 24, GB) == 24

@@ -1,0 +1,93 @@
+"""Tests for the load-balancing router (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core.architectures import hybrid
+from repro.core.deployment import Deployment
+from repro.core.loadbalance import LoadBalancingRouter
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+from repro.units import GB, MB
+
+
+def small_job(job_id, arrival=0.0, input_gb=2.0):
+    size = input_gb * GB
+    return JobSpec(
+        job_id=job_id,
+        app="trace",
+        input_bytes=size,
+        shuffle_bytes=size * 0.5,
+        output_bytes=size * 0.05,
+        map_cpu_per_byte=0.04 / MB,
+        reduce_cpu_per_byte=0.002 / MB,
+        arrival_time=arrival,
+    )
+
+
+def large_job(job_id, arrival=0.0):
+    return small_job(job_id, arrival=arrival, input_gb=64.0)
+
+
+class TestLoadBalancingRouter:
+    def test_agrees_with_algorithm1_when_idle(self):
+        router = LoadBalancingRouter()
+        deployment = Deployment(hybrid(), router=router)
+        assert deployment.submit(small_job("s")) == deployment.spec.role_index("up")
+        assert deployment.submit(large_job("l")) == deployment.spec.role_index("out")
+
+    def test_diverts_small_jobs_when_up_is_swamped(self):
+        """The paper's scenario: many small jobs at once, no large jobs —
+        pure Algorithm 1 sends all to scale-up; the balancer spills some
+        to the idle scale-out cluster."""
+        router = LoadBalancingRouter(imbalance_threshold=1.0)
+        deployment = Deployment(hybrid(), router=router)
+        jobs = [small_job(f"s{i}", input_gb=8.0) for i in range(40)]
+        deployment.run_trace(jobs)
+        assert router.diversions > 0
+        out_jobs = [
+            r for r in deployment.results if r.cluster == "scale-out"
+        ]
+        assert len(out_jobs) == router.diversions
+
+    def test_balancing_improves_burst_latency(self):
+        """Diverting overflow must reduce the worst-case execution time of
+        an all-small burst versus pure Algorithm 1 routing."""
+        jobs = [small_job(f"s{i}", input_gb=8.0) for i in range(40)]
+
+        plain = Deployment(hybrid())
+        plain_results = plain.run_trace(jobs)
+        plain_max = max(r.execution_time for r in plain_results)
+
+        balanced = Deployment(
+            hybrid(), router=LoadBalancingRouter(imbalance_threshold=1.0)
+        )
+        balanced_results = balanced.run_trace(jobs)
+        balanced_max = max(r.execution_time for r in balanced_results)
+
+        assert balanced_max < plain_max
+
+    def test_never_diverts_large_jobs_to_up_by_default(self):
+        router = LoadBalancingRouter(imbalance_threshold=0.0)
+        deployment = Deployment(hybrid(), router=router)
+        # Swamp scale-out first, then submit another large job.
+        jobs = [large_job(f"l{i}") for i in range(10)]
+        for job in jobs:
+            deployment.submit(job)
+        index = deployment.submit(large_job("probe"))
+        assert index == deployment.spec.role_index("out")
+
+    def test_divert_to_up_opt_in(self):
+        router = LoadBalancingRouter(
+            imbalance_threshold=0.0, allow_divert_to_up=True
+        )
+        deployment = Deployment(hybrid(), router=router)
+        up_index = deployment.spec.role_index("up")
+        routed = [deployment.submit(large_job(f"l{i}")) for i in range(12)]
+        # With diversion to scale-up allowed, an overloaded scale-out
+        # cluster spills some large jobs across.
+        assert router.diversions >= 1
+        assert up_index in routed
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ConfigurationError):
+            LoadBalancingRouter(imbalance_threshold=-1.0)

@@ -1,0 +1,117 @@
+"""Tests for HadoopConfig and the spill model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapreduce.config import HadoopConfig
+from repro.mapreduce.spill import (
+    map_output_store_bytes,
+    reduce_shuffle_store_bytes,
+    spill_count,
+)
+from repro.units import GB, MB
+
+
+def make_config(**overrides):
+    defaults = dict(heap_size=1.5 * GB)
+    defaults.update(overrides)
+    return HadoopConfig(**defaults)
+
+
+class TestHadoopConfig:
+    def test_paper_defaults(self):
+        config = make_config()
+        assert config.block_size == 128 * MB
+        assert config.replication == 2
+
+    def test_buffers_derive_from_heap(self):
+        config = make_config(
+            heap_size=8 * GB, io_sort_fraction=0.5, reduce_buffer_fraction=0.75
+        )
+        assert config.sort_buffer == 4 * GB
+        assert config.reduce_buffer == 6 * GB
+
+    def test_with_options_copies(self):
+        config = make_config()
+        bigger = config.with_options(heap_size=8 * GB)
+        assert bigger.heap_size == 8 * GB
+        assert config.heap_size == 1.5 * GB
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("heap_size", 0),
+            ("block_size", -1),
+            ("replication", 0),
+            ("io_sort_fraction", 0),
+            ("io_sort_fraction", 1.5),
+            ("reduce_buffer_fraction", 0),
+            ("task_overhead", -1),
+            ("shuffle_residual", 1.5),
+            ("task_jitter", 1.0),
+            ("reducer_target_bytes", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            make_config(**{field: value})
+
+
+class TestSpillCount:
+    def test_zero_data_never_spills(self):
+        assert spill_count(0, 100) == 0
+
+    def test_fits_in_one(self):
+        assert spill_count(80, 100) == 1
+
+    def test_multiple_spills(self):
+        assert spill_count(250, 100) == 3
+
+    def test_exact_boundary(self):
+        assert spill_count(200, 100) == 2
+
+    def test_rejects_bad_buffer(self):
+        with pytest.raises(ConfigurationError):
+            spill_count(100, 0)
+
+
+class TestMapOutputStoreBytes:
+    def test_no_spill_writes_output_once(self):
+        assert map_output_store_bytes(80, 100, spill_io_factor=1.0) == 80
+
+    def test_spill_adds_merge_pass(self):
+        assert map_output_store_bytes(300, 100, spill_io_factor=1.0) == 600
+        assert map_output_store_bytes(300, 100, spill_io_factor=0.5) == 450
+
+    def test_zero_output(self):
+        assert map_output_store_bytes(0, 100, 1.0) == 0
+
+
+class TestReduceShuffleStoreBytes:
+    def test_in_memory_charges_residual_only(self):
+        bytes_moved = reduce_shuffle_store_bytes(
+            shuffle_share=80, residual_fraction=0.35, reduce_buffer=100,
+            spill_io_factor=1.0,
+        )
+        assert bytes_moved == pytest.approx(28.0)
+
+    def test_overflow_adds_full_spill(self):
+        bytes_moved = reduce_shuffle_store_bytes(
+            shuffle_share=300, residual_fraction=0.35, reduce_buffer=100,
+            spill_io_factor=1.0,
+        )
+        assert bytes_moved == pytest.approx(300 * 0.35 + 300)
+
+    def test_bigger_heap_avoids_spill(self):
+        """The paper's heap story: same share, larger buffer, less I/O."""
+        small_heap = reduce_shuffle_store_bytes(300, 0.35, 100, 1.0)
+        big_heap = reduce_shuffle_store_bytes(300, 0.35, 1000, 1.0)
+        assert big_heap < small_heap
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            reduce_shuffle_store_bytes(100, 1.5, 100, 1.0)
+
+    def test_rejects_negative_share(self):
+        with pytest.raises(ConfigurationError):
+            reduce_shuffle_store_bytes(-1, 0.5, 100, 1.0)

@@ -1,0 +1,80 @@
+"""Tests for the custom workload-mix builder."""
+
+import pytest
+
+from repro.apps import GREP, TERASORT, WORDCOUNT
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+from repro.workload.mix import WorkloadMix
+
+
+class TestWorkloadMix:
+    def make(self):
+        return (
+            WorkloadMix(seed=3)
+            .add(WORDCOUNT, weight=3, size_range=("100MB", "8GB"))
+            .add(TERASORT, weight=1, size_range=("10GB", "100GB"))
+        )
+
+    def test_generates_requested_jobs(self):
+        trace = self.make().generate(num_jobs=200, duration=3600.0)
+        assert len(trace) == 200
+        assert trace.jobs[-1].arrival_time < 3600.0
+
+    def test_sizes_respect_component_ranges(self):
+        trace = self.make().generate(num_jobs=300, duration=3600.0)
+        for job in trace.jobs:
+            if "wordcount" in job.job_id:
+                assert 100 * MB <= job.input_bytes <= 8 * GB
+            else:
+                assert 10 * GB <= job.input_bytes <= 100 * GB
+
+    def test_ratios_come_from_the_app(self):
+        trace = self.make().generate(num_jobs=100, duration=600.0)
+        for job in trace.jobs:
+            if "terasort" in job.job_id:
+                assert job.shuffle_input_ratio == pytest.approx(1.0)
+            else:
+                assert job.shuffle_input_ratio == pytest.approx(1.6)
+
+    def test_weights_shape_the_mixture(self):
+        trace = self.make().generate(num_jobs=1000, duration=3600.0)
+        wordcount_share = sum(
+            1 for j in trace.jobs if "wordcount" in j.job_id
+        ) / len(trace)
+        assert 0.65 < wordcount_share < 0.85  # weight 3 of 4
+
+    def test_deterministic_per_seed(self):
+        a = self.make().generate(100, 600.0)
+        b = self.make().generate(100, 600.0)
+        assert a.jobs == b.jobs
+
+    def test_replayable(self):
+        from repro.core.architectures import hybrid
+        from repro.core.deployment import Deployment
+
+        trace = (
+            WorkloadMix(seed=5)
+            .add(GREP, size_range=("256MB", "2GB"))
+            .generate(num_jobs=12, duration=120.0)
+        )
+        results = Deployment(hybrid()).run_trace(trace.to_jobspecs())
+        assert len(results) == 12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix().generate(10, 60.0)  # no components
+        with pytest.raises(ConfigurationError):
+            WorkloadMix().add(GREP, weight=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadMix().add(GREP, size_range=("2GB", "1GB"))
+        mix = WorkloadMix().add(GREP)
+        with pytest.raises(ConfigurationError):
+            mix.generate(0, 60.0)
+        with pytest.raises(ConfigurationError):
+            mix.generate(10, 0.0)
+
+    def test_metadata_records_components(self):
+        trace = self.make().generate(10, 60.0)
+        apps = {c["app"] for c in trace.metadata["components"]}
+        assert apps == {"wordcount", "terasort"}

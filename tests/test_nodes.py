@@ -1,0 +1,101 @@
+"""Tests for per-node runtime state."""
+
+import pytest
+
+from repro.cluster import specs
+from repro.errors import ConfigurationError
+from repro.mapreduce import HadoopConfig, build_nodes
+from repro.mapreduce.nodes import NodeRuntime
+from repro.simulator import Simulation
+from repro.storage.disk import RamDisk
+from repro.units import GB
+
+
+def up_config(**overrides):
+    defaults = dict(heap_size=8 * GB, shuffle_to_ramdisk=True)
+    defaults.update(overrides)
+    return HadoopConfig(**defaults)
+
+
+class TestNodeRuntime:
+    def test_ramdisk_built_when_configured(self):
+        sim = Simulation()
+        node = NodeRuntime(sim, 0, specs.SCALE_UP_NODE, up_config(), 2 * GB)
+        assert isinstance(node.ramdisk, RamDisk)
+        assert node.shuffle_store is node.ramdisk
+        assert node.ramdisk.capacity == specs.SCALE_UP_NODE.ramdisk_capacity
+
+    def test_no_ramdisk_uses_local_disk(self):
+        sim = Simulation()
+        config = up_config(shuffle_to_ramdisk=False)
+        node = NodeRuntime(sim, 0, specs.SCALE_OUT_NODE, config, 2 * GB)
+        assert node.ramdisk is None
+        assert node.shuffle_store is node.local_disk
+
+    def test_local_disk_matches_machine_spec(self):
+        sim = Simulation()
+        node = NodeRuntime(sim, 3, specs.SCALE_OUT_NODE, up_config(), 2 * GB)
+        assert node.local_disk.capacity == specs.SCALE_OUT_NODE.disk.capacity
+        assert node.local_disk.bandwidth == specs.SCALE_OUT_NODE.disk.bandwidth
+
+    def test_nic_share_divides_by_active_tasks(self):
+        sim = Simulation()
+        node = NodeRuntime(sim, 0, specs.SCALE_OUT_NODE, up_config(), 2 * GB)
+        nic = specs.SCALE_OUT_NODE.nic_bandwidth
+        assert node.nic_share() == nic  # idle: full NIC
+        node.task_started()
+        node.task_started()
+        assert node.nic_share() == pytest.approx(nic / 2)
+        node.task_finished()
+        assert node.nic_share() == pytest.approx(nic)
+
+    def test_task_finished_underflow(self):
+        sim = Simulation()
+        node = NodeRuntime(sim, 0, specs.SCALE_OUT_NODE, up_config(), 2 * GB)
+        with pytest.raises(ConfigurationError):
+            node.task_finished()
+
+    def test_seek_penalty_applied_to_local_disk(self):
+        sim = Simulation()
+        node = NodeRuntime(
+            sim, 0, specs.SCALE_OUT_NODE, up_config(), 2 * GB,
+            disk_seek_penalty=0.2,
+        )
+        assert node.local_disk.seek_penalty == 0.2
+
+    def test_build_nodes_one_per_machine(self):
+        sim = Simulation()
+        cluster = specs.scale_out_cluster()
+        nodes = build_nodes(sim, cluster, up_config(shuffle_to_ramdisk=False), 2 * GB)
+        assert len(nodes) == 12
+        assert [n.index for n in nodes] == list(range(12))
+
+
+class TestSeekDegradation:
+    def test_concurrent_streams_lose_aggregate_bandwidth(self):
+        """With seek penalty, 4 concurrent transfers take more than 4x
+        one transfer's time (aggregate degrades)."""
+        from repro.storage.disk import DiskDevice
+
+        def run(n_streams):
+            sim = Simulation()
+            disk = DiskDevice(sim, bandwidth=100.0, capacity=1e9,
+                              seek_penalty=0.25)
+            for _ in range(n_streams):
+                disk.transfer(1000.0, lambda: None)
+            return sim.run()
+
+        one = run(1)
+        four = run(4)
+        assert one == pytest.approx(10.0)
+        # Ideal sharing would give 40 s; seeks make it 4x(1+0.25x3) = 70.
+        assert four == pytest.approx(70.0)
+
+    def test_zero_penalty_is_pure_sharing(self):
+        from repro.storage.disk import DiskDevice
+
+        sim = Simulation()
+        disk = DiskDevice(sim, bandwidth=100.0, capacity=1e9, seek_penalty=0.0)
+        for _ in range(4):
+            disk.transfer(1000.0, lambda: None)
+        assert sim.run() == pytest.approx(40.0)

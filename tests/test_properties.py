@@ -1,0 +1,128 @@
+"""System-level property tests: invariants under randomized workloads.
+
+Hypothesis drives random traces through full deployments and checks the
+conservation laws and orderings that must hold whatever the workload:
+every job completes exactly once, timestamps are ordered, slots and
+counters return to zero, routing respects Algorithm 1, determinism.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.architectures import hybrid, out_ofs, thadoop
+from repro.core.deployment import Deployment
+from repro.core.scheduler import Decision, SizeAwareScheduler
+from repro.mapreduce.job import JobSpec
+from repro.units import GB, MB
+
+
+@st.composite
+def job_specs(draw, index):
+    """A random but executable job."""
+    size = draw(
+        st.floats(min_value=1 * MB, max_value=64 * GB)
+    )
+    ratio = draw(st.floats(min_value=0.0, max_value=2.0))
+    output_ratio = draw(st.floats(min_value=0.0, max_value=1.0))
+    arrival = draw(st.floats(min_value=0.0, max_value=600.0))
+    return JobSpec(
+        job_id=f"h{index}",
+        app="prop",
+        input_bytes=size,
+        shuffle_bytes=size * ratio,
+        output_bytes=size * output_ratio,
+        map_cpu_per_byte=draw(st.floats(min_value=0.0, max_value=0.1)) / MB,
+        reduce_cpu_per_byte=draw(st.floats(min_value=0.0, max_value=0.01)) / MB,
+        arrival_time=arrival,
+    )
+
+
+@st.composite
+def traces(draw, max_jobs=8):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    return [draw(job_specs(i)) for i in range(n)]
+
+
+class TestReplayInvariants:
+    @given(jobs=traces())
+    @settings(max_examples=25, deadline=None)
+    def test_every_job_completes_exactly_once(self, jobs):
+        deployment = Deployment(hybrid())
+        results = deployment.run_trace(jobs)
+        assert sorted(r.job_id for r in results) == sorted(j.job_id for j in jobs)
+
+    @given(jobs=traces())
+    @settings(max_examples=25, deadline=None)
+    def test_timestamps_ordered_and_finite(self, jobs):
+        deployment = Deployment(hybrid())
+        for result in deployment.run_trace(jobs):
+            assert result.submit_time <= result.first_map_start
+            assert result.first_map_start <= result.last_map_end
+            assert result.last_map_end <= result.last_shuffle_end
+            assert result.last_shuffle_end <= result.end_time
+            assert result.execution_time == result.execution_time  # not NaN
+
+    @given(jobs=traces())
+    @settings(max_examples=20, deadline=None)
+    def test_trackers_drain_completely(self, jobs):
+        deployment = Deployment(hybrid())
+        deployment.run_trace(jobs)
+        for tracker in deployment.trackers:
+            assert tracker.active_jobs == 0
+            assert tracker.queued_map_tasks == 0
+            assert tracker.total_free_map_slots == tracker.cluster.total_map_slots
+            assert tracker._committed_map_tasks == 0
+            for node in tracker.nodes:
+                assert node.active_tasks == 0
+
+    @given(jobs=traces())
+    @settings(max_examples=20, deadline=None)
+    def test_routing_respects_algorithm1(self, jobs):
+        deployment = Deployment(hybrid())
+        results = deployment.run_trace(jobs)
+        scheduler = SizeAwareScheduler()
+        by_id = {j.job_id: j for j in jobs}
+        for result in results:
+            decision = scheduler.decide_job(by_id[result.job_id])
+            expected = "scale-up" if decision is Decision.SCALE_UP else "scale-out"
+            assert result.cluster == expected
+
+    @given(jobs=traces(max_jobs=5))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_across_runs(self, jobs):
+        def run():
+            results = Deployment(hybrid()).run_trace(jobs)
+            return sorted((r.job_id, r.execution_time) for r in results)
+
+        assert run() == run()
+
+    @given(jobs=traces(max_jobs=5))
+    @settings(max_examples=15, deadline=None)
+    def test_single_cluster_architectures_also_complete(self, jobs):
+        for spec_fn in (out_ofs, thadoop):
+            results = Deployment(spec_fn()).run_trace(jobs)
+            assert len(results) == len(jobs)
+
+    @given(jobs=traces(max_jobs=4))
+    @settings(max_examples=10, deadline=None)
+    def test_contention_rarely_helps(self, jobs):
+        """A job inside a batch is essentially never faster than alone.
+
+        Not *exactly* never: co-tenants perturb the most-free-slots
+        placement rotation, which can luck a job's tasks onto
+        less-contended nodes — a real phenomenon in real schedulers.
+        The perturbation is bounded; material speedups from added load
+        would indicate an accounting bug.
+        """
+        target = jobs[0]
+        alone = (
+            Deployment(out_ofs())
+            .run_trace([target])[0]
+            .execution_time
+        )
+        together = next(
+            r.execution_time
+            for r in Deployment(out_ofs()).run_trace(jobs)
+            if r.job_id == target.job_id
+        )
+        assert together >= alone * 0.95 - 1e-6

@@ -1,0 +1,63 @@
+"""Tests for the package's public surface: exports, version, errors."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_key_entry_points_present(self):
+        assert callable(repro.hybrid)
+        assert callable(repro.Deployment)
+        assert callable(repro.SizeAwareScheduler)
+        assert callable(repro.generate_fb2009)
+
+    def test_units_are_numbers(self):
+        assert repro.GB == 2**30
+        assert repro.parse_size("1GB") == repro.GB
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ConfigurationError, CapacityError, SchedulingError,
+         SimulationError, TraceError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_base_not_builtin_alias(self):
+        assert ReproError is not Exception
+        assert issubclass(ReproError, Exception)
+
+
+class TestQuickstartSnippet:
+    def test_readme_quickstart_works(self):
+        """The README's quickstart must stay executable."""
+        from repro import Deployment, hybrid, WORDCOUNT, SizeAwareScheduler
+
+        scheduler = SizeAwareScheduler()
+        decision = scheduler.decide(8 * 2**30, ratio=1.6)
+        assert decision.value == "scale-up"
+
+        deployment = Deployment(hybrid())
+        result = deployment.run_job(WORDCOUNT.make_job("8GB"))
+        assert result.cluster == "scale-up"
+        assert result.execution_time > 0

@@ -1,0 +1,174 @@
+"""Tests for the FIFO/Fair task-queue policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.mapreduce.queues import FairQueue, FifoQueue, make_queue
+
+
+class _Job:
+    """Stand-in for a job state: identity is all that matters."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+class TestFifoQueue:
+    def test_strict_order_across_jobs(self):
+        queue = FifoQueue()
+        a, b = _Job("a"), _Job("b")
+        for i in range(3):
+            queue.push(a, i)
+        queue.push(b, 0)
+        popped = [queue.pop() for _ in range(4)]
+        assert [j.name for j, _ in popped] == ["a", "a", "a", "b"]
+
+    def test_pop_empty_returns_none(self):
+        assert FifoQueue().pop() is None
+
+    def test_len(self):
+        queue = FifoQueue()
+        queue.push(_Job("a"), 0)
+        assert len(queue) == 1
+        queue.pop()
+        assert len(queue) == 0
+
+
+class TestFairQueue:
+    def test_balances_running_tasks_across_jobs(self):
+        queue = FairQueue()
+        a, b = _Job("a"), _Job("b")
+        for i in range(4):
+            queue.push(a, i)
+        for i in range(4):
+            queue.push(b, i)
+        # Four pops with no completions: alternate a, b, a, b.
+        popped = [queue.pop()[0].name for _ in range(4)]
+        assert popped == ["a", "b", "a", "b"]
+
+    def test_small_job_not_starved_by_earlier_big_job(self):
+        """The property FIFO lacks: a later job's first task runs second,
+        not after the big job's entire backlog."""
+        queue = FairQueue()
+        big, small = _Job("big"), _Job("small")
+        for i in range(100):
+            queue.push(big, i)
+        queue.push(small, 0)
+        first = queue.pop()[0].name
+        second = queue.pop()[0].name
+        assert first == "big"
+        assert second == "small"
+
+    def test_completion_rebalances(self):
+        queue = FairQueue()
+        a, b = _Job("a"), _Job("b")
+        for i in range(3):
+            queue.push(a, i)
+        queue.push(b, 0)
+        assert queue.pop()[0] is a  # a running: 1
+        assert queue.pop()[0] is b  # b running: 1
+        queue.task_finished(a)      # a running: 0
+        assert queue.pop()[0] is a  # a again (fewest running)
+
+    def test_ties_broken_by_submission_order(self):
+        queue = FairQueue()
+        jobs = [_Job(f"j{i}") for i in range(3)]
+        for job in jobs:
+            queue.push(job, 0)
+        assert [queue.pop()[0].name for _ in range(3)] == ["j0", "j1", "j2"]
+
+    def test_task_finished_unknown_job(self):
+        queue = FairQueue()
+        with pytest.raises(SchedulingError):
+            queue.task_finished(_Job("ghost"))
+
+    def test_task_finished_underflow(self):
+        queue = FairQueue()
+        a = _Job("a")
+        queue.push(a, 0)
+        queue.push(a, 1)  # keep pending non-empty so the job isn't dropped
+        queue.pop()
+        queue.task_finished(a)
+        with pytest.raises(SchedulingError):
+            queue.task_finished(a)
+
+    def test_drained_job_forgotten(self):
+        queue = FairQueue()
+        a = _Job("a")
+        queue.push(a, 0)
+        queue.pop()
+        queue.task_finished(a)
+        assert len(queue._pending) == 0  # internal: fully cleaned up
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), min_size=1,
+                    max_size=60))
+    def test_conservation(self, job_ids):
+        """Every pushed task is popped exactly once, whatever the mix."""
+        queue = FairQueue()
+        jobs = [_Job(f"j{i}") for i in range(5)]
+        for task_index, job_id in enumerate(job_ids):
+            queue.push(jobs[job_id], task_index)
+        seen = []
+        while len(queue):
+            entry = queue.pop()
+            seen.append(entry)
+            queue.task_finished(entry[0])
+        assert len(seen) == len(job_ids)
+        assert queue.pop() is None
+
+
+class TestMakeQueue:
+    def test_factory(self):
+        assert isinstance(make_queue("fifo"), FifoQueue)
+        assert isinstance(make_queue("fair"), FairQueue)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            make_queue("lottery")
+
+    def test_config_validates_policy(self):
+        from repro.mapreduce.config import HadoopConfig
+        from repro.units import GB
+
+        with pytest.raises(ConfigurationError):
+            HadoopConfig(heap_size=GB, scheduler_policy="lottery")
+        config = HadoopConfig(heap_size=GB, scheduler_policy="fair")
+        assert config.scheduler_policy == "fair"
+
+
+class TestFairSchedulingEndToEnd:
+    def test_fair_policy_rescues_small_job_behind_big_one(self):
+        """On one cluster, FIFO makes a small job wait for a big job's
+        map waves; fair scheduling lets it through.  The big job's
+        reducer count is pinned below the slot count so the comparison
+        isolates *map* scheduling (reduce-slot hoarding is a separate,
+        real phenomenon covered by test_slowstart)."""
+        from repro.simulator import Simulation
+        from tests.test_jobtracker import (
+            make_cluster, make_config, make_job, make_tracker,
+        )
+
+        def small_exec(policy):
+            sim = Simulation()
+            tracker = make_tracker(
+                sim,
+                cluster=make_cluster(count=2, map_slots=2, reduce_slots=2),
+                config=make_config(scheduler_policy=policy),
+            )
+            done = {}
+            tracker.submit(
+                make_job(input_gb=8.0, job_id="big", num_reducers_hint=2),
+                lambda r: done.setdefault("big", r),
+            )
+            tracker.submit(
+                make_job(input_gb=0.25, job_id="small"),
+                lambda r: done.setdefault("small", r),
+            )
+            sim.run()
+            return done["small"].execution_time
+
+        assert small_exec("fair") < small_exec("fifo") / 2

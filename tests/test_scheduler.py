@@ -1,0 +1,132 @@
+"""Tests for Algorithm 1 (SizeAwareScheduler) and CrossPoints."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.scheduler import (
+    CrossPoints,
+    Decision,
+    PAPER_CROSS_POINTS,
+    SizeAwareScheduler,
+)
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+from repro.units import GB, MB
+
+
+def make_job(input_bytes, ratio):
+    return JobSpec(
+        job_id=f"j-{input_bytes}-{ratio}",
+        app="trace",
+        input_bytes=input_bytes,
+        shuffle_bytes=input_bytes * ratio,
+        output_bytes=0.0,
+        map_cpu_per_byte=0.0,
+        reduce_cpu_per_byte=0.0,
+    )
+
+
+class TestCrossPoints:
+    def test_paper_defaults(self):
+        assert PAPER_CROSS_POINTS.high_ratio_cross == 32 * GB
+        assert PAPER_CROSS_POINTS.mid_ratio_cross == 16 * GB
+        assert PAPER_CROSS_POINTS.low_ratio_cross == 10 * GB
+
+    def test_band_selection(self):
+        cp = PAPER_CROSS_POINTS
+        assert cp.cross_for_ratio(1.6) == 32 * GB
+        assert cp.cross_for_ratio(1.0) == 16 * GB  # boundary: 0.4 <= r <= 1
+        assert cp.cross_for_ratio(0.4) == 16 * GB
+        assert cp.cross_for_ratio(0.39) == 10 * GB
+        assert cp.cross_for_ratio(0.0) == 10 * GB
+
+    def test_unknown_ratio_treated_as_map_intensive(self):
+        assert PAPER_CROSS_POINTS.cross_for_ratio(None) == 10 * GB
+
+    def test_rejects_negative_ratio(self):
+        with pytest.raises(ConfigurationError):
+            PAPER_CROSS_POINTS.cross_for_ratio(-0.1)
+
+    def test_rejects_bad_bands(self):
+        with pytest.raises(ConfigurationError):
+            CrossPoints(ratio_low=1.0, ratio_high=0.4)
+        with pytest.raises(ConfigurationError):
+            CrossPoints(high_ratio_cross=0)
+
+    def test_describe(self):
+        text = PAPER_CROSS_POINTS.describe()
+        assert "32GB" in text and "16GB" in text and "10GB" in text
+
+
+class TestAlgorithm1:
+    """Each case mirrors a branch of the paper's pseudo-code."""
+
+    @pytest.mark.parametrize(
+        "size,ratio,expected",
+        [
+            # ratio > 1: 32 GB cross point
+            (31 * GB, 1.6, Decision.SCALE_UP),
+            (32 * GB, 1.6, Decision.SCALE_OUT),
+            (100 * GB, 1.6, Decision.SCALE_OUT),
+            # 0.4 <= ratio <= 1: 16 GB
+            (15 * GB, 0.4, Decision.SCALE_UP),
+            (16 * GB, 0.7, Decision.SCALE_OUT),
+            # ratio < 0.4: 10 GB
+            (9 * GB, 0.1, Decision.SCALE_UP),
+            (10 * GB, 0.1, Decision.SCALE_OUT),
+            # tiny jobs always scale-up
+            (100 * MB, 0.0, Decision.SCALE_UP),
+        ],
+    )
+    def test_branches(self, size, ratio, expected):
+        assert SizeAwareScheduler().decide(size, ratio) is expected
+
+    def test_unknown_ratio_uses_conservative_cross(self):
+        scheduler = SizeAwareScheduler()
+        # 12 GB with unknown ratio -> scale-out (would be scale-up if the
+        # job were known shuffle-intensive).
+        assert scheduler.decide(12 * GB, None) is Decision.SCALE_OUT
+        assert scheduler.decide(12 * GB, 1.6) is Decision.SCALE_UP
+
+    def test_decide_job_reads_spec_ratio(self):
+        scheduler = SizeAwareScheduler()
+        job = make_job(20 * GB, ratio=1.5)
+        assert scheduler.decide_job(job) is Decision.SCALE_UP
+        assert scheduler.decide_job(job, ratio_known=False) is Decision.SCALE_OUT
+
+    def test_schedule_preserves_order(self):
+        scheduler = SizeAwareScheduler()
+        jobs = [make_job((i + 1) * GB, 0.5) for i in range(5)]
+        routed = list(scheduler.schedule(iter(jobs)))
+        assert [j.job_id for j, _ in routed] == [j.job_id for j in jobs]
+        assert all(d is Decision.SCALE_UP for _, d in routed)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ConfigurationError):
+            SizeAwareScheduler().decide(-1, 0.5)
+
+    def test_custom_cross_points(self):
+        scheduler = SizeAwareScheduler(
+            CrossPoints(high_ratio_cross=GB, mid_ratio_cross=GB, low_ratio_cross=GB)
+        )
+        assert scheduler.decide(2 * GB, 1.6) is Decision.SCALE_OUT
+
+    @given(
+        size=st.floats(min_value=0, max_value=1e14),
+        ratio=st.one_of(st.none(), st.floats(min_value=0, max_value=5)),
+    )
+    def test_total_function(self, size, ratio):
+        """Every job gets exactly one decision; monotone in size."""
+        scheduler = SizeAwareScheduler()
+        decision = scheduler.decide(size, ratio)
+        assert decision in (Decision.SCALE_UP, Decision.SCALE_OUT)
+        # Monotonicity: doubling the size never flips OUT back to UP.
+        if decision is Decision.SCALE_OUT:
+            assert scheduler.decide(size * 2, ratio) is Decision.SCALE_OUT
+
+    @given(ratio=st.floats(min_value=0, max_value=5))
+    def test_cross_point_is_the_boundary(self, ratio):
+        scheduler = SizeAwareScheduler()
+        cross = scheduler.cross_points.cross_for_ratio(ratio)
+        assert scheduler.decide(cross * 0.999, ratio) is Decision.SCALE_UP
+        assert scheduler.decide(cross, ratio) is Decision.SCALE_OUT

@@ -1,0 +1,52 @@
+"""Tests for the sensitivity-analysis machinery (small shock sets)."""
+
+import pytest
+
+from repro.analysis.sensitivity import Shock, run_sensitivity, summarize
+from repro.errors import ConfigurationError
+
+
+class TestRunSensitivity:
+    @pytest.fixture(scope="class")
+    def shocks(self):
+        return run_sensitivity(
+            parameters=("ofs_access_latency", "disk_seek_penalty"),
+            factors=(0.8, 1.2),
+        )
+
+    def test_one_shock_per_parameter_factor(self, shocks):
+        assert len(shocks) == 4
+        assert {(s.parameter, s.factor) for s in shocks} == {
+            ("ofs_access_latency", 0.8),
+            ("ofs_access_latency", 1.2),
+            ("disk_seek_penalty", 0.8),
+            ("disk_seek_penalty", 1.2),
+        }
+
+    def test_mild_shocks_keep_all_conclusions(self, shocks):
+        for shock in shocks:
+            assert shock.small_ordering_holds, shock
+            assert shock.large_ordering_holds, shock
+            assert shock.crosses_ordered, shock
+            assert shock.wordcount_cross is not None
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sensitivity(parameters=("warp_factor",))
+
+
+class TestSummarize:
+    def test_fractions(self):
+        shocks = [
+            Shock("a", 1.0, 1.0, True, True, True),
+            Shock("a", 2.0, None, True, False, False),
+        ]
+        summary = summarize(shocks)
+        assert summary["small_ordering"] == 1.0
+        assert summary["large_ordering"] == 0.5
+        assert summary["crosses_ordered"] == 0.5
+        assert summary["wordcount_cross_exists"] == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])

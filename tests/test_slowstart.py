@@ -1,0 +1,99 @@
+"""Tests for reduce slowstart and slot hoarding (the convoy mechanism)."""
+
+import pytest
+
+from repro.simulator import Simulation
+
+from tests.test_jobtracker import make_cluster, make_config, make_job, make_tracker
+
+
+class TestSlowstart:
+    def test_slowstart_one_equals_launch_after_maps(self):
+        """slowstart=1.0 reduces to the simple model: same results."""
+
+        def run(slowstart):
+            sim = Simulation()
+            tracker = make_tracker(
+                sim, config=make_config(reduce_slowstart=slowstart)
+            )
+            done = []
+            tracker.submit(make_job(job_id="ss"), done.append)
+            sim.run()
+            return done[0]
+
+        early = run(0.05)
+        late = run(1.0)
+        # An isolated job is unaffected: its reducers only wait on its own
+        # maps either way, and phase timestamps are identical.
+        assert early.execution_time == pytest.approx(late.execution_time)
+        assert early.shuffle_phase == pytest.approx(late.shuffle_phase)
+
+    def test_early_reducers_hold_slots(self):
+        """With slowstart, a running job's reducers occupy reduce slots
+        while its maps are still going — visible as a busy reduce pool
+        mid-map-phase."""
+        sim = Simulation()
+        tracker = make_tracker(
+            sim,
+            cluster=make_cluster(count=2, map_slots=1, reduce_slots=1),
+            config=make_config(reduce_slowstart=0.05),
+        )
+        tracker.submit(make_job(input_gb=2.0, job_id="holder"))
+        # 2 GB = 16 maps on 2 slots: long map phase.  Run to mid-phase.
+        sim.run(until=30.0)
+        free_reduce = sum(tracker._free_reduce)
+        assert free_reduce < tracker.cluster.total_reduce_slots
+
+    def test_convoy_hurts_small_jobs_on_a_shared_cluster(self):
+        """The Section V mechanism at workload scale: on a shared cluster
+        replaying a mixed trace, early-launching reducers (slowstart 0.05)
+        hold slots through long map phases and make the small-job class
+        slower than polite launch-after-maps (slowstart 1.0) would."""
+        import numpy as np
+
+        from repro.core.architectures import thadoop
+        from repro.core.calibration import DEFAULT_CALIBRATION
+        from repro.core.deployment import Deployment
+        from repro.workload.fb2009 import DAY, generate_fb2009
+
+        trace = generate_fb2009(
+            num_jobs=250, seed=42, duration=DAY * 250 / 6000
+        ).shrink(5.0)
+        jobs = trace.to_jobspecs()
+        small_ids = {j.job_id for j in jobs if j.input_bytes < 2e9}
+        assert small_ids
+
+        def small_job_mean(slowstart):
+            cal = DEFAULT_CALIBRATION.with_options(reduce_slowstart=slowstart)
+            results = Deployment(thadoop(), calibration=cal).run_trace(jobs)
+            return float(
+                np.mean(
+                    [r.execution_time for r in results if r.job_id in small_ids]
+                )
+            )
+
+        assert small_job_mean(0.05) > small_job_mean(1.0)
+
+    def test_no_deadlock_under_full_hoarding(self):
+        """Reduce slots all held by waiting reducers never deadlocks:
+        maps need no reduce slots, so every job's maps finish and release
+        the convoy."""
+        sim = Simulation()
+        tracker = make_tracker(
+            sim,
+            cluster=make_cluster(count=2, map_slots=1, reduce_slots=1),
+            config=make_config(reduce_slowstart=0.0),
+        )
+        results = []
+        for i in range(6):
+            tracker.submit(make_job(input_gb=0.5, job_id=f"j{i}"), results.append)
+        sim.run()
+        assert len(results) == 6
+
+    def test_slowstart_zero_enqueues_reducers_at_submit(self):
+        sim = Simulation()
+        tracker = make_tracker(sim, config=make_config(reduce_slowstart=0.0))
+        done = []
+        tracker.submit(make_job(job_id="zero"), done.append)
+        sim.run()
+        assert len(done) == 1

@@ -1,0 +1,109 @@
+"""Tests for speculative map execution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mapreduce.config import HadoopConfig
+from repro.simulator import Simulation
+from repro.units import GB
+
+from tests.test_jobtracker import make_cluster, make_config, make_job, make_tracker
+
+
+def run_job(config, cluster=None, job=None):
+    sim = Simulation()
+    tracker = make_tracker(sim, cluster=cluster, config=config)
+    done = []
+    tracker.submit(job or make_job(job_id="spec-test"), done.append)
+    sim.run()
+    return done[0], tracker
+
+
+class TestSpeculation:
+    def test_off_by_default(self):
+        config = make_config()
+        assert not config.speculative_execution
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HadoopConfig(heap_size=GB, speculative_slack=0.5)
+
+    def test_identical_results_when_no_stragglers(self):
+        """Jitter 0 -> equal task times -> nothing ever looks late, so
+        speculation must not change anything."""
+        job = make_job(input_gb=1.0, job_id="nostrag")
+        plain, _ = run_job(make_config(task_jitter=0.0), job=job)
+        spec, _ = run_job(
+            make_config(task_jitter=0.0, speculative_execution=True), job=job
+        )
+        assert spec.execution_time == pytest.approx(plain.execution_time)
+
+    def test_backups_launch_for_stragglers_with_bounded_overhead(self):
+        """With dispersed task times and idle slots, backups launch; and
+        because this model's stragglers are boundedly slow (no failed
+        nodes), speculation can only cost a little, never much — the
+        realistic assessment of Hadoop's heuristic on a healthy cluster.
+        """
+        # 10 blocks on 16 slots: idle slots exist while any map runs.
+        cluster = make_cluster(count=4, map_slots=4, reduce_slots=4, cores=8)
+        job = make_job(input_gb=1.25, job_id="straggly")
+        results = {}
+        launches = {}
+        for speculative in (False, True):
+            config = make_config(
+                task_jitter=0.6,
+                speculative_execution=speculative,
+                speculative_slack=1.05,
+            )
+            result, tracker = run_job(config, cluster=cluster, job=job)
+            results[speculative] = result.execution_time
+            launches[speculative] = tracker.speculative_launches
+        assert launches[False] == 0
+        assert launches[True] > 0
+        # Within 10% either way of the non-speculative run.
+        assert results[True] == pytest.approx(results[False], rel=0.10)
+
+    def test_losing_copy_does_not_double_count(self):
+        """With aggressive speculation, every map completes exactly once
+        and the job's accounting stays consistent."""
+        cluster = make_cluster(count=4, map_slots=4, reduce_slots=4, cores=8)
+        config = make_config(
+            task_jitter=0.6, speculative_execution=True, speculative_slack=1.0
+        )
+        result, tracker = run_job(
+            config, cluster=cluster, job=make_job(input_gb=1.25, job_id="dbl")
+        )
+        assert result.execution_time > 0
+        # All slots eventually return (losing copies included).
+        assert tracker.total_free_map_slots == tracker.cluster.total_map_slots
+        assert tracker.active_jobs == 0
+        assert tracker._committed_map_tasks == 0
+
+    def test_speculation_deterministic(self):
+        cluster = make_cluster(count=4, map_slots=4, reduce_slots=4, cores=8)
+        config = make_config(
+            task_jitter=0.5, speculative_execution=True, speculative_slack=1.1
+        )
+
+        def once():
+            result, _ = run_job(
+                config, cluster=cluster, job=make_job(input_gb=1.25, job_id="det")
+            )
+            return result.execution_time
+
+        assert once() == once()
+
+    def test_multi_job_speculation_safe(self):
+        sim = Simulation()
+        tracker = make_tracker(
+            sim,
+            cluster=make_cluster(count=4, map_slots=4, reduce_slots=4, cores=8),
+            config=make_config(
+                task_jitter=0.5, speculative_execution=True, speculative_slack=1.1
+            ),
+        )
+        done = []
+        for i in range(5):
+            tracker.submit(make_job(input_gb=0.75, job_id=f"m{i}"), done.append)
+        sim.run()
+        assert len(done) == 5

@@ -1,0 +1,241 @@
+"""Tests for the storage substrate: devices, HDFS and OrangeFS."""
+
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.simulator import Simulation
+from repro.storage import HDFS, DiskDevice, OrangeFS, RamDisk
+from repro.units import GB, MB
+
+
+def make_devices(sim, n, bandwidth=100.0, capacity=1000.0):
+    return [
+        DiskDevice(sim, bandwidth=bandwidth, capacity=capacity, name=f"d{i}")
+        for i in range(n)
+    ]
+
+
+class TestDiskDevice:
+    def test_transfer_at_bandwidth(self):
+        sim = Simulation()
+        disk = DiskDevice(sim, bandwidth=100.0, capacity=1000.0)
+        done = []
+        disk.transfer(500.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(5.0)]
+
+    def test_concurrent_transfers_share_bandwidth(self):
+        sim = Simulation()
+        disk = DiskDevice(sim, bandwidth=100.0, capacity=1000.0)
+        done = []
+        disk.transfer(500.0, lambda: done.append(sim.now))
+        disk.transfer(500.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(10.0), pytest.approx(10.0)]
+
+    def test_capacity_accounting(self):
+        sim = Simulation()
+        disk = DiskDevice(sim, bandwidth=100.0, capacity=1000.0)
+        disk.allocate(600.0)
+        assert disk.available == 400.0
+        with pytest.raises(CapacityError):
+            disk.allocate(500.0)
+        disk.free(600.0)
+        disk.allocate(900.0)
+
+    def test_free_never_goes_negative(self):
+        sim = Simulation()
+        disk = DiskDevice(sim, bandwidth=100.0, capacity=1000.0)
+        disk.free(50.0)
+        assert disk.used == 0.0
+
+    def test_rejects_negative_amounts(self):
+        sim = Simulation()
+        disk = DiskDevice(sim, bandwidth=100.0, capacity=1000.0)
+        with pytest.raises(ConfigurationError):
+            disk.allocate(-1.0)
+        with pytest.raises(ConfigurationError):
+            disk.free(-1.0)
+
+    def test_ramdisk_is_a_device(self):
+        sim = Simulation()
+        ram = RamDisk(sim, bandwidth=2e9, capacity=252 * GB)
+        done = []
+        ram.transfer(2e9, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0)]
+
+
+class TestHDFS:
+    def test_read_hits_local_device(self):
+        sim = Simulation()
+        devices = make_devices(sim, 3)
+        fs = HDFS(sim, devices, replication=2, access_latency=0.5)
+        done = []
+        fs.read(100.0, node_index=1, on_complete=lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(0.5 + 1.0)]
+
+    def test_write_replicates_to_peer(self):
+        sim = Simulation()
+        devices = make_devices(sim, 3)
+        fs = HDFS(
+            sim, devices, replication=2, access_latency=0.0, write_buffer_factor=1.0
+        )
+        done = []
+        fs.write(100.0, node_index=0, on_complete=lambda: done.append(sim.now))
+        sim.run()
+        assert len(done) == 1
+        # Two devices each moved 100 bytes at 100 B/s.
+        moved = [d.resource.bytes_completed for d in devices]
+        assert sorted(moved) == [0.0, 100.0, 100.0]
+
+    def test_write_buffer_factor_speeds_writes(self):
+        sim = Simulation()
+        devices = make_devices(sim, 2)
+        fs = HDFS(
+            sim, devices, replication=1, access_latency=0.0, write_buffer_factor=4.0
+        )
+        done = []
+        fs.write(400.0, node_index=0, on_complete=lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0)]  # 400/4 bytes at 100 B/s
+
+    def test_replica_round_robin_skips_writer(self):
+        sim = Simulation()
+        devices = make_devices(sim, 2)
+        fs = HDFS(
+            sim, devices, replication=2, access_latency=0.0, write_buffer_factor=1.0
+        )
+        for _ in range(3):
+            fs.write(10.0, node_index=0, on_complete=lambda: None)
+        sim.run()
+        # All replicas must land on device 1 (the only peer).
+        assert devices[1].resource.bytes_completed == pytest.approx(30.0)
+
+    def test_capacity_with_replication(self):
+        sim = Simulation()
+        devices = make_devices(sim, 2, capacity=1000.0)
+        fs = HDFS(sim, devices, replication=2, usable_fraction=1.0)
+        assert fs.capacity == pytest.approx(1000.0)
+        fs.register_dataset(800.0)
+        with pytest.raises(CapacityError):
+            fs.register_dataset(300.0)
+        fs.release_dataset(800.0)
+        fs.register_dataset(1000.0)
+
+    def test_paper_scale_up_ceiling(self):
+        """2 x 91 GB disks, replication 2, 90% usable -> ~82 GB, matching
+        the paper's 'cannot process jobs greater than 80GB'."""
+        sim = Simulation()
+        devices = make_devices(sim, 2, capacity=91 * GB)
+        fs = HDFS(sim, devices, replication=2, usable_fraction=0.9)
+        fs.register_dataset(80 * GB)
+        fs.release_dataset(80 * GB)
+        with pytest.raises(CapacityError):
+            fs.register_dataset(85 * GB)
+
+    def test_rejects_bad_config(self):
+        sim = Simulation()
+        devices = make_devices(sim, 2)
+        with pytest.raises(ConfigurationError):
+            HDFS(sim, [])
+        with pytest.raises(ConfigurationError):
+            HDFS(sim, devices, replication=0)
+        with pytest.raises(ConfigurationError):
+            HDFS(sim, devices, replication=3)
+        with pytest.raises(ConfigurationError):
+            HDFS(sim, devices, usable_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            HDFS(sim, devices, write_buffer_factor=0.5)
+
+    def test_read_from_unknown_node(self):
+        sim = Simulation()
+        fs = HDFS(sim, make_devices(sim, 2))
+        with pytest.raises(ConfigurationError):
+            fs.read(10.0, node_index=5, on_complete=lambda: None)
+
+
+class TestOrangeFS:
+    def make(self, sim, **overrides):
+        defaults = dict(
+            num_servers=8,
+            server_bandwidth=400 * MB,
+            access_latency=1.0,
+            stream_cap=80 * MB,
+            per_job_overhead=4.0,
+            capacity=100 * GB,
+        )
+        defaults.update(overrides)
+        return OrangeFS(sim, **defaults)
+
+    def test_read_pays_latency_then_stream_cap(self):
+        sim = Simulation()
+        fs = self.make(sim)
+        done = []
+        fs.read(80 * MB, node_index=0, on_complete=lambda: done.append(sim.now))
+        sim.run()
+        assert done == [pytest.approx(1.0 + 1.0)]
+
+    def test_aggregate_binds_under_load(self):
+        sim = Simulation()
+        fs = self.make(sim, num_servers=1, server_bandwidth=100.0, stream_cap=100.0,
+                       access_latency=0.0)
+        done = []
+        for _ in range(4):
+            fs.read(100.0, node_index=0, on_complete=lambda: done.append(sim.now))
+        sim.run()
+        assert all(t == pytest.approx(4.0) for t in done)
+
+    def test_stream_cap_override_takes_minimum(self):
+        sim = Simulation()
+        fs = self.make(sim, access_latency=0.0)
+        done = []
+        fs.read(
+            80 * MB, 0, lambda: done.append(sim.now), stream_cap=40 * MB
+        )
+        sim.run()
+        assert done == [pytest.approx(2.0)]
+
+    def test_node_index_is_irrelevant(self):
+        sim = Simulation()
+        fs = self.make(sim)
+        done = []
+        fs.write(80 * MB, node_index=999, on_complete=lambda: done.append(sim.now))
+        sim.run()
+        assert len(done) == 1
+
+    def test_capacity(self):
+        sim = Simulation()
+        fs = self.make(sim, capacity=10 * GB)
+        fs.register_dataset(9 * GB)
+        with pytest.raises(CapacityError):
+            fs.register_dataset(2 * GB)
+        fs.release_dataset(9 * GB)
+        fs.register_dataset(10 * GB)
+
+    def test_shared_array_couples_clusters(self):
+        """Streams from different 'clusters' contend on the same array —
+        the hybrid's storage coupling."""
+        sim = Simulation()
+        fs = self.make(sim, num_servers=1, server_bandwidth=100.0,
+                       stream_cap=100.0, access_latency=0.0)
+        times = {}
+        fs.read(300.0, 0, lambda: times.setdefault("up", sim.now))
+        fs.read(300.0, 40, lambda: times.setdefault("out", sim.now))
+        sim.run()
+        assert times["up"] == pytest.approx(6.0)
+        assert times["out"] == pytest.approx(6.0)
+
+    def test_rejects_bad_config(self):
+        sim = Simulation()
+        with pytest.raises(ConfigurationError):
+            self.make(sim, num_servers=0)
+        with pytest.raises(ConfigurationError):
+            self.make(sim, server_bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            self.make(sim, stream_cap=0)
+        with pytest.raises(ConfigurationError):
+            self.make(sim, access_latency=-1)
+        with pytest.raises(ConfigurationError):
+            self.make(sim, capacity=0)

@@ -1,0 +1,131 @@
+"""Property-based tests for the storage models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator import Simulation
+from repro.storage import HDFS, DiskDevice, OrangeFS
+from repro.units import GB, MB
+
+
+def make_hdfs(sim, n=4, replication=2, wbuf=1.0, cache=0.0):
+    devices = [
+        DiskDevice(sim, bandwidth=100 * MB, capacity=500 * GB, name=f"d{i}")
+        for i in range(n)
+    ]
+    fs = HDFS(
+        sim,
+        devices,
+        replication=replication,
+        access_latency=0.0,
+        write_buffer_factor=wbuf,
+        page_cache_bytes=cache,
+    )
+    return fs, devices
+
+
+class TestHDFSProperties:
+    @given(
+        cache=st.floats(min_value=0, max_value=100 * GB),
+        dataset=st.floats(min_value=1.0, max_value=1000 * GB),
+    )
+    def test_cold_fraction_in_unit_interval(self, cache, dataset):
+        sim = Simulation()
+        fs, _ = make_hdfs(sim, cache=cache)
+        fraction = fs.cold_fraction(dataset)
+        assert 0.0 <= fraction <= 1.0
+
+    @given(
+        small=st.floats(min_value=1.0, max_value=10 * GB),
+        factor=st.floats(min_value=1.1, max_value=100.0),
+    )
+    def test_cold_fraction_monotone_in_dataset_size(self, small, factor):
+        sim = Simulation()
+        fs, _ = make_hdfs(sim, cache=5 * GB)
+        assert fs.cold_fraction(small) <= fs.cold_fraction(small * factor) + 1e-12
+
+    @given(
+        num_bytes=st.floats(min_value=1 * MB, max_value=GB),
+        replication=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_write_moves_replication_times_the_bytes(self, num_bytes, replication):
+        sim = Simulation()
+        fs, devices = make_hdfs(sim, n=4, replication=replication)
+        done = []
+        fs.write(num_bytes, 0, lambda: done.append(sim.now))
+        sim.run()
+        assert len(done) == 1
+        moved = sum(d.resource.bytes_completed for d in devices)
+        assert moved == pytest.approx(num_bytes * replication, rel=1e-6)
+
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1 * MB, max_value=10 * GB), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_register_release_roundtrip(self, sizes):
+        sim = Simulation()
+        fs, _ = make_hdfs(sim)
+        registered = []
+        from repro.errors import CapacityError
+
+        for size in sizes:
+            try:
+                fs.register_dataset(size)
+                registered.append(size)
+            except CapacityError:
+                pass
+        assert fs.used == pytest.approx(sum(registered))
+        for size in registered:
+            fs.release_dataset(size)
+        assert fs.used == pytest.approx(0.0, abs=1.0)
+
+
+class TestOFSProperties:
+    def make_ofs(self, sim, num_servers=4, server_bw=100.0, cap=60.0):
+        return OrangeFS(
+            sim,
+            num_servers=num_servers,
+            server_bandwidth=server_bw,
+            access_latency=0.5,
+            stream_cap=cap,
+            per_job_overhead=0.0,
+            capacity=1000 * GB,
+        )
+
+    @given(n=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=25, deadline=None)
+    def test_equal_reads_finish_together_at_predicted_time(self, n):
+        """n identical reads complete at latency + bytes / min(cap, agg/n)."""
+        sim = Simulation()
+        fs = self.make_ofs(sim)
+        size = 600.0
+        done = []
+        for _ in range(n):
+            fs.read(size, 0, lambda: done.append(sim.now))
+        sim.run()
+        rate = min(60.0, 400.0 / n)
+        expected = 0.5 + size / rate
+        assert all(t == pytest.approx(expected, rel=1e-6) for t in done)
+
+    @given(
+        sizes=st.lists(
+            st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_io_completes(self, sizes):
+        sim = Simulation()
+        fs = self.make_ofs(sim)
+        done = []
+        for i, size in enumerate(sizes):
+            if i % 2:
+                fs.read(size, i, lambda: done.append(sim.now))
+            else:
+                fs.write(size, i, lambda: done.append(sim.now))
+        sim.run()
+        assert len(done) == len(sizes)
+        assert fs.array.active_flows == 0
+        assert fs.array.bytes_completed == pytest.approx(sum(sizes), rel=1e-6)

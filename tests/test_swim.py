@@ -1,0 +1,95 @@
+"""Tests for SWIM trace-format interoperability."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.units import GB, MB
+from repro.workload.fb2009 import generate_fb2009
+from repro.workload.swim import load_swim, save_swim
+from repro.workload.trace import Trace, TraceJob
+
+
+SAMPLE = """\
+# FB-2009 sample (synthetic)
+job0\t0.0\t0.0\t1048576\t524288\t1024
+job1\t12.5\t12.5\t10737418240\t4294967296\t1073741824
+
+job2\t30.0\t17.5\t2048\t0\t512
+"""
+
+
+class TestLoadSwim:
+    def test_parses_fields(self, tmp_path):
+        path = tmp_path / "fb.tsv"
+        path.write_text(SAMPLE)
+        trace = load_swim(path)
+        assert len(trace) == 3
+        job = trace.jobs[1]
+        assert job.job_id == "job1"
+        assert job.arrival_time == 12.5
+        assert job.input_bytes == 10 * GB
+        assert job.shuffle_bytes == 4 * GB
+        assert job.output_bytes == 1 * GB
+
+    def test_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "fb.tsv"
+        path.write_text(SAMPLE)
+        assert len(load_swim(path)) == 3
+
+    def test_sorts_by_submit_time(self, tmp_path):
+        path = tmp_path / "fb.tsv"
+        path.write_text("b\t5.0\t0\t10\t0\t0\na\t1.0\t0\t10\t0\t0\n")
+        trace = load_swim(path)
+        assert [j.job_id for j in trace.jobs] == ["a", "b"]
+
+    def test_rejects_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("job0\t0.0\t0.0\t100\n")
+        with pytest.raises(TraceError):
+            load_swim(path)
+
+    def test_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("job0\tzero\t0\t100\t0\t0\n")
+        with pytest.raises(TraceError):
+            load_swim(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("# nothing\n")
+        with pytest.raises(TraceError):
+            load_swim(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_swim(tmp_path / "nope.tsv")
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_jobs(self, tmp_path):
+        original = Trace(
+            [
+                TraceJob("a", 0.0, 100 * MB, 40 * MB, 1 * MB),
+                TraceJob("b", 7.25, 2 * GB, 0.0, 200 * MB),
+            ]
+        )
+        path = tmp_path / "out.tsv"
+        save_swim(original, path)
+        loaded = load_swim(path)
+        for orig, back in zip(original.jobs, loaded.jobs):
+            assert back.job_id == orig.job_id
+            assert back.arrival_time == pytest.approx(orig.arrival_time, abs=1e-3)
+            assert back.input_bytes == pytest.approx(orig.input_bytes, abs=1.0)
+            assert back.shuffle_bytes == pytest.approx(orig.shuffle_bytes, abs=1.0)
+
+    def test_generated_trace_roundtrips(self, tmp_path):
+        trace = generate_fb2009(num_jobs=50, seed=3)
+        path = tmp_path / "gen.tsv"
+        save_swim(trace, path)
+        loaded = load_swim(path)
+        assert len(loaded) == 50
+        # Replayable end to end.
+        jobs = loaded.to_jobspecs()
+        assert jobs[0].arrival_time == pytest.approx(
+            trace.jobs[0].arrival_time, abs=1e-3
+        )

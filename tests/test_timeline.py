@@ -1,0 +1,80 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.analysis.timeline import phase_summary, render_timeline
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobResult
+from repro.units import GB
+
+
+def make_result(job_id="j", submit=0.0, first_map=5.0, last_map=20.0,
+                shuffle_end=25.0, end=30.0):
+    return JobResult(
+        job_id=job_id,
+        app="test",
+        cluster="c",
+        input_bytes=GB,
+        shuffle_bytes=GB,
+        submit_time=submit,
+        first_map_start=first_map,
+        last_map_end=last_map,
+        last_shuffle_end=shuffle_end,
+        end_time=end,
+    )
+
+
+class TestRenderTimeline:
+    def test_contains_all_phases(self):
+        text = render_timeline([make_result()], width=60)
+        assert "." in text and "m" in text and "s" in text and "r" in text
+        assert "legend" in text
+
+    def test_one_row_per_job_plus_header_and_legend(self):
+        results = [make_result(job_id=f"j{i}", submit=float(i)) for i in range(5)]
+        text = render_timeline(results, width=60)
+        assert len(text.splitlines()) == 7
+
+    def test_phase_proportions_roughly_right(self):
+        # Map phase is 15 of 30 seconds: about half the row is 'm'.
+        text = render_timeline([make_result()], width=120)
+        row = text.splitlines()[1]
+        body = row[len("j".ljust(3)):]
+        m_count = body.count("m")
+        assert m_count >= len(body.strip()) * 0.35
+
+    def test_max_jobs_truncates(self):
+        results = [make_result(job_id=f"j{i}", submit=float(i)) for i in range(50)]
+        text = render_timeline(results, width=60, max_jobs=10)
+        assert len(text.splitlines()) == 12
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline([])
+
+    def test_rejects_narrow_width(self):
+        with pytest.raises(ConfigurationError):
+            render_timeline([make_result()], width=10)
+
+    def test_works_on_real_run(self):
+        from repro import Deployment, WORDCOUNT, hybrid
+
+        deployment = Deployment(hybrid())
+        jobs = [WORDCOUNT.make_job("1GB", job_id=f"wc{i}") for i in range(3)]
+        results = deployment.run_trace(jobs)
+        text = render_timeline(results)
+        for i in range(3):
+            assert f"wc{i}" in text
+
+
+class TestPhaseSummary:
+    def test_totals(self):
+        totals = phase_summary([make_result(), make_result(job_id="k")])
+        assert totals["queued"] == pytest.approx(10.0)
+        assert totals["map"] == pytest.approx(30.0)
+        assert totals["shuffle"] == pytest.approx(10.0)
+        assert totals["reduce"] == pytest.approx(10.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            phase_summary([])

@@ -1,0 +1,137 @@
+"""Tests for repro.units: size parsing, formatting, block arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    blocks_for,
+    format_duration,
+    format_size,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_binary_multiples(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("128MB", 128 * MB),
+            ("0.5 GB", 0.5 * GB),
+            ("448g", 448 * GB),
+            ("1t", TB),
+            ("2TB", 2 * TB),
+            ("17", 17.0),
+            ("100b", 100.0),
+            ("3.5kb", 3.5 * KB),
+        ],
+    )
+    def test_parses_strings(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_passes_numbers_through(self):
+        assert parse_size(1024) == 1024.0
+        assert parse_size(0.5) == 0.5
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("lots")
+
+    def test_rejects_unknown_suffix(self):
+        with pytest.raises(ValueError):
+            parse_size("5 parsecs")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_size("")
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (32 * GB, "32GB"),
+            (512 * KB, "512KB"),
+            (1.5 * GB, "1.5GB"),
+            (128 * MB, "128MB"),
+            (0, "0B"),
+            (100, "100B"),
+            (2 * TB, "2TB"),
+        ],
+    )
+    def test_formats(self, value, expected):
+        assert format_size(value) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    @given(st.floats(min_value=1, max_value=1e15))
+    def test_roundtrip_within_rounding(self, value):
+        text = format_size(value)
+        back = parse_size(text)
+        # Rendering rounds to at most ~3 significant digits.
+        assert back == pytest.approx(value, rel=0.51)
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(48.53) == "48.53s"
+
+    def test_minutes(self):
+        assert format_duration(134) == "2m14s"
+
+    def test_hours(self):
+        assert format_duration(3900) == "1h05m"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_duration(-0.1)
+
+
+class TestBlocksFor:
+    def test_exact_division(self):
+        assert blocks_for(GB, 128 * MB) == 8
+
+    def test_rounds_up(self):
+        assert blocks_for(GB + 1, 128 * MB) == 9
+
+    def test_empty_input_gets_one_split(self):
+        assert blocks_for(0, 128 * MB) == 1
+
+    def test_rejects_nonpositive_block(self):
+        with pytest.raises(ValueError):
+            blocks_for(GB, 0)
+
+    def test_rejects_negative_input(self):
+        with pytest.raises(ValueError):
+            blocks_for(-1, 128 * MB)
+
+    @given(
+        st.floats(min_value=0, max_value=1e15),
+        st.sampled_from([64 * MB, 128 * MB, 256 * MB]),
+    )
+    def test_block_count_covers_input(self, input_bytes, block):
+        n = blocks_for(input_bytes, block)
+        assert n * block >= input_bytes
+        if input_bytes > 0:
+            assert (n - 1) * block < input_bytes or n == 1
+        assert n >= 1
+        assert n == max(1, math.ceil(input_bytes / block))

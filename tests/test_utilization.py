@@ -1,0 +1,59 @@
+"""Tests for slot-utilization accounting on the JobTracker."""
+
+import pytest
+
+from repro.simulator import Simulation
+
+from tests.test_jobtracker import make_cluster, make_config, make_job, make_tracker
+
+
+class TestUtilization:
+    def test_idle_tracker_is_zero(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        sim.schedule(100.0, lambda: None)
+        sim.run()
+        assert tracker.map_slot_utilization() == 0.0
+        assert tracker.reduce_slot_utilization() == 0.0
+
+    def test_utilization_in_unit_interval(self):
+        sim = Simulation()
+        tracker = make_tracker(sim)
+        for i in range(4):
+            tracker.submit(make_job(input_gb=0.5, job_id=f"u{i}"))
+        sim.run()
+        for value in (
+            tracker.map_slot_utilization(),
+            tracker.reduce_slot_utilization(),
+        ):
+            assert 0.0 < value <= 1.0
+
+    def test_busier_workload_higher_utilization(self):
+        def run(n_jobs):
+            sim = Simulation()
+            tracker = make_tracker(sim)
+            for i in range(n_jobs):
+                tracker.submit(make_job(input_gb=1.0, job_id=f"b{i}"))
+            sim.run()
+            # Normalise over the same horizon by measuring at completion:
+            # more jobs => longer busy stretch relative to total runtime.
+            return tracker.map_slot_utilization()
+
+        assert run(6) > run(1)
+
+    def test_saturated_phase_counts_fully(self):
+        """A single big job saturates map slots for most of its map
+        phase; utilization over the map phase approaches 1."""
+        sim = Simulation()
+        tracker = make_tracker(sim, config=make_config(task_jitter=0.0))
+        done = []
+        tracker.submit(make_job(input_gb=4.0, job_id="sat"), done.append)
+        # Sample utilization exactly at the end of the map phase.
+        samples = {}
+
+        def sample():
+            samples["mid"] = tracker.map_slot_utilization()
+
+        sim.schedule(40.0, sample)
+        sim.run()
+        assert samples["mid"] > 0.7

@@ -1,0 +1,221 @@
+"""Tests for the workload substrate: CDFs, traces, FB-2009 generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, TraceError
+from repro.units import GB, KB, MB, TB
+from repro.workload import (
+    Trace,
+    TraceJob,
+    cdf_at,
+    empirical_cdf,
+    generate_fb2009,
+    quantile,
+)
+from repro.workload.arrivals import poisson_arrivals, uniform_arrivals
+from repro.workload.fb2009 import FB2009Generator, segment_shares
+from repro.workload.trace import merge_traces
+
+
+class TestCDF:
+    def test_empirical_cdf_steps(self):
+        x, p = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(x) == [1.0, 2.0, 3.0]
+        assert list(p) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_cdf_at_points(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert list(cdf_at(values, [0.5, 2.0, 10.0])) == pytest.approx(
+            [0.0, 0.5, 1.0]
+        )
+
+    def test_quantile_inverts_cdf(self):
+        values = list(range(1, 101))
+        assert quantile(values, 0.5)[0] == 50
+        assert quantile(values, [0.0, 1.0]).tolist() == [1, 100]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            empirical_cdf([])
+        with pytest.raises(ConfigurationError):
+            quantile([], 0.5)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ConfigurationError):
+            quantile([1.0], 1.5)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e12), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_cdf_is_monotone_and_bounded(self, values):
+        x, p = empirical_cdf(values)
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(p) > 0)
+        assert p[-1] == pytest.approx(1.0)
+        probe = cdf_at(values, [min(values) - 1, max(values) + 1])
+        assert probe[0] == 0.0 and probe[1] == 1.0
+
+
+class TestArrivals:
+    def test_poisson_fills_window(self):
+        rng = np.random.default_rng(1)
+        times = poisson_arrivals(100, 1000.0, rng)
+        assert len(times) == 100
+        assert np.all(np.diff(times) >= 0)
+        assert times[-1] < 1000.0
+        assert times[0] >= 0.0
+
+    def test_uniform_deterministic(self):
+        times = uniform_arrivals(4, 100.0)
+        assert list(times) == [0.0, 25.0, 50.0, 75.0]
+
+    def test_rejects_bad_args(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(0, 100.0, rng)
+        with pytest.raises(ConfigurationError):
+            uniform_arrivals(5, 0.0)
+
+
+def make_trace():
+    jobs = [
+        TraceJob("a", 0.0, 10 * GB, 5 * GB, 1 * GB),
+        TraceJob("b", 5.0, 100 * MB, 0.0, 10 * MB),
+    ]
+    return Trace(jobs, {"name": "test"})
+
+
+class TestTrace:
+    def test_shrink_divides_sizes_not_times(self):
+        shrunk = make_trace().shrink(5.0)
+        assert shrunk.jobs[0].input_bytes == pytest.approx(2 * GB)
+        assert shrunk.jobs[0].shuffle_bytes == pytest.approx(1 * GB)
+        assert shrunk.jobs[0].arrival_time == 0.0
+        assert shrunk.metadata["shrink_factor"] == 5.0
+
+    def test_shrink_composes(self):
+        twice = make_trace().shrink(5.0).shrink(2.0)
+        assert twice.metadata["shrink_factor"] == 10.0
+
+    def test_compress_time(self):
+        fast = make_trace().compress_time(5.0)
+        assert fast.jobs[1].arrival_time == pytest.approx(1.0)
+        assert fast.jobs[1].input_bytes == 100 * MB
+
+    def test_ratio_preserved_by_shrink(self):
+        original = make_trace()
+        shrunk = original.shrink(7.0)
+        assert shrunk.jobs[0].shuffle_input_ratio == pytest.approx(
+            original.jobs[0].shuffle_input_ratio
+        )
+
+    def test_head(self):
+        assert len(make_trace().head(1)) == 1
+        assert len(make_trace().head(10)) == 2
+
+    def test_to_jobspecs(self):
+        specs = make_trace().to_jobspecs()
+        assert specs[0].input_bytes == 10 * GB
+        assert specs[0].arrival_time == 0.0
+        assert specs[1].job_id == "b"
+
+    def test_roundtrip_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        original = make_trace()
+        original.save(path)
+        loaded = Trace.load(path)
+        assert loaded.jobs == original.jobs
+        assert loaded.metadata["name"] == "test"
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(TraceError):
+            Trace.load(path)
+        path.write_text('{"jobs": [{"nope": 1}]}')
+        with pytest.raises(TraceError):
+            Trace.load(path)
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            Trace([])
+        out_of_order = [
+            TraceJob("a", 10.0, 1.0, 0.0, 0.0),
+            TraceJob("b", 5.0, 1.0, 0.0, 0.0),
+        ]
+        with pytest.raises(TraceError):
+            Trace(out_of_order)
+        duplicates = [
+            TraceJob("a", 0.0, 1.0, 0.0, 0.0),
+            TraceJob("a", 1.0, 1.0, 0.0, 0.0),
+        ]
+        with pytest.raises(TraceError):
+            Trace(duplicates)
+
+    def test_merge_traces(self):
+        t1 = Trace([TraceJob("x", 1.0, 1.0, 0.0, 0.0)])
+        t2 = Trace([TraceJob("y", 0.5, 1.0, 0.0, 0.0)])
+        merged = merge_traces([t1, t2])
+        assert [j.job_id for j in merged.jobs] == ["y", "x"]
+
+    def test_job_validation(self):
+        with pytest.raises(TraceError):
+            TraceJob("bad", -1.0, 1.0, 0.0, 0.0)
+        with pytest.raises(TraceError):
+            TraceJob("bad", 0.0, -1.0, 0.0, 0.0)
+
+
+class TestFB2009:
+    def test_marginals_match_fig3(self):
+        """40% < 1MB, 49% in 1MB..30GB, 11% > 30GB (sampling tolerance)."""
+        trace = generate_fb2009(num_jobs=6000, seed=2009)
+        small, median, large = segment_shares(trace)
+        assert small == pytest.approx(0.40, abs=0.03)
+        assert median == pytest.approx(0.49, abs=0.03)
+        assert large == pytest.approx(0.11, abs=0.02)
+
+    def test_over_80_percent_below_10gb(self):
+        """Section V: 'more than 80% of jobs have an input data size less
+        than 10GB'."""
+        trace = generate_fb2009(num_jobs=6000, seed=2009)
+        sizes = np.asarray(trace.input_sizes())
+        assert np.mean(sizes < 10 * GB) > 0.80
+
+    def test_sizes_span_kb_to_tb(self):
+        trace = generate_fb2009(num_jobs=6000, seed=2009)
+        sizes = np.asarray(trace.input_sizes())
+        assert sizes.min() < 10 * KB
+        assert sizes.max() > 0.5 * TB
+
+    def test_deterministic_per_seed(self):
+        a = generate_fb2009(num_jobs=100, seed=7)
+        b = generate_fb2009(num_jobs=100, seed=7)
+        assert a.jobs == b.jobs
+
+    def test_seeds_differ(self):
+        a = generate_fb2009(num_jobs=100, seed=7)
+        b = generate_fb2009(num_jobs=100, seed=8)
+        assert a.jobs != b.jobs
+
+    def test_sorted_by_arrival_with_stable_ids(self):
+        trace = generate_fb2009(num_jobs=500, seed=3)
+        times = [j.arrival_time for j in trace.jobs]
+        assert times == sorted(times)
+        assert trace.jobs[0].job_id == "fb2009-00000"
+
+    def test_job_classes_produce_map_only_jobs(self):
+        trace = generate_fb2009(num_jobs=2000, seed=11)
+        ratios = [j.shuffle_input_ratio for j in trace.jobs]
+        assert any(r == 0.0 for r in ratios)  # map-only class
+        assert any(r > 1.2 for r in ratios)  # expanding class
+
+    def test_duration_bounds_arrivals(self):
+        trace = FB2009Generator(num_jobs=200, duration=3600.0, seed=1).generate()
+        assert trace.jobs[-1].arrival_time < 3600.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FB2009Generator(num_jobs=0)
+        with pytest.raises(ConfigurationError):
+            FB2009Generator(duration=-1.0)

@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Regenerate the bundled workload artifacts under data/.
+
+The artifacts are deterministic snapshots of the FB-2009 synthesized
+generator, shipped so downstream users (and tests) have a stable trace
+that does not move when the generator is tuned:
+
+* ``data/fb2009_sample_600.swim.tsv`` — 600 jobs, SWIM text format.
+* ``data/fb2009_sample_600.json``     — the same trace, native format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.workload.fb2009 import DAY, generate_fb2009
+from repro.workload.swim import save_swim
+
+DATA_DIR = Path(__file__).parent.parent / "data"
+NUM_JOBS = 600
+SEED = 2009
+
+
+def main() -> None:
+    DATA_DIR.mkdir(exist_ok=True)
+    trace = generate_fb2009(
+        num_jobs=NUM_JOBS, seed=SEED, duration=DAY * NUM_JOBS / 6000
+    )
+    save_swim(trace, DATA_DIR / "fb2009_sample_600.swim.tsv")
+    trace.save(DATA_DIR / "fb2009_sample_600.json")
+    print(f"wrote {NUM_JOBS}-job artifacts to {DATA_DIR}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,7 +22,7 @@ def run_block_sweep():
     rows = []
     for block_mb in BLOCK_SIZES_MB:
         cal = DEFAULT_CALIBRATION.with_options(block_size=block_mb * MB)
-        result = Deployment(out_ofs(), calibration=cal).run_job(job)
+        result = Deployment(out_ofs(), calibration=cal).run_job(job, register_dataset=True)
         num_tasks = blocks_for(job.input_bytes, block_mb * MB)
         rows.append([f"{block_mb}MB", num_tasks, result.execution_time])
     return rows

@@ -22,7 +22,7 @@ def run_heap_sweep():
     rows = []
     for heap_gb in HEAPS_GB:
         cal = DEFAULT_CALIBRATION.with_options(heap_out=heap_gb * GB)
-        result = Deployment(out_ofs(), calibration=cal).run_job(job)
+        result = Deployment(out_ofs(), calibration=cal).run_job(job, register_dataset=True)
         rows.append([f"{heap_gb:g}GB", result.shuffle_phase, result.execution_time])
     return rows
 

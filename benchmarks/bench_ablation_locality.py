@@ -28,12 +28,12 @@ def run_locality_ablation():
         job = app.make_job(size)
         perfect = (
             Deployment(arch_fn(), calibration=DEFAULT_CALIBRATION)
-            .run_job(job)
+            .run_job(job, register_dataset=True)
             .execution_time
         )
         cal = DEFAULT_CALIBRATION.with_options(hdfs_block_placement=True)
         deployment = Deployment(arch_fn(), calibration=cal)
-        explicit = deployment.run_job(job).execution_time
+        explicit = deployment.run_job(job, register_dataset=True).execution_time
         tracker = deployment.trackers[0]
         total = tracker.local_map_reads + tracker.remote_map_reads
         locality = tracker.local_map_reads / total

@@ -19,7 +19,7 @@ def run_replication_sweep():
     rows = []
     for replication in (1, 2, 3):
         cal = DEFAULT_CALIBRATION.with_options(replication=replication)
-        result = Deployment(out_hdfs(), calibration=cal).run_job(job)
+        result = Deployment(out_hdfs(), calibration=cal).run_job(job, register_dataset=True)
         rows.append([replication, result.execution_time, result.map_phase])
     return rows
 

@@ -19,7 +19,7 @@ def run_placement_ablation():
     rows = []
     for ramdisk in (True, False):
         cal = DEFAULT_CALIBRATION.with_options(up_shuffle_on_ramdisk=ramdisk)
-        result = Deployment(up_ofs(), calibration=cal).run_job(job)
+        result = Deployment(up_ofs(), calibration=cal).run_job(job, register_dataset=True)
         label = "RAMdisk (tmpfs)" if ramdisk else "local HDD"
         rows.append([label, result.shuffle_phase, result.execution_time])
     return rows

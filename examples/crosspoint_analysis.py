@@ -49,8 +49,8 @@ def make_measure():
 
     def measure(app_name: str, size: float):
         app = get_app(app_name)
-        up_time = Deployment(up_spec).run_job(app.make_job(size)).execution_time
-        out_time = Deployment(out_spec).run_job(app.make_job(size)).execution_time
+        up_time = Deployment(up_spec).run_job(app.make_job(size), register_dataset=True).execution_time
+        out_time = Deployment(out_spec).run_job(app.make_job(size), register_dataset=True).execution_time
         return up_time, out_time
 
     return measure

@@ -40,8 +40,8 @@ def main() -> None:
     for size in (4 * GB, 12 * GB, 24 * GB, 64 * GB):
         job = SESSIONIZE.make_job(size)
         decision = scheduler.decide_job(job)
-        up_time = Deployment(up_ofs()).run_job(job).execution_time
-        out_time = Deployment(out_ofs()).run_job(job).execution_time
+        up_time = Deployment(up_ofs()).run_job(job, register_dataset=True).execution_time
+        out_time = Deployment(out_ofs()).run_job(job, register_dataset=True).execution_time
         actual_best = "scale-up" if up_time < out_time else "scale-out"
         agreement = "agrees" if decision.value == actual_best else "disagrees"
         print(

@@ -43,7 +43,7 @@ def main() -> None:
     previous_cluster = None
     for round_number in range(ROUNDS):
         job = PRUNE_ROUND.make_job(size, job_id=f"round-{round_number}")
-        result = deployment.run_job(job)
+        result = deployment.run_job(job, register_dataset=True)
         total += result.execution_time
         switch = ""
         if previous_cluster and result.cluster != previous_cluster:

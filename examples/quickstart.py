@@ -41,8 +41,8 @@ def main() -> None:
     print("\nHybrid vs traditional Hadoop (each job run in isolation):")
     print(f"  {'job':28s} {'Hybrid':>10s} {'THadoop':>10s}")
     for job in jobs:
-        hybrid_time = Deployment(hybrid()).run_job(job).execution_time
-        thadoop_time = Deployment(thadoop()).run_job(job).execution_time
+        hybrid_time = Deployment(hybrid()).run_job(job, register_dataset=True).execution_time
+        thadoop_time = Deployment(thadoop()).run_job(job, register_dataset=True).execution_time
         label = f"{job.app} @ {format_size(job.input_bytes)}"
         print(
             f"  {label:28s} {format_duration(hybrid_time):>10s} "

@@ -32,7 +32,7 @@ def run(slowdown: float, speculative: bool) -> tuple[float, int]:
         speculative_execution=speculative, speculative_slack=1.3
     )
     tracker.nodes[0].degrade(slowdown)
-    result = deployment.run_job(ANALYTICS.make_job("4GB"))
+    result = deployment.run_job(ANALYTICS.make_job("4GB"), register_dataset=True)
     return result.execution_time, tracker.speculative_launches
 
 

@@ -9,9 +9,19 @@ Quickstart::
 
     from repro import Deployment, hybrid, WORDCOUNT
 
-    deployment = Deployment(hybrid())
+    deployment = Deployment(hybrid(), register_datasets=True)
     result = deployment.run_job(WORDCOUNT.make_job("8GB"))
     print(result.cluster, result.execution_time)
+
+With telemetry (Chrome-trace export + metrics; see :mod:`repro.telemetry`)::
+
+    from repro import MetricsRegistry, Tracer
+    from repro.telemetry import write_chrome_trace
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    deployment = Deployment(hybrid(), tracer=tracer, metrics=metrics)
+    deployment.run_trace(jobs)
+    write_chrome_trace(tracer, "trace.json")
 """
 
 from repro.apps import GREP, TERASORT, TESTDFSIO_WRITE, WORDCOUNT, AppProfile, get_app
@@ -25,7 +35,10 @@ from repro.core import (
     InterpolatingScheduler,
     LoadBalancingRouter,
     PAPER_CROSS_POINTS,
+    Router,
+    Scheduler,
     SizeAwareScheduler,
+    algorithm1_router,
     derive_cross_points,
     estimate_cross_point,
     hybrid,
@@ -37,6 +50,7 @@ from repro.core import (
     up_hdfs,
     up_ofs,
 )
+from repro.telemetry import MetricsRegistry, Tracer
 from repro.errors import (
     CapacityError,
     ConfigurationError,
@@ -66,9 +80,12 @@ __all__ = [
     "CrossPoints",
     "PAPER_CROSS_POINTS",
     "Decision",
+    "Scheduler",
+    "Router",
     "SizeAwareScheduler",
     "InterpolatingScheduler",
     "LoadBalancingRouter",
+    "algorithm1_router",
     "estimate_cross_point",
     "derive_cross_points",
     "ArchitectureSpec",
@@ -85,6 +102,9 @@ __all__ = [
     "HadoopConfig",
     "JobSpec",
     "JobResult",
+    # telemetry
+    "Tracer",
+    "MetricsRegistry",
     # workload
     "Trace",
     "TraceJob",

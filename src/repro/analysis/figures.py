@@ -30,6 +30,8 @@ from repro.core.crosspoint import estimate_cross_point, normalized_ratio
 from repro.core.deployment import Deployment
 from repro.core.scheduler import Decision, SizeAwareScheduler
 from repro.mapreduce.job import JobResult
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
 from repro.units import GB
 from repro.workload.cdf import cdf_at
 from repro.workload.fb2009 import FIG3_AXIS_POINTS, generate_fb2009, segment_shares
@@ -256,6 +258,9 @@ def fig10_trace_replay(
     num_jobs: int = 6000,
     seed: int = 2009,
     shrink_factor: float = 5.0,
+    tracer: Optional["Tracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+    telemetry_architecture: str = "Hybrid",
 ) -> Dict[str, TraceReplayResult]:
     """Replay the FB-2009 trace on Hybrid, THadoop and RHadoop.
 
@@ -268,6 +273,10 @@ def fig10_trace_replay(
     shrinks proportionally so the *arrival rate* — and therefore the slot
     contention the paper's Fig. 10(b) argument rests on — matches the
     full trace.
+
+    Optional ``tracer``/``metrics`` observers are attached to the
+    ``telemetry_architecture`` replay only (one tracer records one
+    simulation clock); telemetry never changes the results.
     """
     from repro.workload.fb2009 import DAY
 
@@ -285,7 +294,13 @@ def fig10_trace_replay(
 
     outcome: Dict[str, TraceReplayResult] = {}
     for name, spec in replay_architectures().items():
-        deployment = Deployment(spec, calibration=calibration)
+        observed = name == telemetry_architecture
+        deployment = Deployment(
+            spec,
+            calibration=calibration,
+            tracer=tracer if observed else None,
+            metrics=metrics if observed else None,
+        )
         results = deployment.run_trace(jobs)
         if len(results) != len(jobs):
             raise RuntimeError(

@@ -12,6 +12,13 @@ Commands map one-to-one onto the paper's artifacts:
   optionally save it as JSON.
 * ``replay``       — the Section V evaluation: replay the trace on
   Hybrid/THadoop/RHadoop and print the Fig. 10 statistics.
+* ``trace-export`` — run a traced replay and write Chrome trace-event
+  JSON (open in Perfetto / ``chrome://tracing``).
+* ``metrics``      — run a replay with a metrics registry attached and
+  print/dump the flat metrics.
+
+``run`` and ``replay`` also accept ``--trace-out FILE`` to record the
+run they already perform.
 """
 
 from __future__ import annotations
@@ -35,14 +42,39 @@ from repro.analysis.figures import (
 )
 from repro.analysis.report import render_series, render_table
 from repro.apps import APP_REGISTRY, get_app
-from repro.core.architectures import table1_architectures
+from repro.core.architectures import (
+    hybrid,
+    rhadoop,
+    table1_architectures,
+    thadoop,
+)
 from repro.core.calibration import DEFAULT_CALIBRATION
 from repro.core.deployment import Deployment
 from repro.core.scheduler import PAPER_CROSS_POINTS
 from repro.errors import CapacityError, ReproError
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    write_chrome_trace,
+    write_metrics,
+)
 from repro.units import format_duration, format_size, parse_size
 from repro.workload.cdf import quantile
 from repro.workload.fb2009 import generate_fb2009
+
+
+def architecture_registry() -> dict:
+    """Every runnable architecture by CLI name (``--arch`` choices)."""
+    archs = dict(table1_architectures())
+    archs["Hybrid"] = hybrid()
+    archs["THadoop"] = thadoop()
+    archs["RHadoop"] = rhadoop()
+    return archs
+
+
+#: ``--arch`` choices, stable order: Table I first, then Section V.
+ARCH_CHOICES = ("up-OFS", "up-HDFS", "out-OFS", "out-HDFS",
+                "Hybrid", "THadoop", "RHadoop")
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -64,15 +96,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    archs = table1_architectures()
-    from repro.core.architectures import hybrid as hybrid_spec
-
-    archs["Hybrid"] = hybrid_spec()
-    if args.arch not in archs:
-        print(f"unknown architecture {args.arch!r}; choose from {sorted(archs)}")
-        return 2
+    archs = architecture_registry()
     app = get_app(args.app)
-    deployment = Deployment(archs[args.arch])
+    tracer = Tracer() if args.trace_out else None
+    deployment = Deployment(
+        archs[args.arch], register_datasets=True, tracer=tracer
+    )
     job = app.make_job(parse_size(args.size))
     try:
         result = deployment.run_job(job)
@@ -93,6 +122,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             title=f"{args.app} @ {format_size(job.input_bytes)} on {args.arch}",
         )
     )
+    if tracer is not None:
+        path = write_chrome_trace(tracer, args.trace_out)
+        print(f"trace ({len(tracer)} events) written to {path}")
     return 0
 
 
@@ -252,7 +284,10 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    outcome = fig10_trace_replay(num_jobs=args.jobs, seed=args.seed)
+    tracer = Tracer() if args.trace_out else None
+    outcome = fig10_trace_replay(
+        num_jobs=args.jobs, seed=args.seed, tracer=tracer
+    )
     headers = ["architecture", "class", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"]
     rows: List[List[object]] = []
     for name, replay in outcome.items():
@@ -267,6 +302,54 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             headers, rows, title="Fig 10: FB-2009 replay (execution time CDFs)"
         )
     )
+    if tracer is not None:
+        path = write_chrome_trace(tracer, args.trace_out)
+        print(f"Hybrid replay trace ({len(tracer)} events) written to {path}")
+    return 0
+
+
+def _replay_with_telemetry(
+    arch: str, num_jobs: int, seed: int, tracer, metrics
+) -> None:
+    """Replay the FB-2009 trace on one architecture with observers on."""
+    from repro.workload.fb2009 import DAY
+
+    trace = generate_fb2009(
+        num_jobs=num_jobs, seed=seed, duration=DAY * num_jobs / 6000.0
+    ).shrink(5.0)
+    deployment = Deployment(
+        architecture_registry()[arch], tracer=tracer, metrics=metrics
+    )
+    deployment.run_trace(trace.to_jobspecs())
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    tracer = Tracer()
+    _replay_with_telemetry(args.arch, args.jobs, args.seed, tracer, None)
+    path = write_chrome_trace(tracer, args.out)
+    counts = ", ".join(
+        f"{cat}: {n}" for cat, n in sorted(tracer.categories().items())
+    )
+    print(f"{args.arch} replay of {args.jobs} jobs -> {path}")
+    print(f"{len(tracer)} events ({counts})")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    metrics = MetricsRegistry()
+    _replay_with_telemetry(args.arch, args.jobs, args.seed, None, metrics)
+    rows = [[name, kind, f"{value:g}"] for name, kind, value in metrics.rows()]
+    print(
+        render_table(
+            ["metric", "kind", "value"],
+            rows,
+            title=f"{args.arch} replay metrics ({args.jobs} jobs, seed {args.seed})",
+        )
+    )
+    if args.out:
+        path = write_metrics(metrics, args.out)
+        print(f"\nmetrics dump written to {path}")
     return 0
 
 
@@ -282,7 +365,9 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one job on one architecture")
     run.add_argument("--app", default="wordcount", choices=sorted(APP_REGISTRY))
     run.add_argument("--size", default="8GB", help='input size, e.g. "32GB"')
-    run.add_argument("--arch", default="Hybrid", help="up-OFS/up-HDFS/out-OFS/out-HDFS/Hybrid")
+    run.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
+    run.add_argument("--trace-out", metavar="FILE",
+                     help="also record a Chrome trace of the run here")
 
     sweep = sub.add_parser("sweep", help="size sweep on the four architectures")
     sweep.add_argument("--app", default="wordcount", choices=sorted(APP_REGISTRY))
@@ -298,6 +383,26 @@ def build_parser() -> argparse.ArgumentParser:
     replay = sub.add_parser("replay", help="Section V trace replay (Fig. 10)")
     replay.add_argument("--jobs", type=int, default=1000)
     replay.add_argument("--seed", type=int, default=2009)
+    replay.add_argument("--trace-out", metavar="FILE",
+                        help="write a Chrome trace of the Hybrid replay here")
+
+    trace_export = sub.add_parser(
+        "trace-export",
+        help="traced replay -> Chrome trace-event JSON (Perfetto)",
+    )
+    trace_export.add_argument("--jobs", type=int, default=200)
+    trace_export.add_argument("--seed", type=int, default=2009)
+    trace_export.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
+    trace_export.add_argument("--out", default="trace.json",
+                              help="output trace file (default trace.json)")
+
+    metrics = sub.add_parser(
+        "metrics", help="replay with a metrics registry; print the flat dump"
+    )
+    metrics.add_argument("--jobs", type=int, default=200)
+    metrics.add_argument("--seed", type=int, default=2009)
+    metrics.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
+    metrics.add_argument("--out", help="also write the dump as JSON here")
 
     figures = sub.add_parser(
         "figures", help="regenerate all figure data (txt + json) into a dir"
@@ -344,6 +449,8 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "verify": _cmd_verify,
     "figures": _cmd_figures,
+    "trace-export": _cmd_trace_export,
+    "metrics": _cmd_metrics,
 }
 
 
@@ -351,7 +458,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except ReproError as exc:
+    except (OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -9,8 +9,11 @@ the hybrid scale-up/out architecture.
 * :mod:`repro.core.deployment` — runnable instances of an architecture.
 * :mod:`repro.core.calibration` — every physical constant of the model.
 * :mod:`repro.core.loadbalance` — the paper's future-work load balancer.
+* :mod:`repro.core.api` — the typed :class:`Scheduler` / :class:`Router`
+  protocols every scheduling component conforms to.
 """
 
+from repro.core.api import Router, Scheduler
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.scheduler import CrossPoints, Decision, SizeAwareScheduler, PAPER_CROSS_POINTS
 from repro.core.crosspoint import estimate_cross_point, derive_cross_points
@@ -26,11 +29,15 @@ from repro.core.architectures import (
     up_ofs,
 )
 from repro.core.advisor import Advice, advise_split, mixed_architecture
-from repro.core.deployment import Deployment
+from repro.core.deployment import Deployment, algorithm1_router, build_deployment
 from repro.core.finegrained import InterpolatingScheduler, PAPER_ANCHORS
 from repro.core.loadbalance import LoadBalancingRouter
 
 __all__ = [
+    "Router",
+    "Scheduler",
+    "algorithm1_router",
+    "build_deployment",
     "Calibration",
     "DEFAULT_CALIBRATION",
     "CrossPoints",

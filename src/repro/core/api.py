@@ -1,0 +1,63 @@
+"""Typed public API for scheduling and routing.
+
+Historically the routing surface was stringly typed: ``Router`` was a
+bare ``Callable`` alias and :func:`~repro.core.deployment.algorithm1_router`
+took ``scheduler: Optional[object]``.  These :class:`typing.Protocol`
+classes make the contracts explicit and checkable — structurally, so
+existing schedulers, plain routing functions, and user-defined
+implementations all conform without inheriting anything:
+
+* :class:`Scheduler` — decides *which side* (scale-up or scale-out) a
+  job belongs on from its characteristics.  Implemented by
+  :class:`~repro.core.scheduler.SizeAwareScheduler` (Algorithm 1) and
+  :class:`~repro.core.finegrained.InterpolatingScheduler`.
+* :class:`Router` — maps a job to a concrete member index of a
+  :class:`~repro.core.deployment.Deployment`.  Implemented by the
+  closure :func:`~repro.core.deployment.algorithm1_router` returns and
+  by :class:`~repro.core.loadbalance.LoadBalancingRouter`.
+
+Both are ``runtime_checkable`` so conformance can be asserted with
+``isinstance`` in tests; note that runtime checks only verify method
+*presence*, while signatures are enforced by the typecheck CI job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.core.scheduler import Decision
+from repro.mapreduce.job import JobSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deployment import Deployment
+
+
+@runtime_checkable
+class Scheduler(Protocol):
+    """Decides the scale-up/scale-out placement for one job."""
+
+    def decide_job(self, spec: JobSpec, ratio_known: bool = True) -> Decision:
+        """Placement decision for ``spec``.
+
+        ``ratio_known=False`` models jobs whose shuffle/input ratio the
+        user cannot supply; implementations must then fall back to their
+        most conservative (avoid-overloading-scale-up) threshold.
+        """
+        ...
+
+
+@runtime_checkable
+class Router(Protocol):
+    """Maps a job to the index of the deployment member that runs it.
+
+    The returned index must satisfy ``0 <= index < len(deployment.trackers)``;
+    :meth:`Deployment.submit` validates it and raises
+    :class:`~repro.errors.SchedulingError` otherwise.  Plain functions
+    with this signature conform structurally.
+    """
+
+    def __call__(self, job: JobSpec, deployment: "Deployment") -> int:
+        ...
+
+
+__all__ = ["Router", "Scheduler"]

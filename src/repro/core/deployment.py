@@ -9,13 +9,37 @@ Routing:
 * single-cluster architectures route everything to their only tracker;
 * the hybrid routes with Algorithm 1
   (:class:`~repro.core.scheduler.SizeAwareScheduler`) by default, or any
-  custom router — e.g. the load-balancing extension.
+  :class:`~repro.core.api.Router` — e.g. the load-balancing extension.
+
+Telemetry: pass ``tracer=`` and/or ``metrics=`` to observe the run (job,
+task, storage and scheduler-decision events; see :mod:`repro.telemetry`).
+Observers never perturb the simulation, so telemetered runs are
+byte-identical to bare ones.
+
+Dataset registration policy
+---------------------------
+
+Placing a job's data footprint on the target storage before it runs
+(``register_dataset``) is what makes capacity limits bite — e.g.
+up-HDFS's ~80 GB ceiling.  The unified policy is:
+
+* registration is **off by default** for every submission method;
+* opt in deployment-wide with ``Deployment(..., register_datasets=True)``
+  or per call with the keyword-only ``register_dataset=True``;
+* a per-call value always overrides the deployment-wide policy.
+
+Legacy shim: ``run_job`` historically defaulted to ``True``.  Calling it
+with neither a per-call value nor a deployment-wide policy keeps that
+behaviour but emits a :class:`DeprecationWarning`; pass either setting
+explicitly to silence it.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, List, Optional, Sequence
 
+from repro.core.api import Router, Scheduler
 from repro.core.architectures import ArchitectureSpec
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.scheduler import Decision, SizeAwareScheduler
@@ -28,23 +52,35 @@ from repro.simulator.engine import Simulation
 from repro.storage.base import StorageSystem
 from repro.storage.hdfs import HDFS
 from repro.storage.ofs import OrangeFS
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
 
-#: router(job, deployment) -> member index to run the job on.
-Router = Callable[[JobSpec, "Deployment"], int]
 
-
-def algorithm1_router(scheduler: Optional[object] = None) -> Router:
+def algorithm1_router(scheduler: Optional[Scheduler] = None) -> Router:
     """Route with the paper's Algorithm 1 (requires up and out members).
 
-    ``scheduler`` is anything with a ``decide_job(spec) -> Decision``
-    method — :class:`SizeAwareScheduler` by default, or the fine-grained
+    ``scheduler`` is any :class:`~repro.core.api.Scheduler` —
+    :class:`SizeAwareScheduler` by default, or the fine-grained
     :class:`~repro.core.finegrained.InterpolatingScheduler`.
     """
-    scheduler = scheduler or SizeAwareScheduler()
+    decider: Scheduler = scheduler if scheduler is not None else SizeAwareScheduler()
 
     def route(job: JobSpec, deployment: "Deployment") -> int:
-        decision = scheduler.decide_job(job)
+        decision = decider.decide_job(job)
         role = "up" if decision is Decision.SCALE_UP else "out"
+        tracer = deployment.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "algorithm1_decision",
+                "scheduler",
+                track="router",
+                args={
+                    "job_id": job.job_id,
+                    "decision": decision.value,
+                    "input_bytes": job.input_bytes,
+                    "shuffle_input_ratio": job.shuffle_input_ratio,
+                },
+            )
         return deployment.spec.role_index(role)
 
     return route
@@ -58,10 +94,20 @@ class Deployment:
         spec: ArchitectureSpec,
         calibration: Calibration = DEFAULT_CALIBRATION,
         router: Optional[Router] = None,
+        *,
+        register_datasets: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.spec = spec
         self.calibration = calibration
         self.sim = Simulation()
+        self.sim.attach_telemetry(tracer, metrics)
+        self.tracer = tracer
+        self.metrics = metrics
+        #: Deployment-wide dataset-registration policy; ``None`` keeps the
+        #: legacy per-method defaults (see the module docstring).
+        self.register_datasets = register_datasets
         self.trackers: List[JobTracker] = []
         self.storages: List[StorageSystem] = []
         self.results: List[JobResult] = []
@@ -117,6 +163,7 @@ class Deployment:
             self.trackers.append(tracker)
             self.storages.append(storage)
 
+        self.router: Router
         if router is not None:
             self.router = router
         elif spec.is_hybrid:
@@ -138,32 +185,71 @@ class Deployment:
         its output.  TestDFSIO-write stores only what it writes."""
         return job.input_bytes * job.input_read_fraction + job.output_bytes
 
+    def _resolve_register(
+        self, override: Optional[bool], legacy_default: bool, method: str
+    ) -> bool:
+        """Apply the dataset-registration policy (module docstring)."""
+        if override is not None:
+            return override
+        if self.register_datasets is not None:
+            return self.register_datasets
+        if legacy_default:
+            warnings.warn(
+                f"{method}() registering datasets by default is deprecated; "
+                "pass register_dataset=True explicitly or construct the "
+                "Deployment with register_datasets=True",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return legacy_default
+
     # -- submission ----------------------------------------------------------
 
     def submit(
         self,
         job: JobSpec,
         on_complete: Optional[Callable[[JobResult], None]] = None,
-        register_dataset: bool = False,
+        *,
+        register_dataset: Optional[bool] = None,
     ) -> int:
         """Route and submit a job at the current simulation time.
 
-        With ``register_dataset`` the job's footprint is placed on the
-        target storage first — raising
-        :class:`~repro.errors.CapacityError` when it cannot fit, which is
-        how up-HDFS's ~80 GB ceiling manifests — and released when the
-        job completes.  Returns the member index the job ran on.
+        With dataset registration enabled (see the policy in the module
+        docstring) the job's footprint is placed on the target storage
+        first — raising :class:`~repro.errors.CapacityError` when it
+        cannot fit, which is how up-HDFS's ~80 GB ceiling manifests —
+        and released when the job completes.  Returns the member index
+        the job ran on.
         """
+        register = self._resolve_register(register_dataset, False, "submit")
         index = self.router(job, self)
         if not 0 <= index < len(self.trackers):
             raise SchedulingError(f"router returned invalid member index {index}")
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "scheduler_decision",
+                "scheduler",
+                track="router",
+                args={
+                    "job_id": job.job_id,
+                    "member": index,
+                    "cluster": self.trackers[index].name,
+                    "input_bytes": job.input_bytes,
+                },
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(
+                f"router.to.{self.trackers[index].name}"
+            ).inc()
         storage = self.storages[index]
         footprint = self.job_footprint(job)
-        if register_dataset:
+        if register:
             storage.register_dataset(footprint)
 
         def done(result: JobResult) -> None:
-            if register_dataset:
+            if register:
                 storage.release_dataset(footprint)
             self.results.append(result)
             if on_complete is not None:
@@ -176,11 +262,15 @@ class Deployment:
         self,
         job: JobSpec,
         when: Optional[float] = None,
-        register_dataset: bool = False,
+        *,
+        register_dataset: Optional[bool] = None,
     ) -> None:
         """Schedule a future submission (defaults to the job's arrival time)."""
+        register = self._resolve_register(register_dataset, False, "submit_at")
         time = job.arrival_time if when is None else when
-        self.sim.schedule_at(time, lambda: self.submit(job, register_dataset=register_dataset))
+        self.sim.schedule_at(
+            time, lambda: self.submit(job, register_dataset=register)
+        )
 
     # -- execution ---------------------------------------------------------
 
@@ -189,25 +279,47 @@ class Deployment:
         self.sim.run(until=until)
         return self.results
 
-    def run_job(self, job: JobSpec, register_dataset: bool = True) -> JobResult:
+    def run_job(
+        self, job: JobSpec, *, register_dataset: Optional[bool] = None
+    ) -> JobResult:
         """Run one job in isolation and return its result.
 
-        Raises :class:`~repro.errors.CapacityError` if the job's data
-        cannot fit on the architecture's storage.
+        With registration on (the legacy default — see the policy in the
+        module docstring), raises :class:`~repro.errors.CapacityError`
+        if the job's data cannot fit on the architecture's storage.
         """
+        register = self._resolve_register(register_dataset, True, "run_job")
         collected: List[JobResult] = []
-        self.submit(job, collected.append, register_dataset=register_dataset)
+        self.submit(job, collected.append, register_dataset=register)
         self.sim.run()
         if not collected:
             raise SchedulingError(f"job {job.job_id} did not complete")
         return collected[0]
 
     def run_trace(
-        self, jobs: Sequence[JobSpec], register_datasets: bool = False
+        self,
+        jobs: Sequence[JobSpec],
+        *,
+        register_dataset: Optional[bool] = None,
+        register_datasets: Optional[bool] = None,
     ) -> List[JobResult]:
-        """Replay a workload trace by arrival time (the Section V setup)."""
+        """Replay a workload trace by arrival time (the Section V setup).
+
+        ``register_datasets`` is a deprecated alias for the unified
+        keyword ``register_dataset``.
+        """
+        if register_datasets is not None:
+            warnings.warn(
+                "run_trace(register_datasets=...) is deprecated; "
+                "use register_dataset=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if register_dataset is None:
+                register_dataset = register_datasets
+        register = self._resolve_register(register_dataset, False, "run_trace")
         for job in jobs:
-            self.submit_at(job, register_dataset=register_datasets)
+            self.submit_at(job, register_dataset=register)
         self.sim.run()
         return self.results
 
@@ -216,9 +328,14 @@ def build_deployment(
     spec: ArchitectureSpec,
     calibration: Calibration = DEFAULT_CALIBRATION,
     router: Optional[Router] = None,
+    **kwargs: object,
 ) -> Deployment:
-    """Factory alias, for symmetry with the architecture factories."""
-    return Deployment(spec, calibration=calibration, router=router)
+    """Factory alias, for symmetry with the architecture factories.
+
+    Keyword arguments (``register_datasets``, ``tracer``, ``metrics``)
+    pass through to :class:`Deployment`.
+    """
+    return Deployment(spec, calibration=calibration, router=router, **kwargs)  # type: ignore[arg-type]
 
 
-__all__ = ["Deployment", "Router", "algorithm1_router", "build_deployment"]
+__all__ = ["Deployment", "Router", "Scheduler", "algorithm1_router", "build_deployment"]

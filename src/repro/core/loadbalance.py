@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from repro.core.api import Scheduler
 from repro.core.scheduler import Decision, SizeAwareScheduler
 from repro.errors import ConfigurationError
 from repro.mapreduce.job import JobSpec
@@ -30,10 +31,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class LoadBalancingRouter:
     """Queue-aware variant of the Algorithm 1 router.
 
+    Conforms to the :class:`~repro.core.api.Router` protocol.
+
     Parameters
     ----------
     scheduler:
-        The base size-aware scheduler (paper cross points by default).
+        The base :class:`~repro.core.api.Scheduler` (paper cross points
+        by default).
     imbalance_threshold:
         Backlog difference (queued map tasks per slot) above which the
         preferred cluster is considered overloaded.
@@ -44,7 +48,7 @@ class LoadBalancingRouter:
 
     def __init__(
         self,
-        scheduler: Optional[SizeAwareScheduler] = None,
+        scheduler: Optional[Scheduler] = None,
         imbalance_threshold: float = 2.0,
         allow_divert_to_up: bool = False,
     ) -> None:
@@ -52,7 +56,7 @@ class LoadBalancingRouter:
             raise ConfigurationError(
                 f"imbalance_threshold must be >= 0: {imbalance_threshold}"
             )
-        self.scheduler = scheduler or SizeAwareScheduler()
+        self.scheduler: Scheduler = scheduler or SizeAwareScheduler()
         self.imbalance_threshold = imbalance_threshold
         self.allow_divert_to_up = allow_divert_to_up
         #: Jobs moved off their Algorithm 1 preference, for reporting.
@@ -73,5 +77,19 @@ class LoadBalancingRouter:
         other_backlog = deployment.trackers[other].outstanding_work()
         if preferred_backlog - other_backlog > self.imbalance_threshold:
             self.diversions += 1
+            tracer = deployment.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "load_balance_diversion",
+                    "scheduler",
+                    track="router",
+                    args={
+                        "job_id": job.job_id,
+                        "preferred": preferred,
+                        "diverted_to": other,
+                        "preferred_backlog": preferred_backlog,
+                        "other_backlog": other_backlog,
+                    },
+                )
             return other
         return preferred

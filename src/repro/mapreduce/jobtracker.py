@@ -183,6 +183,23 @@ class JobTracker:
             submit_time=self.sim.now,
         )
         state = _JobState(spec, result, num_maps, num_reducers, on_complete)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "job_submit",
+                "job",
+                track=self.name,
+                args={
+                    "job_id": spec.job_id,
+                    "app": spec.app,
+                    "input_bytes": spec.input_bytes,
+                    "maps": num_maps,
+                    "reducers": num_reducers,
+                },
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.jobs_submitted").inc()
         if self.block_map is not None:
             self.block_map.place_dataset(spec.job_id, num_maps)
         self._active_jobs += 1
@@ -282,8 +299,32 @@ class JobTracker:
                 return self.nodes[best]
         return self._pick_node(self._free_map)
 
+    def _sample_queues(self) -> None:
+        """Emit queue-depth / slot-occupancy counter samples (traced runs).
+
+        Event-driven sampling: called from the dispatch loops, where
+        these values change.  The tracer drops consecutive identical
+        samples, so this stays proportional to actual state changes.
+        """
+        tracer = self.sim.tracer
+        if tracer is None:
+            return
+        tracer.counter(
+            "slots",
+            {
+                "queued_maps": len(self._map_queue),
+                "queued_reduces": len(self._reduce_queue),
+                "busy_map_slots": self.cluster.total_map_slots - sum(self._free_map),
+                "busy_reduce_slots": (
+                    self.cluster.total_reduce_slots - sum(self._free_reduce)
+                ),
+            },
+            track=self.name,
+        )
+
     def _dispatch_maps(self) -> None:
         self._account()
+        self._sample_queues()
         while len(self._map_queue):
             if self._pick_node(self._free_map) is None:
                 return
@@ -357,6 +398,7 @@ class JobTracker:
 
     def _dispatch_reduces(self) -> None:
         self._account()
+        self._sample_queues()
         while len(self._reduce_queue):
             node = self._pick_node(self._free_reduce)
             if node is None:
@@ -386,6 +428,7 @@ class JobTracker:
         """
         spec = state.spec
         result = state.result
+        task_start = self.sim.now
         if result.first_map_start != result.first_map_start:  # NaN check
             result.first_map_start = self.sim.now
         node.task_started()
@@ -403,6 +446,26 @@ class JobTracker:
 
         def finish() -> None:
             self._account()
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.complete(
+                    "map_task",
+                    "task",
+                    task_start,
+                    track=self.name,
+                    lane=node.index,
+                    args={
+                        "job_id": spec.job_id,
+                        "index": idx,
+                        "speculative": speculative,
+                    },
+                )
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.counter(f"{self.name}.map_tasks_finished").inc()
+                metrics.histogram(f"{self.name}.map_task_seconds").observe(
+                    self.sim.now - task_start
+                )
             node.task_finished()
             self._free_map[node.index] += 1
             if not speculative:
@@ -488,6 +551,7 @@ class JobTracker:
     def _start_reduce(self, state: _JobState, idx: int, node: NodeRuntime) -> None:
         spec = state.spec
         result = state.result
+        task_start = self.sim.now
         node.task_started()
         jitter = state.jitter(self.config.task_jitter)
         share = spec.shuffle_bytes / state.num_reducers
@@ -503,6 +567,22 @@ class JobTracker:
 
         def finish() -> None:
             self._account()
+            tracer = self.sim.tracer
+            metrics = self.sim.metrics
+            if tracer is not None:
+                tracer.complete(
+                    "reduce_task",
+                    "task",
+                    task_start,
+                    track=self.name,
+                    lane=node.index,
+                    args={"job_id": spec.job_id, "index": idx},
+                )
+            if metrics is not None:
+                metrics.counter(f"{self.name}.reduce_tasks_finished").inc()
+                metrics.histogram(f"{self.name}.reduce_task_seconds").observe(
+                    self.sim.now - task_start
+                )
             node.task_finished()
             self._free_reduce[node.index] += 1
             self._reduce_queue.task_finished(state)
@@ -514,6 +594,34 @@ class JobTracker:
                 if self.block_map is not None:
                     self.block_map.remove_dataset(state.spec.job_id)
                 self.results.append(result)
+                if tracer is not None:
+                    tracer.complete(
+                        f"job:{spec.job_id}",
+                        "job",
+                        result.submit_time,
+                        track=self.name,
+                        lane=-1,
+                        args={
+                            "app": spec.app,
+                            "map_phase": result.map_phase,
+                            "shuffle_phase": result.shuffle_phase,
+                            "reduce_phase": result.reduce_phase,
+                        },
+                    )
+                if metrics is not None:
+                    metrics.counter(f"{self.name}.jobs_completed").inc()
+                    metrics.histogram(f"{self.name}.job_seconds").observe(
+                        result.execution_time
+                    )
+                    metrics.histogram(f"{self.name}.job_queue_seconds").observe(
+                        result.queue_delay
+                    )
+                    metrics.gauge(f"{self.name}.map_slot_utilization").set(
+                        self.map_slot_utilization()
+                    )
+                    metrics.gauge(f"{self.name}.speculative_launches").set(
+                        self.speculative_launches
+                    )
                 if state.on_complete is not None:
                     state.on_complete(result)
             self._dispatch_reduces()
@@ -543,7 +651,30 @@ class JobTracker:
             run_cpu()
 
         def copy() -> None:
-            node.shuffle_store.transfer(store_bytes, copied, cap=node.nic_share())
+            tracer = self.sim.tracer
+            if tracer is None:
+                node.shuffle_store.transfer(store_bytes, copied, cap=node.nic_share())
+                return
+            copy_start = self.sim.now
+
+            def traced_copied() -> None:
+                tracer.complete(
+                    "shuffle_copy",
+                    "task",
+                    copy_start,
+                    track=self.name,
+                    lane=node.index,
+                    args={"job_id": spec.job_id, "bytes": store_bytes},
+                )
+                metrics = self.sim.metrics
+                if metrics is not None:
+                    metrics.counter(f"{self.name}.shuffle_bytes").inc(store_bytes)
+                    metrics.histogram(f"{self.name}.shuffle_copy_seconds").observe(
+                        self.sim.now - copy_start
+                    )
+                copied()
+
+            node.shuffle_store.transfer(store_bytes, traced_copied, cap=node.nic_share())
 
         def begin() -> None:
             if state.maps_done == state.num_maps:

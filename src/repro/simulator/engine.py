@@ -12,9 +12,13 @@ results.  This is what lets the calibration tests pin exact cross points.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.metrics import MetricsRegistry
+    from repro.telemetry.tracer import Tracer
 
 
 class _Event:
@@ -55,6 +59,31 @@ class Simulation:
         self._processed = 0
         self._max_events = max_events
         self._running = False
+        #: Attached telemetry observers (see :meth:`attach_telemetry`).
+        #: ``None`` means disabled; instrumented code must treat that as
+        #: the fast path (a single attribute check, no other work).
+        self.tracer: Optional["Tracer"] = None
+        self.metrics: Optional["MetricsRegistry"] = None
+
+    # -- telemetry ------------------------------------------------------
+
+    def attach_telemetry(
+        self,
+        tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
+        """Attach observers that record what the simulation does.
+
+        The tracer is bound to this simulation's clock.  Observers never
+        schedule events, so attaching telemetry cannot change simulated
+        behaviour — runs stay byte-identical (see tests/test_telemetry.py).
+        Passing ``None`` for either slot leaves it detached.
+        """
+        if tracer is not None:
+            tracer.bind(self)
+            self.tracer = tracer
+        if metrics is not None:
+            self.metrics = metrics
 
     # -- scheduling -----------------------------------------------------
 

@@ -9,7 +9,10 @@ contention composes naturally with slot scheduling in the jobtracker.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import Simulation
 
 
 class StorageSystem(ABC):
@@ -17,6 +20,9 @@ class StorageSystem(ABC):
 
     #: Human-readable name ("HDFS", "OFS").
     name: str
+
+    #: The simulation this storage runs on (set by concrete systems).
+    sim: "Simulation"
 
     #: Extra one-time cost added to every job's setup when its input/output
     #: live on this system (client mount, metadata handshakes).  This is
@@ -66,3 +72,47 @@ class StorageSystem(ABC):
     @abstractmethod
     def release_dataset(self, num_bytes: float) -> None:
         """Return previously registered capacity (job output cleaned up)."""
+
+    # -- telemetry ------------------------------------------------------
+
+    def _observed(
+        self,
+        kind: str,
+        num_bytes: float,
+        node_index: int,
+        on_complete: Callable[[], None],
+    ) -> Callable[[], None]:
+        """Wrap an I/O completion callback with telemetry recording.
+
+        Concrete systems call this at the top of read()/write(); with no
+        telemetry attached it returns ``on_complete`` unchanged, so the
+        disabled path adds exactly one attribute check and no closure.
+        The recorded span runs from the access call (including the
+        access-latency setup) to completion — the service time a task
+        actually experiences.
+        """
+        tracer = self.sim.tracer
+        metrics = self.sim.metrics
+        if tracer is None and metrics is None:
+            return on_complete
+        start = self.sim.now
+
+        def done() -> None:
+            if tracer is not None:
+                tracer.complete(
+                    f"{self.name.lower()}_{kind}",
+                    "storage",
+                    start,
+                    track=self.name,
+                    lane=node_index,
+                    args={"bytes": num_bytes, "node": node_index},
+                )
+            if metrics is not None:
+                metrics.counter(f"{self.name}.{kind}_ops").inc()
+                metrics.counter(f"{self.name}.{kind}_bytes").inc(num_bytes)
+                metrics.histogram(f"{self.name}.{kind}_seconds").observe(
+                    self.sim.now - start
+                )
+            on_complete()
+
+        return done

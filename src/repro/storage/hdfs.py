@@ -158,6 +158,7 @@ class HDFS(StorageSystem):
         ``dataset_bytes`` drives the page-cache model; only the cold
         fraction of the bytes touches the disk.
         """
+        on_complete = self._observed("read", num_bytes, node_index, on_complete)
         remote = source_node is not None and source_node != node_index
         device = self._device_for(source_node if remote else node_index)
         disk_bytes = num_bytes * self.cold_fraction(dataset_bytes)
@@ -185,6 +186,7 @@ class HDFS(StorageSystem):
         elevator-sorted.  ``dataset_bytes`` is the size of the output the
         write belongs to.
         """
+        on_complete = self._observed("write", num_bytes, node_index, on_complete)
         primary = self._device_for(node_index)
         targets = [primary]
         for _ in range(self.replication - 1):

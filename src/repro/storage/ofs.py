@@ -122,6 +122,7 @@ class OrangeFS(StorageSystem):
         # node_index and dataset_bytes are irrelevant: all nodes reach the
         # array over the fabric and the array has no client page cache.
         # The signature matches StorageSystem for interchangeability.
+        on_complete = self._observed("read", num_bytes, node_index, on_complete)
         cap = self._effective_cap(stream_cap)
         self.sim.schedule(
             self.access_latency,
@@ -136,6 +137,7 @@ class OrangeFS(StorageSystem):
         stream_cap: float | None = None,
         dataset_bytes: float | None = None,
     ) -> None:
+        on_complete = self._observed("write", num_bytes, node_index, on_complete)
         cap = self._effective_cap(stream_cap)
         self.sim.schedule(
             self.access_latency,

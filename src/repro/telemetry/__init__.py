@@ -1,0 +1,63 @@
+"""Telemetry: structured tracing and metrics for simulated runs.
+
+Two independent observers that attach to a
+:class:`~repro.simulator.engine.Simulation` (usually via
+``Deployment(..., tracer=..., metrics=...)``):
+
+* :class:`Tracer` — records every job/task/storage/scheduler event with
+  simulation timestamps; exports Chrome trace-event JSON for Perfetto.
+* :class:`MetricsRegistry` — running counters, gauges and histograms;
+  exports a flat dump.
+
+Both are pure observers: they never schedule simulation events, so a
+telemetered run is byte-identical to a bare one (the determinism tests
+pin this).  When no telemetry is attached the instrumented code paths
+reduce to a single ``is None`` check.
+
+Quickstart::
+
+    from repro import Deployment, hybrid, WORDCOUNT
+    from repro.telemetry import Tracer, MetricsRegistry, write_chrome_trace
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    deployment = Deployment(hybrid(), tracer=tracer, metrics=metrics)
+    deployment.run_job(WORDCOUNT.make_job("8GB"), register_dataset=True)
+    write_chrome_trace(tracer, "trace.json")   # open in ui.perfetto.dev
+    print(metrics.dump())
+"""
+
+from repro.telemetry.export import (
+    chrome_trace_events,
+    chrome_trace_json,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.tracer import (
+    PHASE_COMPLETE,
+    PHASE_COUNTER,
+    PHASE_INSTANT,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PHASE_COMPLETE",
+    "PHASE_COUNTER",
+    "PHASE_INSTANT",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,106 @@
+"""Exporters: Chrome trace-event JSON and flat metrics dumps.
+
+The trace export targets the Chrome trace-event format's JSON Object
+flavour (``{"traceEvents": [...]}``) so recorded runs open directly in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* tracer ``track`` names become processes (with ``process_name``
+  metadata records);
+* ``lane`` numbers become thread ids within the track;
+* simulation seconds become microsecond ``ts``/``dur`` fields, the
+  format's native unit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import (
+    PHASE_COMPLETE,
+    PHASE_COUNTER,
+    PHASE_INSTANT,
+    Tracer,
+)
+
+#: Simulation seconds -> trace-event microseconds.
+_US = 1e6
+
+
+def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
+    """The tracer's events as Chrome trace-event dicts."""
+    events: List[Dict[str, Any]] = []
+    pids: Dict[str, int] = {}
+
+    def pid_for(track: str) -> int:
+        pid = pids.get(track)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[track] = pid
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": track},
+                }
+            )
+        return pid
+
+    for event in tracer.events:
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": event.ts * _US,
+            "pid": pid_for(event.track),
+            "tid": event.lane,
+        }
+        if event.phase == PHASE_COMPLETE:
+            record["dur"] = event.dur * _US
+        elif event.phase == PHASE_INSTANT:
+            record["s"] = "p"  # process-scoped marker
+        if event.args is not None:
+            record["args"] = event.args
+        elif event.phase == PHASE_COUNTER:
+            record["args"] = {}
+        events.append(record)
+    return events
+
+
+def chrome_trace_json(tracer: Tracer) -> Dict[str, Any]:
+    """The full JSON-object document Perfetto expects."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.telemetry",
+            "clock": "simulated seconds (exported as microseconds)",
+        },
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Serialise the trace to ``path``; returns the written path."""
+    target = Path(path)
+    target.write_text(json.dumps(chrome_trace_json(tracer)))
+    return target
+
+
+def write_metrics(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Serialise the registry's flat dump as JSON; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(registry.dump(), indent=1, sort_keys=True))
+    return target
+
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "write_metrics",
+]

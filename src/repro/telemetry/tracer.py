@@ -1,0 +1,216 @@
+"""Structured event tracing for the simulator.
+
+A :class:`Tracer` records what the model *did* — job lifecycles, task
+spans, shuffle copies, storage accesses, scheduler decisions, queue-depth
+samples — as typed in-memory events stamped with the simulation clock.
+It is strictly an observer: recording an event never schedules anything
+on the simulation, so a traced run and an untraced run execute the exact
+same event sequence and produce byte-identical results (guarded by
+``tests/test_telemetry.py``).
+
+Attach a tracer with :meth:`repro.simulator.engine.Simulation.attach_telemetry`
+or by passing ``tracer=`` to :class:`repro.core.deployment.Deployment`.
+Instrumented code keeps the disabled path free: every call site reads
+``sim.tracer`` once and skips all telemetry work when it is ``None``.
+
+Events map one-to-one onto the Chrome trace-event format (see
+:mod:`repro.telemetry.export`), so a recorded trace loads directly into
+Perfetto / ``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Event phases, mirroring the Chrome trace-event ``ph`` field.
+PHASE_COMPLETE = "X"  # span with explicit start and duration
+PHASE_INSTANT = "i"  # point-in-time marker
+PHASE_COUNTER = "C"  # sampled numeric series
+
+
+class TraceEvent:
+    """One recorded event.
+
+    Attributes
+    ----------
+    name, category:
+        What happened and which subsystem reported it.  Categories used
+        by the built-in instrumentation: ``"job"``, ``"task"``,
+        ``"storage"``, ``"scheduler"``, ``"queue"``.
+    phase:
+        One of :data:`PHASE_COMPLETE`, :data:`PHASE_INSTANT`,
+        :data:`PHASE_COUNTER`.
+    ts, dur:
+        Simulation-clock timestamp and duration, both in seconds
+        (``dur`` is 0 for instants and counters).
+    track, lane:
+        Display coordinates: ``track`` groups events into a named
+        process row (a cluster, a storage system, the router) and
+        ``lane`` sub-divides it (usually a node index).
+    args:
+        Structured payload (job ids, byte counts, decisions, ...).
+    """
+
+    __slots__ = ("name", "category", "phase", "ts", "dur", "track", "lane", "args")
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        phase: str,
+        ts: float,
+        dur: float = 0.0,
+        track: str = "sim",
+        lane: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.phase = phase
+        self.ts = ts
+        self.dur = dur
+        self.track = track
+        self.lane = lane
+        self.args = args
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (native units, seconds) for tests and tools."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "phase": self.phase,
+            "ts": self.ts,
+            "dur": self.dur,
+            "track": self.track,
+            "lane": self.lane,
+            "args": self.args,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceEvent({self.name!r}, {self.category!r}, {self.phase!r}, "
+            f"ts={self.ts:.6f}, dur={self.dur:.6f}, track={self.track!r})"
+        )
+
+
+class Tracer:
+    """Append-only recorder of :class:`TraceEvent`\\ s on a simulation clock.
+
+    A tracer starts unbound (clock pinned at 0); binding happens when it
+    is attached to a :class:`~repro.simulator.engine.Simulation`.  One
+    tracer records one simulation; re-binding to a fresh simulation is
+    allowed (the recorded events keep their original timestamps).
+    """
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._clock: Callable[[], float] = lambda: 0.0
+        #: Last emitted values per (track, name) counter series, used to
+        #: drop consecutive identical samples (event-driven sampling
+        #: fires far more often than values change).
+        self._last_counters: Dict[Tuple[str, str], Tuple[Tuple[str, float], ...]] = {}
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(self, sim: Any) -> None:
+        """Stamp future events with ``sim``'s clock (called on attach)."""
+        self._clock = lambda: sim.now
+
+    @property
+    def now(self) -> float:
+        """The bound simulation clock (0.0 while unbound)."""
+        return self._clock()
+
+    # -- recording --------------------------------------------------------
+
+    def instant(
+        self,
+        name: str,
+        category: str,
+        *,
+        track: str = "sim",
+        lane: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a point-in-time marker at the current clock."""
+        self.events.append(
+            TraceEvent(name, category, PHASE_INSTANT, self.now, 0.0, track, lane, args)
+        )
+
+    def complete(
+        self,
+        name: str,
+        category: str,
+        start: float,
+        *,
+        track: str = "sim",
+        lane: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a span from ``start`` to the current clock."""
+        now = self.now
+        if start > now:
+            raise ConfigurationError(
+                f"span {name!r} starts in the future (start={start}, now={now})"
+            )
+        self.events.append(
+            TraceEvent(name, category, PHASE_COMPLETE, start, now - start, track, lane, args)
+        )
+
+    def counter(
+        self,
+        name: str,
+        values: Mapping[str, float],
+        *,
+        track: str = "sim",
+        category: str = "queue",
+    ) -> None:
+        """Record a sample of one or more numeric series.
+
+        Consecutive samples with unchanged values are dropped, so call
+        sites can sample on every dispatch without bloating the trace.
+        """
+        key = (track, name)
+        snapshot = tuple(sorted(values.items()))
+        if self._last_counters.get(key) == snapshot:
+            return
+        self._last_counters[key] = snapshot
+        self.events.append(
+            TraceEvent(name, category, PHASE_COUNTER, self.now, 0.0, track, 0, dict(values))
+        )
+
+    # -- querying ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_category(self, category: str) -> Iterator[TraceEvent]:
+        """All recorded events of one category, in record order."""
+        return (e for e in self.events if e.category == category)
+
+    def categories(self) -> Dict[str, int]:
+        """Event counts per category (for summaries and tests)."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        """Drop all recorded events (the clock binding is kept)."""
+        self.events.clear()
+        self._last_counters.clear()
+
+
+__all__ = [
+    "PHASE_COMPLETE",
+    "PHASE_COUNTER",
+    "PHASE_INSTANT",
+    "TraceEvent",
+    "Tracer",
+]

@@ -82,7 +82,7 @@ class TestLocalityScheduling:
     def run(self, enabled, size="8GB"):
         cal = DEFAULT_CALIBRATION.with_options(hdfs_block_placement=enabled)
         deployment = Deployment(out_hdfs(), calibration=cal)
-        result = deployment.run_job(GREP.make_job(size))
+        result = deployment.run_job(GREP.make_job(size), register_dataset=True)
         tracker = deployment.trackers[0]
         return result, tracker
 

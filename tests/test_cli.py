@@ -28,14 +28,30 @@ class TestRun:
         assert "scale-up" in capsys.readouterr().out
 
     def test_unknown_arch_fails_cleanly(self, capsys):
-        assert main(["run", "--arch", "mainframe"]) == 2
-        assert "unknown architecture" in capsys.readouterr().out
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--arch", "mainframe"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Hybrid" in err  # --help/errors enumerate the architectures
 
     def test_infeasible_job_reports_capacity(self, capsys):
         code = main(["run", "--app", "wordcount", "--size", "200GB",
                      "--arch", "up-HDFS"])
         assert code == 1
         assert "infeasible" in capsys.readouterr().out
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "run.json"
+        assert main(["run", "--app", "grep", "--size", "1GB",
+                     "--arch", "up-OFS", "--trace-out", str(path)]) == 0
+        assert "written to" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"X", "i", "C", "M"} <= phases
 
 
 class TestSweep:
@@ -70,6 +86,45 @@ class TestReplay:
         out = capsys.readouterr().out
         assert "Hybrid" in out and "THadoop" in out and "RHadoop" in out
         assert "scale-up jobs" in out and "scale-out jobs" in out
+
+    def test_trace_out_records_hybrid_replay(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "replay.json"
+        assert main(["replay", "--jobs", "20", "--trace-out", str(path)]) == 0
+        assert "Hybrid replay trace" in capsys.readouterr().out
+        payload = json.loads(path.read_text())
+        categories = {
+            e["cat"] for e in payload["traceEvents"] if e["ph"] != "M"
+        }
+        assert {"job", "task", "storage", "scheduler"} <= categories
+
+
+class TestTraceExport:
+    def test_writes_perfetto_loadable_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "export.json"
+        assert main(["trace-export", "--jobs", "20", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "job_submit" in names and "map_task" in names
+
+
+class TestMetrics:
+    def test_prints_and_dumps_registry(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["metrics", "--jobs", "20", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "jobs_completed" in out
+        payload = json.loads(path.read_text())
+        completed = [k for k in payload if k.endswith("jobs_completed")]
+        assert completed and sum(payload[k] for k in completed) == 20
 
 
 class TestTimeline:

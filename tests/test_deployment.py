@@ -88,7 +88,7 @@ class TestRouting:
 class TestRunJob:
     def test_returns_result_with_cluster_label(self):
         deployment = Deployment(up_ofs())
-        result = deployment.run_job(WORDCOUNT.make_job("1GB"))
+        result = deployment.run_job(WORDCOUNT.make_job("1GB"), register_dataset=True)
         assert result.cluster == "scale-up"
         assert result.execution_time > 0
 
@@ -96,16 +96,16 @@ class TestRunJob:
         """The paper: up-HDFS cannot process jobs above ~80 GB."""
         deployment = Deployment(up_hdfs())
         with pytest.raises(CapacityError):
-            deployment.run_job(WORDCOUNT.make_job("120GB"))
+            deployment.run_job(WORDCOUNT.make_job("120GB"), register_dataset=True)
 
     def test_up_hdfs_80gb_feasible(self):
         deployment = Deployment(up_hdfs())
-        result = deployment.run_job(WORDCOUNT.make_job("64GB"))
+        result = deployment.run_job(WORDCOUNT.make_job("64GB"), register_dataset=True)
         assert result.execution_time > 0
 
     def test_dataset_released_after_job(self):
         deployment = Deployment(up_hdfs())
-        deployment.run_job(WORDCOUNT.make_job("64GB"))
+        deployment.run_job(WORDCOUNT.make_job("64GB"), register_dataset=True)
         assert deployment.storages[0].used == 0.0
 
     def test_dfsio_footprint_is_output_only(self):
@@ -114,13 +114,52 @@ class TestRunJob:
 
     def test_hybrid_runs_small_job_on_up(self):
         deployment = Deployment(hybrid())
-        result = deployment.run_job(WORDCOUNT.make_job("2GB"))
+        result = deployment.run_job(WORDCOUNT.make_job("2GB"), register_dataset=True)
         assert result.cluster == "scale-up"
 
     def test_hybrid_runs_large_job_on_out(self):
         deployment = Deployment(hybrid())
-        result = deployment.run_job(WORDCOUNT.make_job("64GB"))
+        result = deployment.run_job(WORDCOUNT.make_job("64GB"), register_dataset=True)
         assert result.cluster == "scale-out"
+
+
+class TestRegisterDatasetPolicy:
+    """The unified dataset-registration policy (and its legacy shim)."""
+
+    def test_deployment_wide_policy_applies_to_submit(self):
+        deployment = Deployment(up_hdfs(), register_datasets=True)
+        with pytest.raises(CapacityError):
+            deployment.submit(trace_job("big", 120.0))
+
+    def test_per_call_overrides_deployment_policy(self):
+        deployment = Deployment(up_hdfs(), register_datasets=True)
+        # Explicit False wins over the deployment-wide True.
+        deployment.submit(trace_job("big", 120.0), register_dataset=False)
+
+    def test_run_job_honours_deployment_policy_without_warning(self, recwarn):
+        deployment = Deployment(up_hdfs(), register_datasets=False)
+        deployment.run_job(WORDCOUNT.make_job("120GB"))  # does not raise
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_run_job_legacy_default_warns_but_registers(self):
+        deployment = Deployment(up_hdfs())
+        with pytest.warns(DeprecationWarning, match="register_dataset"):
+            with pytest.raises(CapacityError):
+                deployment.run_job(WORDCOUNT.make_job("120GB"))
+
+    def test_run_trace_deprecated_plural_alias(self):
+        deployment = Deployment(up_hdfs())
+        with pytest.warns(DeprecationWarning, match="register_datasets"):
+            with pytest.raises(CapacityError):
+                deployment.run_trace(
+                    [trace_job("big", 120.0)], register_datasets=True
+                )
+
+    def test_submit_defaults_to_no_registration(self):
+        deployment = Deployment(up_hdfs())
+        deployment.submit(trace_job("big", 120.0))  # does not raise
+        assert deployment.storages[0].used == 0.0
 
 
 class TestRunTrace:

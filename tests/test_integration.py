@@ -27,8 +27,8 @@ class TestMeasureThenSchedule:
     def test_derived_cross_points_route_sensibly(self):
         def measure(app_name, size):
             app = get_app(app_name)
-            up = Deployment(up_ofs()).run_job(app.make_job(size)).execution_time
-            out = Deployment(out_ofs()).run_job(app.make_job(size)).execution_time
+            up = Deployment(up_ofs()).run_job(app.make_job(size), register_dataset=True).execution_time
+            out = Deployment(out_ofs()).run_job(app.make_job(size), register_dataset=True).execution_time
             return up, out
 
         sizes = [s * GB for s in (2, 6, 12, 24, 48)]
@@ -54,8 +54,8 @@ class TestMeasureThenSchedule:
                                (128 * GB, Decision.SCALE_OUT)):
             job = WORDCOUNT.make_job(size)
             assert scheduler.decide_job(job) is expected
-            up = Deployment(up_ofs()).run_job(job).execution_time
-            out = Deployment(out_ofs()).run_job(job).execution_time
+            up = Deployment(up_ofs()).run_job(job, register_dataset=True).execution_time
+            out = Deployment(out_ofs()).run_job(job, register_dataset=True).execution_time
             measured = Decision.SCALE_UP if up < out else Decision.SCALE_OUT
             assert measured is expected
 
@@ -122,8 +122,8 @@ class TestCrossPointConsistency:
         up_times, out_times = [], []
         for size in sizes:
             job = WORDCOUNT.make_job(size)
-            up_times.append(Deployment(up_ofs()).run_job(job).execution_time)
-            out_times.append(Deployment(out_ofs()).run_job(job).execution_time)
+            up_times.append(Deployment(up_ofs()).run_job(job, register_dataset=True).execution_time)
+            out_times.append(Deployment(out_ofs()).run_job(job, register_dataset=True).execution_time)
         cross = estimate_cross_point(sizes, up_times, out_times)
         assert cross is not None
         assert sizes[0] < cross < sizes[-1]

@@ -1,0 +1,90 @@
+"""Protocol-conformance tests for the typed scheduling/routing API.
+
+`Scheduler` and `Router` are runtime-checkable :class:`typing.Protocol`
+classes: anything with the right shape conforms, including plain
+functions for `Router`.  These tests pin the shipped implementations to
+those shapes so the protocols stay honest interfaces, not decoration.
+"""
+
+from repro import Router, Scheduler
+from repro.core.api import Router as CoreRouter, Scheduler as CoreScheduler
+from repro.core.architectures import hybrid
+from repro.core.deployment import Deployment, algorithm1_router
+from repro.core.finegrained import InterpolatingScheduler
+from repro.core.loadbalance import LoadBalancingRouter
+from repro.core.scheduler import Decision, SizeAwareScheduler
+from repro.units import GB
+from repro.workload.fb2009 import generate_fb2009
+
+
+class TestSchedulerProtocol:
+    def test_size_aware_scheduler_conforms(self):
+        assert isinstance(SizeAwareScheduler(), Scheduler)
+
+    def test_interpolating_scheduler_conforms(self):
+        assert isinstance(InterpolatingScheduler(), Scheduler)
+
+    def test_shapeless_object_does_not_conform(self):
+        class NotAScheduler:
+            pass
+
+        assert not isinstance(NotAScheduler(), Scheduler)
+
+    def test_custom_class_conforms_structurally(self):
+        class AlwaysUp:
+            def decide_job(self, spec, ratio_known=True):
+                return Decision.SCALE_UP
+
+        assert isinstance(AlwaysUp(), Scheduler)
+        # And is usable where the API expects a Scheduler.
+        router = algorithm1_router(AlwaysUp())
+        deployment = Deployment(hybrid(), router=router)
+        job = generate_fb2009(num_jobs=1, seed=3).to_jobspecs()[0]
+        assert router(job, deployment) == deployment.spec.role_index("up")
+
+
+class TestRouterProtocol:
+    def test_algorithm1_router_conforms(self):
+        assert isinstance(algorithm1_router(), Router)
+
+    def test_load_balancing_router_conforms(self):
+        assert isinstance(LoadBalancingRouter(), Router)
+
+    def test_plain_function_conforms(self):
+        def pin_to_first(job, deployment):
+            return 0
+
+        assert isinstance(pin_to_first, Router)
+        deployment = Deployment(hybrid(), router=pin_to_first)
+        assert deployment.router is pin_to_first
+
+    def test_deployment_default_router_conforms(self):
+        assert isinstance(Deployment(hybrid()).router, Router)
+
+
+class TestExports:
+    def test_protocols_exported_from_package_root(self):
+        assert Scheduler is CoreScheduler
+        assert Router is CoreRouter
+
+    def test_load_balancer_uses_protocol_typed_scheduler(self):
+        router = LoadBalancingRouter()
+        assert isinstance(router.scheduler, Scheduler)
+
+    def test_end_to_end_with_custom_router(self):
+        """A protocol-conforming router drives a real hybrid run."""
+        decisions = []
+
+        def recording_router(job, deployment):
+            index = algorithm1_router()(job, deployment)
+            decisions.append((job.job_id, index))
+            return index
+
+        deployment = Deployment(
+            hybrid(), router=recording_router, register_datasets=True
+        )
+        from repro.apps import WORDCOUNT
+
+        result = deployment.run_job(WORDCOUNT.make_job(4 * GB))
+        assert result.cluster == "scale-up"
+        assert len(decisions) == 1

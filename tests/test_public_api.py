@@ -57,7 +57,7 @@ class TestQuickstartSnippet:
         decision = scheduler.decide(8 * 2**30, ratio=1.6)
         assert decision.value == "scale-up"
 
-        deployment = Deployment(hybrid())
+        deployment = Deployment(hybrid(), register_datasets=True)
         result = deployment.run_job(WORDCOUNT.make_job("8GB"))
         assert result.cluster == "scale-up"
         assert result.execution_time > 0

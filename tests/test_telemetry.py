@@ -1,0 +1,288 @@
+"""Tests for the telemetry subsystem: tracer, metrics, export, and the
+determinism guarantee (a traced run is byte-identical to an untraced one).
+"""
+
+import json
+
+import pytest
+
+from repro.apps import GREP, WORDCOUNT
+from repro.core.architectures import hybrid, out_ofs, up_ofs
+from repro.core.crosspoint import estimate_cross_point
+from repro.core.deployment import Deployment
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    PHASE_COMPLETE,
+    PHASE_COUNTER,
+    PHASE_INSTANT,
+    TraceEvent,
+    Tracer,
+    chrome_trace_events,
+    chrome_trace_json,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.units import GB
+from repro.workload.fb2009 import generate_fb2009
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestTracer:
+    def test_unbound_clock_is_zero(self):
+        tracer = Tracer()
+        assert tracer.now == 0.0
+        tracer.instant("boot", "job")
+        assert tracer.events[0].ts == 0.0
+
+    def test_bind_follows_sim_clock(self):
+        tracer, sim = Tracer(), FakeSim()
+        tracer.bind(sim)
+        sim.now = 12.5
+        tracer.instant("tick", "job")
+        assert tracer.events[0].ts == 12.5
+
+    def test_complete_records_span_from_start(self):
+        tracer, sim = Tracer(), FakeSim()
+        tracer.bind(sim)
+        sim.now = 10.0
+        tracer.complete("map_task", "task", start=4.0, track="out", lane=3,
+                        args={"job_id": "j1"})
+        (event,) = tracer.events
+        assert event.phase == PHASE_COMPLETE
+        assert event.ts == 4.0 and event.dur == 6.0 and event.end == 10.0
+        assert event.track == "out" and event.lane == 3
+        assert event.args == {"job_id": "j1"}
+
+    def test_complete_rejects_future_start(self):
+        tracer = Tracer()
+        with pytest.raises(ConfigurationError):
+            tracer.complete("bad", "task", start=1.0)
+
+    def test_counter_dedups_consecutive_identical_samples(self):
+        tracer, sim = Tracer(), FakeSim()
+        tracer.bind(sim)
+        tracer.counter("slots", {"busy": 2, "queued": 0}, track="up")
+        sim.now = 1.0
+        tracer.counter("slots", {"queued": 0, "busy": 2}, track="up")  # same
+        sim.now = 2.0
+        tracer.counter("slots", {"busy": 3, "queued": 0}, track="up")
+        assert len(tracer) == 2
+        assert [e.ts for e in tracer.events] == [0.0, 2.0]
+        # A different track is an independent series.
+        tracer.counter("slots", {"busy": 3, "queued": 0}, track="out")
+        assert len(tracer) == 3
+
+    def test_query_helpers(self):
+        tracer = Tracer()
+        tracer.instant("a", "job")
+        tracer.instant("b", "task")
+        tracer.instant("c", "task")
+        assert tracer.categories() == {"job": 1, "task": 2}
+        assert [e.name for e in tracer.by_category("task")] == ["b", "c"]
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.categories() == {}
+
+    def test_event_to_dict_roundtrips_fields(self):
+        event = TraceEvent("x", "job", PHASE_INSTANT, 1.0, track="up", lane=2)
+        d = event.to_dict()
+        assert d["name"] == "x" and d["track"] == "up" and d["lane"] == 2
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_created_lazily_and_cached(self):
+        registry = MetricsRegistry()
+        c = registry.counter("jobs")
+        c.inc()
+        registry.counter("jobs").inc(2)
+        assert registry.counter("jobs").value == 3
+        assert len(registry) == 1 and "jobs" in registry
+        assert registry.get("jobs") is c
+        assert registry.get("missing") is None
+
+    def test_kind_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError, match="counter"):
+            registry.gauge("x")
+
+    def test_counter_rejects_negative_increments(self):
+        with pytest.raises(ConfigurationError):
+            Counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("g")
+        g.set(5)
+        g.set(2.5)
+        assert g.value == 2.5
+
+    def test_dump_flattens_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(4)
+        registry.histogram("t").observe(8.0)
+        flat = registry.dump()
+        assert flat["n"] == 4
+        assert flat["t.count"] == 1 and flat["t.sum"] == 8.0
+        kinds = {kind for _, kind, _ in registry.rows()}
+        assert kinds == {"counter", "histogram"}
+
+
+class TestHistogram:
+    def test_exact_stats(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 4.0, 8.0):
+            h.observe(v)
+        assert h.count == 4 and h.total == 15.0
+        assert h.min == 1.0 and h.max == 8.0 and h.mean == 3.75
+
+    def test_quantiles_hit_bucket_midpoints(self):
+        h = Histogram("h")
+        for _ in range(99):
+            h.observe(1.5)  # bucket [1, 2)
+        h.observe(100.0)  # bucket [64, 128)
+        assert h.quantile(0.5) == pytest.approx(2 ** 0.5)
+        assert h.quantile(1.0) == pytest.approx(2 ** 6.5)
+        assert h.quantile(0.0) == 0.0 or h.quantile(0.0) > 0
+
+    def test_zeros_and_negatives(self):
+        h = Histogram("h")
+        h.observe(0.0)
+        h.observe(0.0)
+        h.observe(4.0)
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(0.99) == pytest.approx(2 ** 2.5)
+        with pytest.raises(ConfigurationError):
+            h.observe(-1.0)
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_empty_summary_is_all_zero(self):
+        assert set(Histogram("h").summary().values()) == {0}
+
+
+class TestChromeExport:
+    def _traced_run(self):
+        tracer = Tracer()
+        deployment = Deployment(hybrid(), register_datasets=True, tracer=tracer)
+        deployment.run_job(WORDCOUNT.make_job(4 * GB))
+        return tracer
+
+    def test_tracks_become_named_processes(self):
+        tracer = Tracer()
+        sim = FakeSim()
+        tracer.bind(sim)
+        tracer.instant("a", "job", track="alpha")
+        sim.now = 1.0
+        tracer.complete("b", "task", start=0.5, track="beta", lane=7)
+        events = chrome_trace_events(tracer)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["alpha", "beta"]
+        pids = {m["args"]["name"]: m["pid"] for m in meta}
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["pid"] == pids["beta"] and span["tid"] == 7
+        assert span["ts"] == pytest.approx(0.5e6)
+        assert span["dur"] == pytest.approx(0.5e6)
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["s"] == "p" and instant["pid"] == pids["alpha"]
+
+    def test_full_run_exports_valid_json(self, tmp_path):
+        tracer = self._traced_run()
+        path = write_chrome_trace(tracer, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        assert len(events) == len(tracer) + len(
+            [e for e in events if e["ph"] == "M"]
+        )
+        categories = {e["cat"] for e in events if e["ph"] != "M"}
+        assert {"job", "task", "storage", "scheduler", "queue"} <= categories
+        names = {e["name"] for e in events}
+        for expected in ("job_submit", "algorithm1_decision",
+                         "scheduler_decision", "map_task", "reduce_task",
+                         "slots"):
+            assert expected in names, expected
+        # Counter events always carry args (Perfetto requires them).
+        assert all("args" in e for e in events if e["ph"] == PHASE_COUNTER)
+
+    def test_storage_events_on_their_own_tracks(self):
+        tracer = self._traced_run()
+        storage_tracks = {e.track for e in tracer.by_category("storage")}
+        assert "OFS" in storage_tracks
+
+    def test_write_metrics_dump(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a.jobs").inc(3)
+        path = write_metrics(registry, tmp_path / "m.json")
+        assert json.loads(path.read_text()) == {"a.jobs": 3.0}
+
+
+class TestDeploymentIntegration:
+    def test_metrics_cover_jobs_tasks_and_storage(self):
+        metrics = MetricsRegistry()
+        deployment = Deployment(
+            hybrid(), register_datasets=True, metrics=metrics
+        )
+        deployment.run_job(WORDCOUNT.make_job(4 * GB))
+        flat = metrics.dump()
+        assert flat["scale-up.jobs_submitted"] == 1
+        assert flat["scale-up.jobs_completed"] == 1
+        assert flat["scale-up.map_tasks_finished"] > 0
+        assert flat["scale-up.job_seconds.count"] == 1
+        assert flat["OFS.read_bytes"] > 0 and flat["OFS.read_ops"] > 0
+        assert flat["router.to.scale-up"] == 1
+
+    def test_untraced_deployment_has_no_observers(self):
+        deployment = Deployment(hybrid(), register_datasets=True)
+        assert deployment.sim.tracer is None
+        assert deployment.sim.metrics is None
+        deployment.run_job(WORDCOUNT.make_job(4 * GB))
+
+
+class TestDeterminism:
+    """The tentpole guarantee: telemetry never changes the simulation."""
+
+    def _replay(self, traced: bool):
+        trace = generate_fb2009(num_jobs=40, seed=11, duration=600.0).shrink(5.0)
+        deployment = Deployment(
+            hybrid(),
+            register_datasets=True,
+            tracer=Tracer() if traced else None,
+            metrics=MetricsRegistry() if traced else None,
+        )
+        return deployment.run_trace(trace.to_jobspecs())
+
+    def test_traced_replay_is_byte_identical(self):
+        baseline = self._replay(traced=False)
+        observed = self._replay(traced=True)
+        assert baseline == observed  # JobResult dataclass equality
+
+    def test_traced_sweep_preserves_cross_points(self):
+        sizes = [1 * GB, 4 * GB, 16 * GB, 48 * GB, 100 * GB]
+
+        def sweep(traced: bool):
+            times = {}
+            for spec in (up_ofs(), out_ofs()):
+                deployment = Deployment(
+                    spec,
+                    register_datasets=True,
+                    tracer=Tracer() if traced else None,
+                )
+                times[spec.name] = [
+                    deployment.run_job(GREP.make_job(s)).execution_time
+                    for s in sizes
+                ]
+            return estimate_cross_point(
+                sizes, times["up-OFS"], times["out-OFS"]
+            )
+
+        untraced_cross = sweep(traced=False)
+        traced_cross = sweep(traced=True)
+        assert untraced_cross == traced_cross
+        assert untraced_cross is not None

@@ -30,12 +30,14 @@ from repro.workload.cdf import quantile
 from conftest import replay_jobs
 
 
-def run_replay():
-    return fig10_trace_replay(num_jobs=replay_jobs())
+def run_replay(runner=None):
+    return fig10_trace_replay(num_jobs=replay_jobs(), runner=runner)
 
 
-def test_fig10_trace_replay(benchmark, artifact):
-    outcome = benchmark.pedantic(run_replay, rounds=1, iterations=1)
+def test_fig10_trace_replay(benchmark, artifact, runner):
+    outcome = benchmark.pedantic(
+        run_replay, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
 
     blocks = []
     stats = {}
@@ -83,10 +85,12 @@ def test_fig10_trace_replay(benchmark, artifact):
         assert len(replay.results) == expected
 
 
-def test_fig10_hybrid_speedup_summary(benchmark, artifact):
+def test_fig10_hybrid_speedup_summary(benchmark, artifact, runner):
     """The paper's headline: the hybrid improves the whole workload, not
     just the small jobs — its mean execution time beats both baselines."""
-    outcome = benchmark.pedantic(run_replay, rounds=1, iterations=1)
+    outcome = benchmark.pedantic(
+        run_replay, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     means = {
         name: float(np.mean([r.execution_time for r in replay.results]))
         for name, replay in outcome.items()

@@ -19,8 +19,10 @@ from helpers import (
 )
 
 
-def test_fig5_wordcount(benchmark, artifact):
-    panels = benchmark.pedantic(fig5_wordcount, rounds=1, iterations=1)
+def test_fig5_wordcount(benchmark, artifact, runner):
+    panels = benchmark.pedantic(
+        fig5_wordcount, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     artifact("fig5_wordcount", render_panels(panels), data={k: p.to_dict() for k, p in panels.items()})
 
     execution = panels["execution"]

@@ -15,8 +15,10 @@ from helpers import (
 )
 
 
-def test_fig6_grep(benchmark, artifact):
-    panels = benchmark.pedantic(fig6_grep, rounds=1, iterations=1)
+def test_fig6_grep(benchmark, artifact, runner):
+    panels = benchmark.pedantic(
+        fig6_grep, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     artifact("fig6_grep", render_panels(panels), data={k: p.to_dict() for k, p in panels.items()})
 
     execution = panels["execution"]

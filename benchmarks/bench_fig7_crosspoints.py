@@ -13,8 +13,10 @@ from repro.analysis.report import render_series
 from repro.units import GB, format_size
 
 
-def test_fig7_crosspoints(benchmark, artifact):
-    figure = benchmark.pedantic(fig7_crosspoints, rounds=1, iterations=1)
+def test_fig7_crosspoints(benchmark, artifact, runner):
+    figure = benchmark.pedantic(
+        fig7_crosspoints, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     wc_cross = figure.notes["wordcount_cross_point"]
     grep_cross = figure.notes["grep_cross_point"]
     text = render_series(figure.sizes, figure.series, title=figure.title)

@@ -11,8 +11,11 @@ from repro.analysis.report import render_series
 from repro.units import GB, format_size
 
 
-def test_fig8_crosspoint_dfsio(benchmark, artifact):
-    figure = benchmark.pedantic(fig8_crosspoint_dfsio, rounds=1, iterations=1)
+def test_fig8_crosspoint_dfsio(benchmark, artifact, runner):
+    figure = benchmark.pedantic(
+        fig8_crosspoint_dfsio, kwargs={"runner": runner}, rounds=1,
+        iterations=1,
+    )
     cross = figure.notes["dfsio_cross_point"]
     text = render_series(figure.sizes, figure.series, title=figure.title)
     text += "\n\n" + render_chart(
@@ -33,12 +36,15 @@ def test_fig8_crosspoint_dfsio(benchmark, artifact):
     assert series[-1] < 1.0
 
 
-def test_fig8_map_intensive_cross_below_shuffle_intensive(benchmark, artifact):
+def test_fig8_map_intensive_cross_below_shuffle_intensive(
+    benchmark, artifact, runner
+):
     """The paper's conclusion: 'the cross point for map-intensive
     applications is smaller than shuffle-intensive applications.'"""
 
     def both():
-        return fig8_crosspoint_dfsio(), fig7_crosspoints()
+        return (fig8_crosspoint_dfsio(runner=runner),
+                fig7_crosspoints(runner=runner))
 
     fig8, fig7 = benchmark.pedantic(both, rounds=1, iterations=1)
     dfsio = fig8.notes["dfsio_cross_point"]

@@ -15,8 +15,10 @@ from repro.units import GB
 from helpers import render_panels, series_at
 
 
-def test_fig9_dfsio(benchmark, artifact):
-    panels = benchmark.pedantic(fig9_dfsio, rounds=1, iterations=1)
+def test_fig9_dfsio(benchmark, artifact, runner):
+    panels = benchmark.pedantic(
+        fig9_dfsio, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     artifact("fig9_dfsio", render_panels(panels), data={k: p.to_dict() for k, p in panels.items()})
 
     execution = panels["execution"]

@@ -14,8 +14,10 @@ from repro.analysis.sensitivity import SHOCKABLE, run_sensitivity, summarize
 from repro.units import GB
 
 
-def test_sensitivity_to_calibration(benchmark, artifact):
-    shocks = benchmark.pedantic(run_sensitivity, rounds=1, iterations=1)
+def test_sensitivity_to_calibration(benchmark, artifact, runner):
+    shocks = benchmark.pedantic(
+        run_sensitivity, kwargs={"runner": runner}, rounds=1, iterations=1
+    )
     rows = [
         [
             s.parameter,

@@ -55,9 +55,19 @@ from repro.errors import (
     CapacityError,
     ConfigurationError,
     ReproError,
+    RunnerError,
     SchedulingError,
     SimulationError,
     TraceError,
+)
+from repro.runner import (
+    CellSpec,
+    ExperimentSpec,
+    PoolRunner,
+    ResultCache,
+    isolated_cell,
+    replay_cell,
+    sweep_experiment,
 )
 from repro.mapreduce import HadoopConfig, JobResult, JobSpec
 from repro.units import GB, KB, MB, TB, format_duration, format_size, parse_size
@@ -105,6 +115,14 @@ __all__ = [
     # telemetry
     "Tracer",
     "MetricsRegistry",
+    # runner
+    "CellSpec",
+    "ExperimentSpec",
+    "PoolRunner",
+    "ResultCache",
+    "isolated_cell",
+    "replay_cell",
+    "sweep_experiment",
     # workload
     "Trace",
     "TraceJob",
@@ -121,6 +139,7 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "CapacityError",
+    "RunnerError",
     "SchedulingError",
     "SimulationError",
     "TraceError",

@@ -3,6 +3,12 @@
 Everything here is deterministic given a calibration and a seed.  The
 benchmark files under ``benchmarks/`` call these functions and print the
 series; EXPERIMENTS.md records the comparison against the paper.
+
+Every producer accepts ``runner=`` (a
+:class:`~repro.runner.pool.PoolRunner`) to fan its independent
+simulation cells out across processes and reuse cached results; with
+``runner=None`` cells run serially in-process and the output is
+byte-identical either way (pinned by tests/test_runner_determinism.py).
 """
 
 from __future__ import annotations
@@ -27,9 +33,11 @@ from repro.core.architectures import (
 )
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.crosspoint import estimate_cross_point, normalized_ratio
-from repro.core.deployment import Deployment
 from repro.core.scheduler import Decision, SizeAwareScheduler
 from repro.mapreduce.job import JobResult
+from repro.runner.pool import PoolRunner, raise_on_failure
+from repro.runner.spec import replay_cell
+from repro.runner.work import decode_replay_results, execute_replay_observed
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer
 from repro.units import GB
@@ -81,13 +89,18 @@ def measurement_panels(
     app: AppProfile,
     sizes: Sequence[float] = SHUFFLE_APP_SIZES,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    *,
+    seed: int = 0,
+    runner: Optional[PoolRunner] = None,
 ) -> Dict[str, FigureData]:
     """The four panels of Figs. 5/6/9 for one application.
 
     Execution time and map-phase duration are normalized by up-OFS (as in
     the paper); shuffle and reduce durations are raw seconds.
     """
-    grid = sweep_architectures(_table1_specs(), app, sizes, calibration)
+    grid = sweep_architectures(
+        _table1_specs(), app, sizes, calibration, seed=seed, runner=runner
+    )
     sizes_list = list(sizes)
 
     def collect(attr: str) -> Dict[str, List[Optional[float]]]:
@@ -145,31 +158,42 @@ def fig3_trace_cdf(
 def fig5_wordcount(
     calibration: Calibration = DEFAULT_CALIBRATION,
     sizes: Sequence[float] = SHUFFLE_APP_SIZES,
+    *,
+    runner: Optional[PoolRunner] = None,
 ) -> Dict[str, FigureData]:
     """Fig. 5(a-d): Wordcount on the four architectures."""
-    return measurement_panels(WORDCOUNT, sizes, calibration)
+    return measurement_panels(WORDCOUNT, sizes, calibration, runner=runner)
 
 
 def fig6_grep(
     calibration: Calibration = DEFAULT_CALIBRATION,
     sizes: Sequence[float] = SHUFFLE_APP_SIZES,
+    *,
+    runner: Optional[PoolRunner] = None,
 ) -> Dict[str, FigureData]:
     """Fig. 6(a-d): Grep on the four architectures."""
-    return measurement_panels(GREP, sizes, calibration)
+    return measurement_panels(GREP, sizes, calibration, runner=runner)
 
 
 def fig9_dfsio(
     calibration: Calibration = DEFAULT_CALIBRATION,
     sizes: Sequence[float] = DFSIO_SIZES,
+    *,
+    runner: Optional[PoolRunner] = None,
 ) -> Dict[str, FigureData]:
     """Fig. 9(a-d): TestDFSIO write on the four architectures."""
-    return measurement_panels(TESTDFSIO_WRITE, sizes, calibration)
+    return measurement_panels(TESTDFSIO_WRITE, sizes, calibration, runner=runner)
 
 
 def _up_out_sweep(
-    app: AppProfile, sizes: Sequence[float], calibration: Calibration
+    app: AppProfile,
+    sizes: Sequence[float],
+    calibration: Calibration,
+    runner: Optional[PoolRunner] = None,
 ) -> Tuple[SweepResult, SweepResult]:
-    grid = sweep_architectures((up_ofs(), out_ofs()), app, sizes, calibration)
+    grid = sweep_architectures(
+        (up_ofs(), out_ofs()), app, sizes, calibration, runner=runner
+    )
     return grid["up-OFS"], grid["out-OFS"]
 
 
@@ -177,10 +201,12 @@ def crosspoint_series(
     app_name: str,
     sizes: Sequence[float],
     calibration: Calibration = DEFAULT_CALIBRATION,
+    *,
+    runner: Optional[PoolRunner] = None,
 ) -> Tuple[List[float], Optional[float]]:
     """Normalized out-OFS/up-OFS execution-time curve and its cross point."""
     app = get_app(app_name)
-    up, out = _up_out_sweep(app, sizes, calibration)
+    up, out = _up_out_sweep(app, sizes, calibration, runner)
     up_times = [t for t in up.execution_times]
     out_times = [t for t in out.execution_times]
     if any(t is None for t in up_times + out_times):
@@ -193,10 +219,16 @@ def crosspoint_series(
 def fig7_crosspoints(
     calibration: Calibration = DEFAULT_CALIBRATION,
     sizes: Sequence[float] = FIG7_SIZES,
+    *,
+    runner: Optional[PoolRunner] = None,
 ) -> FigureData:
     """Fig. 7: cross points of Wordcount (~32 GB) and Grep (~16 GB)."""
-    wc_ratio, wc_cross = crosspoint_series("wordcount", sizes, calibration)
-    grep_ratio, grep_cross = crosspoint_series("grep", sizes, calibration)
+    wc_ratio, wc_cross = crosspoint_series(
+        "wordcount", sizes, calibration, runner=runner
+    )
+    grep_ratio, grep_cross = crosspoint_series(
+        "grep", sizes, calibration, runner=runner
+    )
     return FigureData(
         "Fig 7: normalized out-OFS execution time (by up-OFS)",
         list(sizes),
@@ -213,9 +245,13 @@ def fig7_crosspoints(
 def fig8_crosspoint_dfsio(
     calibration: Calibration = DEFAULT_CALIBRATION,
     sizes: Sequence[float] = FIG8_SIZES,
+    *,
+    runner: Optional[PoolRunner] = None,
 ) -> FigureData:
     """Fig. 8: cross point of TestDFSIO write (~10 GB)."""
-    ratio, cross = crosspoint_series("testdfsio-write", sizes, calibration)
+    ratio, cross = crosspoint_series(
+        "testdfsio-write", sizes, calibration, runner=runner
+    )
     return FigureData(
         "Fig 8: normalized out-OFS execution time (by up-OFS)",
         list(sizes),
@@ -261,6 +297,7 @@ def fig10_trace_replay(
     tracer: Optional["Tracer"] = None,
     metrics: Optional["MetricsRegistry"] = None,
     telemetry_architecture: str = "Hybrid",
+    runner: Optional[PoolRunner] = None,
 ) -> Dict[str, TraceReplayResult]:
     """Replay the FB-2009 trace on Hybrid, THadoop and RHadoop.
 
@@ -276,7 +313,10 @@ def fig10_trace_replay(
 
     Optional ``tracer``/``metrics`` observers are attached to the
     ``telemetry_architecture`` replay only (one tracer records one
-    simulation clock); telemetry never changes the results.
+    simulation clock); telemetry never changes the results.  Because
+    observers cannot cross process boundaries, the observed replay runs
+    in-process and uncached; the other architectures still go through
+    ``runner``.
     """
     from repro.workload.fb2009 import DAY
 
@@ -292,20 +332,36 @@ def fig10_trace_replay(
         if scheduler.decide_job(j) is Decision.SCALE_UP
     }
 
-    outcome: Dict[str, TraceReplayResult] = {}
-    for name, spec in replay_architectures().items():
-        observed = name == telemetry_architecture
-        deployment = Deployment(
-            spec,
+    specs = replay_architectures()
+    cells = {
+        name: replay_cell(
+            spec,  # type: ignore[arg-type]
+            num_jobs=num_jobs,
+            seed=seed,
+            shrink_factor=shrink_factor,
             calibration=calibration,
-            tracer=tracer if observed else None,
-            metrics=metrics if observed else None,
+            duration=duration,
         )
-        results = deployment.run_trace(jobs)
-        if len(results) != len(jobs):
-            raise RuntimeError(
-                f"{name}: {len(results)} of {len(jobs)} jobs completed"
-            )
+        for name, spec in specs.items()
+    }
+    observed = (
+        telemetry_architecture
+        if (tracer is not None or metrics is not None)
+        else None
+    )
+    pooled = [name for name in cells if name != observed]
+    active = runner if runner is not None else PoolRunner()
+    outcomes = active.run_cells([cells[name] for name in pooled])
+    raise_on_failure(outcomes)
+    payloads = {name: o.payload for name, o in zip(pooled, outcomes)}
+    if observed is not None:
+        payloads[observed] = execute_replay_observed(
+            cells[observed], tracer=tracer, metrics=metrics
+        )
+
+    outcome: Dict[str, TraceReplayResult] = {}
+    for name in specs:
+        results = decode_replay_results(payloads[name])  # type: ignore[arg-type]
         up_times = np.array(
             [r.execution_time for r in results if r.job_id in up_ids]
         )

@@ -25,6 +25,7 @@ from repro.apps import WORDCOUNT
 from repro.core.architectures import out_hdfs, out_ofs, up_hdfs, up_ofs
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.errors import ConfigurationError
+from repro.runner.pool import PoolRunner
 from repro.units import GB
 
 #: The continuous constants worth shocking (bools/ints excluded).
@@ -68,11 +69,17 @@ def _apply_shock(parameter: str, factor: float) -> Calibration:
     return DEFAULT_CALIBRATION.with_options(**{parameter: value})
 
 
-def _orderings(calibration: Calibration) -> tuple[bool, bool]:
-    grid_small = sweep_architectures(ARCHS, WORDCOUNT, [2 * GB], calibration)
+def _orderings(
+    calibration: Calibration, runner: Optional[PoolRunner] = None
+) -> tuple[bool, bool]:
+    grid_small = sweep_architectures(
+        ARCHS, WORDCOUNT, [2 * GB], calibration, runner=runner
+    )
     s = {n: grid_small[n].execution_times[0] for n in grid_small}
     small_ok = s["up-HDFS"] < s["up-OFS"] < s["out-HDFS"] < s["out-OFS"]
-    grid_large = sweep_architectures(ARCHS, WORDCOUNT, [64 * GB], calibration)
+    grid_large = sweep_architectures(
+        ARCHS, WORDCOUNT, [64 * GB], calibration, runner=runner
+    )
     l = {n: grid_large[n].execution_times[0] for n in grid_large}
     # The robust form of the large ordering (see fidelity tests): clear
     # winner and loser, middle pair within tolerance.
@@ -84,15 +91,18 @@ def _orderings(calibration: Calibration) -> tuple[bool, bool]:
     return small_ok, large_ok
 
 
-def _crosses(calibration: Calibration):
+def _crosses(calibration: Calibration, runner: Optional[PoolRunner] = None):
     _, wc = crosspoint_series(
-        "wordcount", [s * GB for s in (8, 16, 24, 32, 48, 64)], calibration
+        "wordcount", [s * GB for s in (8, 16, 24, 32, 48, 64)], calibration,
+        runner=runner,
     )
     _, grep = crosspoint_series(
-        "grep", [s * GB for s in (4, 8, 12, 16, 24, 32)], calibration
+        "grep", [s * GB for s in (4, 8, 12, 16, 24, 32)], calibration,
+        runner=runner,
     )
     _, dfsio = crosspoint_series(
-        "testdfsio-write", [s * GB for s in (3, 5, 8, 10, 15, 20)], calibration
+        "testdfsio-write", [s * GB for s in (3, 5, 8, 10, 15, 20)], calibration,
+        runner=runner,
     )
     ordered = (
         wc is not None
@@ -106,8 +116,14 @@ def _crosses(calibration: Calibration):
 def run_sensitivity(
     parameters: Sequence[str] = SHOCKABLE,
     factors: Sequence[float] = (0.75, 1.25),
+    *,
+    runner: Optional[PoolRunner] = None,
 ) -> List[Shock]:
-    """Shock each parameter by each factor; measure the outcomes."""
+    """Shock each parameter by each factor; measure the outcomes.
+
+    ``runner`` parallelises (and caches) the sweeps behind each shock —
+    the study is ~100 independent grids, the runner's best case.
+    """
     for parameter in parameters:
         if parameter not in {f.name for f in fields(Calibration)}:
             raise ConfigurationError(f"unknown calibration field {parameter!r}")
@@ -115,8 +131,8 @@ def run_sensitivity(
     for parameter in parameters:
         for factor in factors:
             calibration = _apply_shock(parameter, factor)
-            small_ok, large_ok = _orderings(calibration)
-            wc_cross, ordered = _crosses(calibration)
+            small_ok, large_ok = _orderings(calibration, runner)
+            wc_cross, ordered = _crosses(calibration, runner)
             shocks.append(
                 Shock(
                     parameter=parameter,

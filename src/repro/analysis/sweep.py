@@ -7,6 +7,14 @@ grid on a fresh simulation; ``sweep_architectures`` does the whole grid.
 A cell can be *infeasible* — up-HDFS cannot hold jobs beyond ~80 GB —
 in which case its result is ``None``, exactly like the hole in the
 paper's up-HDFS curves.
+
+Cells are independent simulations, so the grid runs through
+:class:`~repro.runner.pool.PoolRunner`: pass ``runner=`` to fan cells
+out across processes and/or reuse cached results; the default is an
+ephemeral serial runner with no cache, which behaves exactly like the
+historical in-process loop.  ``seed`` selects the per-cell task-jitter
+streams explicitly (0 keeps the legacy streams), so a cell's result
+depends only on its own spec — never on execution order.
 """
 
 from __future__ import annotations
@@ -17,9 +25,10 @@ from typing import Dict, List, Optional, Sequence
 from repro.apps.base import AppProfile
 from repro.core.architectures import ArchitectureSpec
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.core.deployment import Deployment
-from repro.errors import CapacityError
 from repro.mapreduce.job import JobResult
+from repro.runner.pool import PoolRunner, raise_on_failure
+from repro.runner.spec import isolated_cell, sweep_experiment
+from repro.runner.work import decode_result, execute_cell
 from repro.units import parse_size
 
 
@@ -59,19 +68,20 @@ def run_isolated(
     app: AppProfile,
     input_size: float | str,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    *,
+    seed: int = 0,
 ) -> Optional[JobResult]:
     """Run one job alone on a fresh deployment of ``spec``.
 
     Returns ``None`` when the architecture's storage cannot hold the
     job's data (the up-HDFS ceiling), mirroring the paper's missing
     measurements rather than raising.
+
+    ``seed`` pins the cell's task-jitter stream explicitly; 0 (the
+    default) keeps the legacy stream, so existing results are unchanged.
     """
-    deployment = Deployment(spec, calibration=calibration)
-    job = app.make_job(parse_size(input_size))
-    try:
-        return deployment.run_job(job, register_dataset=True)
-    except CapacityError:
-        return None
+    cell = isolated_cell(spec, app, input_size, calibration, seed)
+    return decode_result(execute_cell(cell))
 
 
 def sweep_architectures(
@@ -79,12 +89,31 @@ def sweep_architectures(
     app: AppProfile,
     sizes: Sequence[float | str],
     calibration: Calibration = DEFAULT_CALIBRATION,
+    *,
+    seed: int = 0,
+    runner: Optional[PoolRunner] = None,
 ) -> Dict[str, SweepResult]:
-    """The full measurement grid for one application."""
+    """The full measurement grid for one application.
+
+    With ``runner=None`` every cell runs serially in this process (the
+    historical behaviour); pass a configured
+    :class:`~repro.runner.pool.PoolRunner` for parallel execution and
+    result caching.  Raises :class:`~repro.errors.RunnerError` if any
+    cell crashed after the runner's retries.
+    """
+    specs = list(specs)
     resolved = [parse_size(s) for s in sizes]
+    experiment = sweep_experiment(specs, app, resolved, calibration, seed)
+    active = runner if runner is not None else PoolRunner()
+    outcomes = active.run_experiment(experiment)
+    raise_on_failure(outcomes)
     grid: Dict[str, SweepResult] = {}
-    for spec in specs:
-        results = [run_isolated(spec, app, size, calibration) for size in resolved]
+    for column, spec in enumerate(specs):
+        start = column * len(resolved)
+        results = [
+            decode_result(o.payload)  # type: ignore[arg-type]
+            for o in outcomes[start:start + len(resolved)]
+        ]
         grid[spec.name] = SweepResult(
             architecture=spec.name,
             app=app.name,

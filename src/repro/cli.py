@@ -16,9 +16,17 @@ Commands map one-to-one onto the paper's artifacts:
   JSON (open in Perfetto / ``chrome://tracing``).
 * ``metrics``      — run a replay with a metrics registry attached and
   print/dump the flat metrics.
+* ``cache``        — inspect or clear the on-disk result cache.
 
 ``run`` and ``replay`` also accept ``--trace-out FILE`` to record the
 run they already perform.
+
+Parallelism and caching: ``sweep`` and ``crosspoints`` take ``--jobs N``
+(worker processes); ``replay`` and ``figures`` take ``--workers N``
+(their ``--jobs`` already means trace-job count).  All four cache cell
+results under ``.repro-cache/`` (``$REPRO_CACHE_DIR`` overrides) so
+re-runs only simulate changed cells; ``--no-cache`` disables that.
+Parallel results are byte-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -52,6 +60,7 @@ from repro.core.calibration import DEFAULT_CALIBRATION
 from repro.core.deployment import Deployment
 from repro.core.scheduler import PAPER_CROSS_POINTS
 from repro.errors import CapacityError, ReproError
+from repro.runner import PoolRunner, ResultCache, default_cache_root
 from repro.telemetry import (
     MetricsRegistry,
     Tracer,
@@ -75,6 +84,33 @@ def architecture_registry() -> dict:
 #: ``--arch`` choices, stable order: Table I first, then Section V.
 ARCH_CHOICES = ("up-OFS", "up-HDFS", "out-OFS", "out-HDFS",
                 "Hybrid", "THadoop", "RHadoop")
+
+
+def _add_runner_options(parser: argparse.ArgumentParser, *, flag: str) -> None:
+    """Attach the shared runner options to a subcommand.
+
+    ``flag`` is ``--jobs`` where that name is free and ``--workers`` on
+    commands where ``--jobs`` already means trace-job count.
+    """
+    dest = "jobs" if flag == "--jobs" else "workers"
+    parser.add_argument(
+        flag, dest=dest, type=int, default=1, metavar="N",
+        help="worker processes for the cell grid (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell; skip the on-disk result cache",
+    )
+
+
+def _make_runner(workers: int, no_cache: bool) -> PoolRunner:
+    """The experiment runner a command asked for (see repro.runner)."""
+    cache = None if no_cache else ResultCache()
+    return PoolRunner(max_workers=workers, cache=cache)
+
+
+def _print_runner_stats(runner: PoolRunner) -> None:
+    print(f"\n[runner] {runner.lifetime_stats.describe()}")
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -135,24 +171,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sizes = [parse_size(s) for s in args.sizes.split(",")]
     else:
         sizes = DFSIO_SIZES if app.name == "testdfsio-write" else SHUFFLE_APP_SIZES
-    panels = measurement_panels(app, sizes)
+    runner = _make_runner(args.jobs, args.no_cache)
+    panels = measurement_panels(app, sizes, seed=args.seed, runner=runner)
     for key in ("execution", "map", "shuffle", "reduce"):
         panel = panels[key]
         print(render_series(panel.sizes, panel.series, title=panel.title))
         print()
+    _print_runner_stats(runner)
     return 0
 
 
 def _cmd_crosspoints(args: argparse.Namespace) -> int:
     from repro.analysis.asciichart import render_chart
 
-    fig7 = fig7_crosspoints(sizes=FIG7_SIZES)
+    runner = _make_runner(args.jobs, args.no_cache)
+    fig7 = fig7_crosspoints(sizes=FIG7_SIZES, runner=runner)
     print(render_series(fig7.sizes, fig7.series, title=fig7.title))
     print()
     print(render_chart(fig7.sizes, fig7.series, reference_y=1.0,
                        x_formatter=format_size))
     print()
-    fig8 = fig8_crosspoint_dfsio(sizes=FIG8_SIZES)
+    fig8 = fig8_crosspoint_dfsio(sizes=FIG8_SIZES, runner=runner)
     print(render_series(fig8.sizes, fig8.series, title=fig8.title))
     print()
     print(render_chart(fig8.sizes, fig8.series, reference_y=1.0,
@@ -162,6 +201,7 @@ def _cmd_crosspoints(args: argparse.Namespace) -> int:
     for key, value in {**fig7.notes, **fig8.notes}.items():
         rows.append([key, format_size(value) if value else "-"])
     print(render_table(["cross point", "input size"], rows))
+    _print_runner_stats(runner)
     return 0
 
 
@@ -194,6 +234,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
+    runner = _make_runner(args.workers, args.no_cache)
 
     def dump(name: str, payload: dict, text: str) -> None:
         (out_dir / f"{name}.json").write_text(json.dumps(payload, indent=1))
@@ -209,19 +250,20 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         ("fig6_grep", fig6_grep),
         ("fig9_dfsio", fig9_dfsio),
     ):
-        panels = producer()
+        panels = producer(runner=runner)
         text = "\n\n".join(
             render_series(p.sizes, p.series, title=p.title)
             for p in panels.values()
         )
         dump(name, {k: p.to_dict() for k, p in panels.items()}, text)
-    fig7 = fig7_crosspoints()
+    fig7 = fig7_crosspoints(runner=runner)
     dump("fig7", fig7.to_dict(), render_series(fig7.sizes, fig7.series,
                                                title=fig7.title))
-    fig8 = fig8_crosspoint_dfsio()
+    fig8 = fig8_crosspoint_dfsio(runner=runner)
     dump("fig8", fig8.to_dict(), render_series(fig8.sizes, fig8.series,
                                                title=fig8.title))
     print("done (Fig. 10 needs a replay: use `python -m repro replay`)")
+    _print_runner_stats(runner)
     return 0
 
 
@@ -285,8 +327,9 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else None
+    runner = _make_runner(args.workers, args.no_cache)
     outcome = fig10_trace_replay(
-        num_jobs=args.jobs, seed=args.seed, tracer=tracer
+        num_jobs=args.jobs, seed=args.seed, tracer=tracer, runner=runner
     )
     headers = ["architecture", "class", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"]
     rows: List[List[object]] = []
@@ -353,6 +396,28 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    root = Path(args.dir) if args.dir else default_cache_root()
+    cache = ResultCache(root)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {root}")
+        return 0
+    info = cache.info()
+    if not info.entries:
+        print(f"cache at {root}: empty")
+        return 0
+    print(f"cache at {root}: {info.entries} entries, "
+          f"{format_size(info.total_bytes)} on disk")
+    rows = [[kind, count] for kind, count in sorted(info.by_kind.items())]
+    print(render_table(["kind", "entries"], rows))
+    rows = [[status, count] for status, count in sorted(info.by_status.items())]
+    print(render_table(["status", "entries"], rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hybrid-hadoop",
@@ -372,8 +437,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = sub.add_parser("sweep", help="size sweep on the four architectures")
     sweep.add_argument("--app", default="wordcount", choices=sorted(APP_REGISTRY))
     sweep.add_argument("--sizes", help='comma list, e.g. "1GB,4GB,16GB"')
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="per-cell RNG seed (0 = the paper's fixed runs)")
+    _add_runner_options(sweep, flag="--jobs")
 
-    sub.add_parser("crosspoints", help="Figs. 7/8 curves and cross points")
+    crosspoints = sub.add_parser(
+        "crosspoints", help="Figs. 7/8 curves and cross points"
+    )
+    _add_runner_options(crosspoints, flag="--jobs")
 
     trace = sub.add_parser("trace", help="generate the FB-2009 trace (Fig. 3)")
     trace.add_argument("--jobs", type=int, default=6000)
@@ -385,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--seed", type=int, default=2009)
     replay.add_argument("--trace-out", metavar="FILE",
                         help="write a Chrome trace of the Hybrid replay here")
+    _add_runner_options(replay, flag="--workers")
 
     trace_export = sub.add_parser(
         "trace-export",
@@ -410,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", default="figures_out")
     figures.add_argument("--jobs", type=int, default=6000)
     figures.add_argument("--seed", type=int, default=2009)
+    _add_runner_options(figures, flag="--workers")
 
     verify = sub.add_parser(
         "verify", help="re-derive the paper's conclusions on the model"
@@ -435,6 +508,15 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--width", type=int, default=100)
     timeline.add_argument("--max-jobs", type=int, default=40)
 
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache.add_argument("--dir", metavar="PATH",
+                       help="cache directory (default: .repro-cache or "
+                            "$REPRO_CACHE_DIR)")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached entry")
+
     return parser
 
 
@@ -451,6 +533,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "trace-export": _cmd_trace_export,
     "metrics": _cmd_metrics,
+    "cache": _cmd_cache,
 }
 
 

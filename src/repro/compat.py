@@ -1,0 +1,31 @@
+"""Deprecation plumbing: every legacy shim warns through one helper.
+
+Keeping the warnings in one place gives them a uniform category, a
+uniform suffix, and one spot to grep when a shim is finally removed.
+``tests/test_deprecations.py`` asserts two things about this module:
+
+* calling a shim still raises :class:`DeprecationWarning` (the shims
+  stay loud until removed), and
+* no in-repo caller — library, CLI, benchmarks — triggers any of them
+  (the repo itself is warning-clean).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Appended to every deprecation message so users know the contract.
+_SUNSET = "; this compatibility shim will be removed in a future release"
+
+
+def warn_deprecated(message: str, *, stacklevel: int = 3) -> None:
+    """Emit a :class:`DeprecationWarning` pointing at the shim's caller.
+
+    ``stacklevel`` counts from *this* function: the default 3 blames the
+    caller of the function that invoked the shim helper directly; add
+    one per intermediate frame (see ``Deployment._resolve_register``).
+    """
+    warnings.warn(message + _SUNSET, DeprecationWarning, stacklevel=stacklevel)
+
+
+__all__ = ["warn_deprecated"]

@@ -36,8 +36,9 @@ explicitly to silence it.
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable, List, Optional, Sequence
+
+from repro.compat import warn_deprecated
 
 from repro.core.api import Router, Scheduler
 from repro.core.architectures import ArchitectureSpec
@@ -194,12 +195,11 @@ class Deployment:
         if self.register_datasets is not None:
             return self.register_datasets
         if legacy_default:
-            warnings.warn(
+            warn_deprecated(
                 f"{method}() registering datasets by default is deprecated; "
                 "pass register_dataset=True explicitly or construct the "
                 "Deployment with register_datasets=True",
-                DeprecationWarning,
-                stacklevel=3,
+                stacklevel=4,
             )
         return legacy_default
 
@@ -309,11 +309,9 @@ class Deployment:
         keyword ``register_dataset``.
         """
         if register_datasets is not None:
-            warnings.warn(
+            warn_deprecated(
                 "run_trace(register_datasets=...) is deprecated; "
-                "use register_dataset=...",
-                DeprecationWarning,
-                stacklevel=2,
+                "use register_dataset=..."
             )
             if register_dataset is None:
                 register_dataset = register_datasets

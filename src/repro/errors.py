@@ -32,5 +32,10 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an invalid state."""
 
 
+class RunnerError(ReproError):
+    """A runner cell failed after exhausting its retries, or the runner
+    was configured inconsistently."""
+
+
 class TraceError(ReproError):
     """A workload trace is malformed or internally inconsistent."""

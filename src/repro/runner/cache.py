@@ -1,0 +1,209 @@
+"""Content-addressed on-disk result cache.
+
+Results live as JSON files under ``.repro-cache/`` (override with the
+``REPRO_CACHE_DIR`` environment variable), sharded by the first two hex
+digits of the cell's content key::
+
+    .repro-cache/
+      ab/abcdef....json     # one payload per cell key
+      cd/cdef12....json
+
+A payload is exactly what :func:`repro.runner.work.execute_cell`
+returned — including ``infeasible`` holes, so a sweep that hit the
+up-HDFS capacity ceiling does not re-attempt the infeasible cells on the
+next run.  Keys already hash every simulation input plus the code salt
+(see :mod:`repro.runner.spec`), so the cache itself never has to reason
+about invalidation: a stale entry is simply never looked up again.
+
+Robustness: a missing, truncated, corrupted or schema-mismatched file is
+a *miss* — the cell is recomputed and the entry rewritten — never an
+error.  Writes are atomic (temp file + rename) so a crashed run cannot
+leave a half-written payload that poisons the next one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.runner.spec import CACHE_SCHEMA
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_KEY_HEX = set("0123456789abcdef")
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``./.repro-cache``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+@dataclass
+class CacheStats:
+    """Running totals for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt": self.corrupt,
+        }
+
+
+@dataclass
+class CacheInfo:
+    """Inventory snapshot for ``repro cache`` (see :meth:`ResultCache.info`)."""
+
+    root: str
+    entries: int = 0
+    total_bytes: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    by_status: Dict[str, int] = field(default_factory=dict)
+
+
+class ResultCache:
+    """Content-addressed JSON store for cell payloads."""
+
+    def __init__(self, root: Optional[Path | str] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 8 or not set(key) <= _KEY_HEX:
+            raise ValueError(f"not a content key: {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read --------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or None (miss).
+
+        Any unreadable or malformed entry counts as a miss; the broken
+        file is removed (best effort) so the recompute can rewrite it.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError):
+            self._discard(path)
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        if not self._valid(payload):
+            self._discard(path)
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    @staticmethod
+    def _valid(payload: Any) -> bool:
+        return (
+            isinstance(payload, dict)
+            and payload.get("schema") == CACHE_SCHEMA
+            and payload.get("status") in ("ok", "infeasible")
+            and "result" in payload
+            and "kind" in payload
+        )
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- write -------------------------------------------------------------
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` under ``key`` atomically."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            ResultCache._discard(Path(handle.name))
+            raise
+        self.stats.writes += 1
+
+    # -- inspection / maintenance -----------------------------------------
+
+    def _files(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.json"))
+
+    def entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Iterate ``(key, payload)`` over every readable entry."""
+        for path in self._files():
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if self._valid(payload):
+                yield path.stem, payload
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._files())
+
+    def info(self) -> CacheInfo:
+        """Inventory: entry count, bytes on disk, kind/status breakdown."""
+        info = CacheInfo(root=str(self.root))
+        for path in self._files():
+            info.entries += 1
+            info.total_bytes += path.stat().st_size
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                kind, status = "corrupt", "corrupt"
+            else:
+                valid = self._valid(payload)
+                kind = payload.get("kind", "?") if valid else "corrupt"
+                status = payload.get("status", "?") if valid else "corrupt"
+            info.by_kind[kind] = info.by_kind.get(kind, 0) + 1
+            info.by_status[status] = info.by_status.get(status, 0) + 1
+        return info
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for path in list(self._files()):
+            self._discard(path)
+            removed += 1
+        for shard in list(self.root.iterdir()) if self.root.is_dir() else []:
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+__all__ = [
+    "CacheInfo",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "default_cache_root",
+]

@@ -1,0 +1,231 @@
+"""Experiment cells: picklable, content-addressable simulation descriptions.
+
+A :class:`CellSpec` is everything one simulation needs — architecture,
+application profile, input size, calibration, seed (or, for a trace
+replay, the trace parameters) — as a frozen dataclass of frozen
+dataclasses, so it pickles across process boundaries and serialises
+canonically.  Its :meth:`~CellSpec.content_key` is a SHA-256 over that
+canonical form plus a code-version salt: two cells with the same key are
+guaranteed to describe the same simulation under the same model, which
+is what lets :class:`~repro.runner.cache.ResultCache` reuse results
+safely.
+
+An :class:`ExperimentSpec` is a named, ordered collection of cells (one
+sweep grid, one replay trio) with a derived key of its own.
+
+Invalidation rules
+------------------
+
+The key covers *all* simulation inputs by value — the full architecture
+description (machines, counts, storage), the full calibration vector,
+the full app profile, the seed — so any change to any of them is a new
+key, automatically.  What the key cannot see is the *code* of the model
+itself; :data:`CODE_SALT` stands in for it and must be bumped whenever a
+change to the simulator alters results (see docs/RUNNER.md).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.apps.base import AppProfile
+from repro.core.architectures import ArchitectureSpec
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.errors import ConfigurationError
+from repro.units import parse_size
+
+#: Version of the cached-payload schema (cache files carry it).
+CACHE_SCHEMA = 1
+
+#: Stand-in for the simulator's code version.  Bump the date-tag whenever
+#: a model change alters simulation results; every cached result keyed
+#: under the old salt then misses and is recomputed.
+CODE_SALT = f"repro-cells-v{CACHE_SCHEMA}-2026.08"
+
+#: Cell kinds understood by :mod:`repro.runner.work`.
+KIND_ISOLATED = "isolated"
+KIND_REPLAY = "replay"
+#: Test-only kind for fault-injection tests (see work.py).
+KIND_PROBE = "probe"
+KINDS = (KIND_ISOLATED, KIND_REPLAY, KIND_PROBE)
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One simulation cell, fully described by value.
+
+    ``kind == "isolated"`` runs one job alone on a fresh deployment (the
+    Section III measurement cell): ``architecture`` + ``app`` +
+    ``input_bytes`` (+ ``seed`` for the task-jitter stream).
+
+    ``kind == "replay"`` replays the FB-2009 synthesized trace on a
+    fresh deployment (the Section V evaluation cell): ``architecture`` +
+    ``num_jobs`` + ``seed`` + ``shrink_factor`` (+ optional
+    ``duration``, defaulting to the rate-preserving window).
+
+    ``kind == "probe"`` exists only for the runner's own fault-injection
+    tests; it never touches the simulator.
+    """
+
+    kind: str
+    architecture: Optional[ArchitectureSpec] = None
+    calibration: Calibration = DEFAULT_CALIBRATION
+    #: Isolated cells carry the full app profile (not just its name), so
+    #: custom profiles work in workers and profile edits miss the cache.
+    app: Optional[AppProfile] = None
+    input_bytes: float = 0.0
+    #: Per-cell RNG seed for the task-jitter streams.  0 keeps the
+    #: legacy job ids (and therefore legacy jitter streams) so default
+    #: results are unchanged; any other value derives fresh streams.
+    seed: int = 0
+    register_dataset: bool = True
+    # -- replay-only fields ------------------------------------------------
+    num_jobs: int = 0
+    shrink_factor: float = 5.0
+    duration: Optional[float] = None
+    # -- probe-only field --------------------------------------------------
+    probe: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(f"unknown cell kind {self.kind!r}")
+        if self.kind == KIND_ISOLATED:
+            if self.architecture is None or self.app is None:
+                raise ConfigurationError(
+                    "isolated cells need an architecture and an app profile"
+                )
+            if self.input_bytes <= 0:
+                raise ConfigurationError("isolated cells need input_bytes > 0")
+        if self.kind == KIND_REPLAY:
+            if self.architecture is None:
+                raise ConfigurationError("replay cells need an architecture")
+            if self.num_jobs <= 0:
+                raise ConfigurationError("replay cells need num_jobs > 0")
+
+    # -- identity ----------------------------------------------------------
+
+    def canonical_payload(self) -> Dict[str, Any]:
+        """The cell as plain JSON-able data (dataclasses flattened)."""
+        return {"salt": CODE_SALT, "cell": asdict(self)}
+
+    def content_key(self) -> str:
+        """Stable SHA-256 content hash of the cell plus the code salt."""
+        return hashlib.sha256(
+            canonical_json(self.canonical_payload()).encode("utf-8")
+        ).hexdigest()
+
+    def describe(self) -> str:
+        arch = self.architecture.name if self.architecture else "-"
+        if self.kind == KIND_ISOLATED:
+            assert self.app is not None
+            return f"{self.app.name}@{int(self.input_bytes)}B on {arch}"
+        if self.kind == KIND_REPLAY:
+            return f"replay[{self.num_jobs} jobs, seed {self.seed}] on {arch}"
+        return f"probe[{self.probe}]"
+
+
+def isolated_cell(
+    architecture: ArchitectureSpec,
+    app: AppProfile,
+    input_size: float | str,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+    register_dataset: bool = True,
+) -> CellSpec:
+    """One Section III measurement cell (accepts "32GB"-style sizes)."""
+    return CellSpec(
+        kind=KIND_ISOLATED,
+        architecture=architecture,
+        calibration=calibration,
+        app=app,
+        input_bytes=parse_size(input_size),
+        seed=seed,
+        register_dataset=register_dataset,
+    )
+
+
+def replay_cell(
+    architecture: ArchitectureSpec,
+    num_jobs: int,
+    seed: int = 2009,
+    shrink_factor: float = 5.0,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    duration: Optional[float] = None,
+) -> CellSpec:
+    """One Section V trace-replay cell."""
+    return CellSpec(
+        kind=KIND_REPLAY,
+        architecture=architecture,
+        calibration=calibration,
+        seed=seed,
+        num_jobs=num_jobs,
+        shrink_factor=shrink_factor,
+        duration=duration,
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A named, ordered batch of cells (one grid, one replay trio)."""
+
+    name: str
+    cells: Tuple[CellSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("an experiment needs a name")
+
+    def content_key(self) -> str:
+        payload = {
+            "salt": CODE_SALT,
+            "name": self.name,
+            "cells": [c.content_key() for c in self.cells],
+        }
+        return hashlib.sha256(
+            canonical_json(payload).encode("utf-8")
+        ).hexdigest()
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+
+def sweep_experiment(
+    architectures: Sequence[ArchitectureSpec],
+    app: AppProfile,
+    sizes: Sequence[float | str],
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """The full measurement grid for one application, row-major: all
+    sizes of the first architecture, then the next."""
+    cells = tuple(
+        isolated_cell(spec, app, size, calibration, seed)
+        for spec in architectures
+        for size in sizes
+    )
+    return ExperimentSpec(name=f"sweep:{app.name}", cells=cells)
+
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CODE_SALT",
+    "CellSpec",
+    "ExperimentSpec",
+    "KIND_ISOLATED",
+    "KIND_PROBE",
+    "KIND_REPLAY",
+    "canonical_json",
+    "isolated_cell",
+    "replay_cell",
+    "sweep_experiment",
+]

@@ -5,6 +5,12 @@ import pytest
 from repro.cli import main
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep every CLI invocation's result cache out of the repo tree."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 class TestInfo:
     def test_lists_architectures_and_thresholds(self, capsys):
         assert main(["info"]) == 0
@@ -62,6 +68,53 @@ class TestSweep:
         assert "shuffle phase duration" in out
         assert "reduce phase duration" in out
         assert "4GB" in out
+
+    def test_parallel_sweep_reports_runner_stats(self, capsys):
+        assert main(["sweep", "--app", "grep", "--sizes", "1GB,2GB",
+                     "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[runner]" in out
+        assert "8 cells" in out
+
+    def test_second_run_is_fully_cached(self, capsys):
+        args = ["sweep", "--app", "grep", "--sizes", "1GB,2GB"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "8 simulated" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "8 cached, 0 simulated" in second
+        # Identical tables either way.
+        assert first.split("[runner]")[0] == second.split("[runner]")[0]
+
+    def test_no_cache_always_simulates(self, capsys):
+        args = ["sweep", "--app", "grep", "--sizes", "1GB", "--no-cache"]
+        for _ in range(2):
+            assert main(args) == 0
+            assert "4 simulated" in capsys.readouterr().out
+
+
+class TestCache:
+    def test_reports_empty_store(self, capsys):
+        assert main(["cache"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_inventories_and_clears(self, capsys):
+        assert main(["sweep", "--app", "grep", "--sizes", "1GB"]) == 0
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        out = capsys.readouterr().out
+        assert "4 entries" in out
+        assert "isolated" in out and "ok" in out
+        assert main(["cache", "--clear"]) == 0
+        assert "cleared 4" in capsys.readouterr().out
+        assert main(["cache"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_explicit_dir_option(self, tmp_path, capsys):
+        assert main(["cache", "--dir", str(tmp_path / "elsewhere")]) == 0
+        out = capsys.readouterr().out
+        assert "elsewhere" in out and "empty" in out
 
 
 class TestTrace:

@@ -1,0 +1,83 @@
+"""Deprecation hygiene: shims stay loud, the repo itself stays quiet.
+
+Two invariants (see ``repro.compat``):
+
+* every legacy shim warns through :func:`repro.compat.warn_deprecated`,
+  so all messages carry the uniform sunset suffix; and
+* no in-repo caller — library entry points, CLI commands — triggers any
+  deprecation warning.  The shims exist for external users only.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+
+import pytest
+
+from repro.analysis.figures import fig10_trace_replay
+from repro.analysis.sweep import run_isolated, sweep_architectures
+from repro.apps import GREP
+from repro.cli import main
+from repro.compat import _SUNSET, warn_deprecated
+from repro.core.architectures import up_hdfs, up_ofs
+from repro.core.deployment import Deployment
+from repro.units import GB
+from repro.workload.fb2009 import generate_fb2009
+
+
+@contextmanager
+def no_deprecations():
+    """Turn any DeprecationWarning raised inside the block into a failure."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        yield
+
+
+class TestShimsStillWarn:
+    """The shims must keep warning until they are removed."""
+
+    def test_helper_appends_sunset_suffix(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            warn_deprecated("old_thing() is deprecated", stacklevel=2)
+        assert str(caught[0].message).endswith(_SUNSET)
+
+    def test_run_job_bare_default_warns(self):
+        deployment = Deployment(up_ofs())
+        with pytest.warns(DeprecationWarning, match="register_dataset"):
+            deployment.run_job(GREP.make_job(1 * GB))
+
+    def test_run_trace_plural_alias_warns(self):
+        deployment = Deployment(up_ofs())
+        trace = generate_fb2009(num_jobs=3, seed=7, duration=60.0)
+        with pytest.warns(DeprecationWarning, match="register_datasets"):
+            deployment.run_trace(trace.to_jobspecs(), register_datasets=False)
+
+
+class TestRepoIsWarningClean:
+    """No in-repo caller goes through a deprecated path."""
+
+    def test_run_isolated(self):
+        with no_deprecations():
+            run_isolated(up_ofs(), GREP, 1 * GB)
+
+    def test_sweep_architectures(self):
+        with no_deprecations():
+            sweep_architectures([up_ofs(), up_hdfs()], GREP, [1 * GB])
+
+    def test_fig10_trace_replay(self):
+        with no_deprecations():
+            fig10_trace_replay(num_jobs=10, seed=7)
+
+    def test_cli_run_command(self, capsys):
+        with no_deprecations():
+            assert main(["run", "--app", "grep", "--size", "1GB",
+                         "--arch", "up-OFS"]) == 0
+        capsys.readouterr()
+
+    def test_cli_sweep_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        with no_deprecations():
+            assert main(["sweep", "--app", "grep", "--sizes", "1GB",
+                         "--jobs", "2"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,127 @@
+"""Determinism: parallel == serial == cached, byte for byte.
+
+The acceptance bar for the runner subsystem: a sweep run with
+``max_workers=N`` must produce *byte-identical* payloads to the same
+sweep run serially, and a cached re-run must reproduce them again while
+performing zero simulations.  Seeds select jitter streams per cell, so
+results depend only on each cell's spec — never on execution order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import fig10_trace_replay
+from repro.analysis.sweep import run_isolated, sweep_architectures
+from repro.apps import GREP, WORDCOUNT
+from repro.core.architectures import hybrid, out_ofs, up_hdfs, up_ofs
+from repro.core.deployment import Deployment
+from repro.runner.cache import ResultCache
+from repro.runner.pool import PoolRunner
+from repro.runner.spec import canonical_json, replay_cell, sweep_experiment
+from repro.units import GB
+
+ARCHS = (up_ofs(), up_hdfs(), out_ofs())
+SIZES = (1 * GB, 2 * GB)
+
+
+def payload_bytes(outcomes) -> list:
+    """Each outcome's payload, canonically serialised."""
+    return [canonical_json(o.payload) for o in outcomes]
+
+
+class TestParallelEqualsSerial:
+    def test_sweep_grid_is_byte_identical(self):
+        cells = sweep_experiment(ARCHS, WORDCOUNT, SIZES).cells
+        serial = PoolRunner(max_workers=1).run_cells(cells)
+        parallel = PoolRunner(max_workers=2).run_cells(cells)
+        assert payload_bytes(serial) == payload_bytes(parallel)
+
+    def test_replay_is_byte_identical(self):
+        cells = [replay_cell(hybrid(), num_jobs=25),
+                 replay_cell(up_ofs(), num_jobs=25)]
+        serial = PoolRunner(max_workers=1).run_cells(cells)
+        parallel = PoolRunner(max_workers=2).run_cells(cells)
+        assert payload_bytes(serial) == payload_bytes(parallel)
+
+    def test_execution_order_does_not_matter(self):
+        cells = list(sweep_experiment(ARCHS, GREP, SIZES).cells)
+        runner = PoolRunner()
+        forward = runner.run_cells(cells)
+        backward = runner.run_cells(list(reversed(cells)))
+        assert payload_bytes(forward) == payload_bytes(
+            list(reversed(backward))
+        )
+
+
+class TestCachedEqualsFresh:
+    def test_second_sweep_simulates_nothing_and_matches(self, tmp_path):
+        cells = sweep_experiment(ARCHS, WORDCOUNT, SIZES).cells
+        cold = PoolRunner(cache=ResultCache(tmp_path / "c"))
+        first = cold.run_cells(cells)
+        assert cold.last_stats.simulated == len(cells)
+        warm = PoolRunner(cache=ResultCache(tmp_path / "c"))
+        second = warm.run_cells(cells)
+        assert warm.last_stats.simulated == 0
+        assert warm.last_stats.cache_hits == len(cells)
+        assert payload_bytes(first) == payload_bytes(second)
+
+    def test_sweep_architectures_identical_with_and_without_runner(
+        self, tmp_path
+    ):
+        bare = sweep_architectures(ARCHS, GREP, SIZES)
+        runner = PoolRunner(max_workers=2, cache=ResultCache(tmp_path / "c"))
+        pooled = sweep_architectures(ARCHS, GREP, SIZES, runner=runner)
+        cached = sweep_architectures(ARCHS, GREP, SIZES, runner=runner)
+        for name in bare:
+            assert (
+                bare[name].execution_times
+                == pooled[name].execution_times
+                == cached[name].execution_times
+            )
+
+    def test_fig10_identical_through_the_runner(self, tmp_path):
+        bare = fig10_trace_replay(num_jobs=20, seed=7)
+        runner = PoolRunner(max_workers=2, cache=ResultCache(tmp_path / "c"))
+        pooled = fig10_trace_replay(num_jobs=20, seed=7, runner=runner)
+        for name in bare:
+            assert list(bare[name].scale_up_times) == list(
+                pooled[name].scale_up_times
+            )
+            assert list(bare[name].scale_out_times) == list(
+                pooled[name].scale_out_times
+            )
+
+
+class TestSeedSemantics:
+    """The satellite bugfix: seeds thread through to the jitter streams."""
+
+    def test_same_seed_same_result(self):
+        a = run_isolated(up_ofs(), WORDCOUNT, 2 * GB, seed=11)
+        b = run_isolated(up_ofs(), WORDCOUNT, 2 * GB, seed=11)
+        assert a.execution_time == b.execution_time
+
+    def test_different_seeds_differ(self):
+        times = {
+            run_isolated(up_ofs(), WORDCOUNT, 2 * GB, seed=s).execution_time
+            for s in (1, 2, 3)
+        }
+        assert len(times) > 1, "seeds must select distinct jitter streams"
+
+    def test_seed_zero_is_the_legacy_result(self):
+        """Seed 0 must keep the historical job id — and therefore the
+        historical jitter stream — so every default figure is unchanged."""
+        via_runner = run_isolated(up_ofs(), WORDCOUNT, 2 * GB, seed=0)
+        legacy = Deployment(up_ofs()).run_job(
+            WORDCOUNT.make_job(2 * GB), register_dataset=True
+        )
+        assert via_runner.execution_time == legacy.execution_time
+        assert via_runner.map_phase == legacy.map_phase
+
+    def test_sweep_threads_seed_through(self):
+        grid_a = sweep_architectures([up_ofs()], WORDCOUNT, [2 * GB], seed=5)
+        grid_b = sweep_architectures([up_ofs()], WORDCOUNT, [2 * GB], seed=6)
+        assert (
+            grid_a["up-OFS"].execution_times
+            != grid_b["up-OFS"].execution_times
+        )

@@ -1,0 +1,180 @@
+"""PoolRunner fault tolerance, caching behaviour and telemetry.
+
+Uses ``probe`` cells (see :mod:`repro.runner.work`) so the fault
+injection never depends on the simulator: probes can succeed, raise,
+declare a capacity hole, fail a configurable number of times (file-based
+attempt counter, so it works across processes) or sleep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RunnerError
+from repro.runner.cache import ResultCache
+from repro.runner.pool import PoolRunner, raise_on_failure
+from repro.runner.spec import CellSpec
+from repro.telemetry import MetricsRegistry, Tracer
+
+
+def probe(behaviour: str, seed: int = 0) -> CellSpec:
+    return CellSpec(kind="probe", probe=behaviour, seed=seed)
+
+
+def flaky(tmp_path, name: str, failures: int, seed: int = 0) -> CellSpec:
+    return probe(f"flaky:{tmp_path / name}:{failures}", seed=seed)
+
+
+class TestSerialExecution:
+    def test_ok_cell(self):
+        runner = PoolRunner()
+        (outcome,) = runner.run_cells([probe("ok")])
+        assert outcome.ok and outcome.status == "ok"
+        assert outcome.attempts == 1 and not outcome.from_cache
+        assert runner.last_stats.simulated == 1
+        assert not runner.last_stats.used_pool
+
+    def test_duplicate_cells_run_once(self):
+        runner = PoolRunner()
+        outcomes = runner.run_cells([probe("ok", seed=1), probe("ok", seed=1)])
+        assert all(o.ok for o in outcomes)
+        assert runner.last_stats.cells == 2
+        assert runner.last_stats.simulated == 1
+
+    def test_flaky_cell_succeeds_after_retries(self, tmp_path):
+        runner = PoolRunner(retries=2, backoff_seconds=0.0)
+        (outcome,) = runner.run_cells([flaky(tmp_path, "f1", failures=2)])
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert runner.last_stats.retries == 2
+
+    def test_exhausted_retries_do_not_poison_siblings(self, tmp_path):
+        runner = PoolRunner(retries=1, backoff_seconds=0.0)
+        outcomes = runner.run_cells([
+            probe("ok", seed=1),
+            probe("raise:boom"),
+            flaky(tmp_path, "f2", failures=1, seed=2),
+        ])
+        assert [o.status for o in outcomes] == ["ok", "failed", "ok"]
+        assert "boom" in outcomes[1].error
+        assert outcomes[1].attempts == 2
+        assert runner.last_stats.failures == 1
+
+    def test_raise_on_failure(self, tmp_path):
+        runner = PoolRunner(retries=0)
+        outcomes = runner.run_cells([probe("ok"), probe("raise")])
+        with pytest.raises(RunnerError, match="1 cell"):
+            raise_on_failure(outcomes)
+        raise_on_failure([outcomes[0]])  # all-ok is a no-op
+
+    def test_constructor_validation(self):
+        with pytest.raises(RunnerError):
+            PoolRunner(max_workers=0)
+        with pytest.raises(RunnerError):
+            PoolRunner(retries=-1)
+
+
+class TestCachingBehaviour:
+    def test_second_run_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cells = [probe("ok", seed=s) for s in (1, 2, 3)]
+        runner = PoolRunner(cache=cache)
+        first = runner.run_cells(cells)
+        assert runner.last_stats.simulated == 3
+        second = runner.run_cells(cells)
+        assert runner.last_stats.simulated == 0
+        assert runner.last_stats.cache_hits == 3
+        assert all(o.from_cache for o in second)
+        assert [o.payload for o in first] == [o.payload for o in second]
+
+    def test_infeasible_holes_are_cached_not_retried(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        runner = PoolRunner(cache=cache, retries=3, backoff_seconds=0.0)
+        (first,) = runner.run_cells([probe("infeasible")])
+        assert first.status == "infeasible" and first.ok
+        assert first.attempts == 1  # a hole is a result, not a failure
+        (second,) = runner.run_cells([probe("infeasible")])
+        assert second.from_cache and second.status == "infeasible"
+
+    def test_failures_are_never_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        runner = PoolRunner(cache=cache, retries=0)
+        (failed,) = runner.run_cells([flaky(tmp_path, "f3", failures=1)])
+        assert failed.status == "failed"
+        assert len(cache) == 0
+        # With one more attempt available the same cell now succeeds.
+        retry_runner = PoolRunner(cache=cache, retries=0)
+        (ok,) = retry_runner.run_cells([flaky(tmp_path, "f3", failures=1)])
+        assert ok.status == "ok"
+        assert len(cache) == 1
+
+    def test_lifetime_stats_accumulate(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        runner = PoolRunner(cache=cache)
+        runner.run_cells([probe("ok", seed=1)])
+        runner.run_cells([probe("ok", seed=1)])
+        assert runner.lifetime_stats.cells == 2
+        assert runner.lifetime_stats.simulated == 1
+        assert runner.lifetime_stats.cache_hits == 1
+
+
+class TestPoolExecution:
+    def test_pool_runs_cells(self):
+        runner = PoolRunner(max_workers=2)
+        outcomes = runner.run_cells([probe("ok", seed=s) for s in (1, 2, 3)])
+        assert all(o.ok for o in outcomes)
+        # used_pool is False only if pool creation failed and the runner
+        # degraded; either way every cell completed.
+        assert runner.last_stats.used_pool or runner.last_stats.pool_fallback
+
+    def test_single_pending_cell_stays_serial(self):
+        runner = PoolRunner(max_workers=4)
+        (outcome,) = runner.run_cells([probe("ok")])
+        assert outcome.ok
+        assert not runner.last_stats.used_pool
+
+    def test_worker_exception_is_retried_across_processes(self, tmp_path):
+        runner = PoolRunner(max_workers=2, retries=2, backoff_seconds=0.0)
+        outcomes = runner.run_cells([
+            flaky(tmp_path, "f4", failures=2, seed=1),
+            probe("ok", seed=2),
+        ])
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+        assert outcomes[0].attempts == 3
+
+    def test_timeout_fails_cell_without_poisoning_sibling(self, tmp_path):
+        runner = PoolRunner(
+            max_workers=2, timeout=0.5, retries=0, backoff_seconds=0.0
+        )
+        outcomes = runner.run_cells([probe("sleep:3"), probe("ok", seed=9)])
+        if not runner.last_stats.used_pool:
+            pytest.skip("no process pool available in this environment")
+        statuses = {o.cell.probe: o.status for o in outcomes}
+        assert statuses["sleep:3"] == "failed"
+        assert statuses["ok"] == "ok"
+        assert runner.last_stats.timeouts >= 1
+        assert "timed out" in outcomes[0].error
+
+
+class TestTelemetry:
+    def test_runner_metrics_and_spans(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        metrics = MetricsRegistry()
+        tracer = Tracer()
+        runner = PoolRunner(cache=cache, metrics=metrics, tracer=tracer,
+                            retries=0)
+        cells = [probe("ok", seed=1), probe("infeasible"), probe("raise")]
+        runner.run_cells(cells)
+        runner.run_cells(cells[:1])  # a cache hit
+
+        def count(name: str) -> float:
+            return metrics.counter(name).value
+
+        assert count("runner.cells.dispatched") == 4
+        assert count("runner.cache.hits") == 1
+        assert count("runner.cache.misses") == 3
+        assert count("runner.cells.simulated") == 3
+        assert count("runner.cells.infeasible") == 1
+        assert count("runner.cells.failed") == 1
+        assert count("runner.runs") == 2
+        assert len(tracer) >= 4

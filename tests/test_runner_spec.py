@@ -1,0 +1,128 @@
+"""Cell identity: canonical serialisation, content keys, picklability."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.apps import GREP, WORDCOUNT
+from repro.core.architectures import hybrid, out_ofs, up_hdfs, up_ofs
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.errors import ConfigurationError
+from repro.runner.spec import (
+    CODE_SALT,
+    CellSpec,
+    canonical_json,
+    isolated_cell,
+    replay_cell,
+    sweep_experiment,
+)
+from repro.units import GB
+
+
+class TestContentKey:
+    def test_key_is_sha256_hex(self):
+        key = isolated_cell(up_ofs(), GREP, 1 * GB).content_key()
+        assert len(key) == 64
+        assert set(key) <= set("0123456789abcdef")
+
+    def test_key_is_stable_across_instances(self):
+        a = isolated_cell(up_ofs(), GREP, 1 * GB)
+        b = isolated_cell(up_ofs(), GREP, 1 * GB)
+        assert a is not b
+        assert a.content_key() == b.content_key()
+
+    def test_key_covers_every_simulation_input(self):
+        base = isolated_cell(up_ofs(), GREP, 1 * GB)
+        variants = [
+            isolated_cell(up_hdfs(), GREP, 1 * GB),       # architecture
+            isolated_cell(up_ofs(), WORDCOUNT, 1 * GB),   # app profile
+            isolated_cell(up_ofs(), GREP, 2 * GB),        # input size
+            isolated_cell(up_ofs(), GREP, 1 * GB, seed=7),  # seed
+            isolated_cell(                                 # calibration
+                up_ofs(), GREP, 1 * GB,
+                DEFAULT_CALIBRATION.with_options(shuffle_residual=0.9),
+            ),
+            isolated_cell(                                 # registration
+                up_ofs(), GREP, 1 * GB, register_dataset=False
+            ),
+        ]
+        keys = {c.content_key() for c in variants}
+        assert base.content_key() not in keys
+        assert len(keys) == len(variants)
+
+    def test_key_embeds_the_code_salt(self):
+        cell = isolated_cell(up_ofs(), GREP, 1 * GB)
+        assert CODE_SALT in canonical_json(cell.canonical_payload())
+
+    def test_size_strings_parse_to_the_same_key(self):
+        assert (
+            isolated_cell(up_ofs(), GREP, "2GB").content_key()
+            == isolated_cell(up_ofs(), GREP, 2 * GB).content_key()
+        )
+
+    def test_replay_keys_distinguish_trace_parameters(self):
+        base = replay_cell(hybrid(), num_jobs=50)
+        assert base.content_key() != replay_cell(
+            hybrid(), num_jobs=60
+        ).content_key()
+        assert base.content_key() != replay_cell(
+            hybrid(), num_jobs=50, seed=1
+        ).content_key()
+        assert base.content_key() != replay_cell(
+            hybrid(), num_jobs=50, shrink_factor=2.0
+        ).content_key()
+
+
+class TestPicklability:
+    """Cells must cross process boundaries intact (pool workers)."""
+
+    @pytest.mark.parametrize("cell", [
+        isolated_cell(up_ofs(), GREP, 1 * GB, seed=3),
+        replay_cell(hybrid(), num_jobs=20),
+        CellSpec(kind="probe", probe="ok"),
+    ])
+    def test_pickle_roundtrip_preserves_identity(self, cell):
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone == cell
+        assert clone.content_key() == cell.content_key()
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            CellSpec(kind="nope")
+
+    def test_isolated_needs_architecture_and_app(self):
+        with pytest.raises(ConfigurationError, match="architecture"):
+            CellSpec(kind="isolated", app=GREP, input_bytes=1.0)
+
+    def test_isolated_needs_positive_input(self):
+        with pytest.raises(ConfigurationError, match="input_bytes"):
+            CellSpec(kind="isolated", architecture=up_ofs(), app=GREP)
+
+    def test_replay_needs_jobs(self):
+        with pytest.raises(ConfigurationError, match="num_jobs"):
+            CellSpec(kind="replay", architecture=hybrid())
+
+    def test_canonical_json_rejects_nan(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+
+class TestSweepExperiment:
+    def test_row_major_layout(self):
+        archs = [up_ofs(), out_ofs()]
+        sizes = [1 * GB, 2 * GB, 4 * GB]
+        experiment = sweep_experiment(archs, GREP, sizes)
+        assert len(experiment) == 6
+        # All sizes of the first architecture come first.
+        for i, cell in enumerate(experiment.cells):
+            assert cell.architecture is archs[i // 3]
+            assert cell.input_bytes == sizes[i % 3]
+
+    def test_experiment_key_tracks_cells(self):
+        a = sweep_experiment([up_ofs()], GREP, [1 * GB])
+        b = sweep_experiment([up_ofs()], GREP, [2 * GB])
+        assert a.content_key() != b.content_key()

@@ -54,11 +54,19 @@ from repro.telemetry import MetricsRegistry, Tracer
 from repro.errors import (
     CapacityError,
     ConfigurationError,
+    FaultError,
     ReproError,
     RunnerError,
     SchedulingError,
     SimulationError,
     TraceError,
+)
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    crash_storm_plan,
+    default_resilience_plan,
 )
 from repro.runner import (
     CellSpec,
@@ -115,6 +123,12 @@ __all__ = [
     # telemetry
     "Tracer",
     "MetricsRegistry",
+    # faults
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "crash_storm_plan",
+    "default_resilience_plan",
     # runner
     "CellSpec",
     "ExperimentSpec",
@@ -139,6 +153,7 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "CapacityError",
+    "FaultError",
     "RunnerError",
     "SchedulingError",
     "SimulationError",

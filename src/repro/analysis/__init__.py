@@ -8,6 +8,12 @@ what these produce.
 from repro.analysis.sweep import SweepResult, run_isolated, sweep_architectures
 from repro.analysis.metrics import normalize_series, speedup
 from repro.analysis.report import render_series, render_table
+from repro.analysis.resilience import (
+    ArchResilience,
+    ResilienceReport,
+    render_resilience,
+    resilience_experiment,
+)
 
 __all__ = [
     "SweepResult",
@@ -17,4 +23,8 @@ __all__ = [
     "speedup",
     "render_series",
     "render_table",
+    "ArchResilience",
+    "ResilienceReport",
+    "render_resilience",
+    "resilience_experiment",
 ]

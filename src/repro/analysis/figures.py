@@ -34,6 +34,7 @@ from repro.core.architectures import (
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.crosspoint import estimate_cross_point, normalized_ratio
 from repro.core.scheduler import Decision, SizeAwareScheduler
+from repro.faults.plan import FaultPlan
 from repro.mapreduce.job import JobResult
 from repro.runner.pool import PoolRunner, raise_on_failure
 from repro.runner.spec import replay_cell
@@ -298,6 +299,7 @@ def fig10_trace_replay(
     metrics: Optional["MetricsRegistry"] = None,
     telemetry_architecture: str = "Hybrid",
     runner: Optional[PoolRunner] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Dict[str, TraceReplayResult]:
     """Replay the FB-2009 trace on Hybrid, THadoop and RHadoop.
 
@@ -317,6 +319,11 @@ def fig10_trace_replay(
     observers cannot cross process boundaries, the observed replay runs
     in-process and uncached; the other architectures still go through
     ``runner``.
+
+    An optional ``fault_plan`` is injected into every architecture's
+    replay (each experiences the subset of events that applies to it —
+    see :mod:`repro.faults.plan`); omitted or empty, the replay is the
+    healthy one, byte-identical to runs that predate fault injection.
     """
     from repro.workload.fb2009 import DAY
 
@@ -341,6 +348,7 @@ def fig10_trace_replay(
             shrink_factor=shrink_factor,
             calibration=calibration,
             duration=duration,
+            fault_plan=fault_plan,
         )
         for name, spec in specs.items()
     }

@@ -16,10 +16,18 @@ Commands map one-to-one onto the paper's artifacts:
   JSON (open in Perfetto / ``chrome://tracing``).
 * ``metrics``      — run a replay with a metrics registry attached and
   print/dump the flat metrics.
-* ``cache``        — inspect or clear the on-disk result cache.
+* ``resilience``   — replay the trace on Hybrid/THadoop/RHadoop under a
+  fault plan (see docs/FAULTS.md) and compare the degradation.
+* ``cache``        — inspect or clear the on-disk result cache (holes —
+  cached infeasible cells — are listed with the reason they failed).
 
 ``run`` and ``replay`` also accept ``--trace-out FILE`` to record the
-run they already perform.
+run they already perform, and ``--faults FILE`` to inject a JSON fault
+plan into the simulation.
+
+Errors: expected failures (bad input, infeasible configurations,
+malformed fault plans) print a one-line ``error:`` diagnostic and exit
+non-zero; pass ``--debug`` before the command to get the traceback.
 
 Parallelism and caching: ``sweep`` and ``crosspoints`` take ``--jobs N``
 (worker processes); ``replay`` and ``figures`` take ``--workers N``
@@ -60,6 +68,7 @@ from repro.core.calibration import DEFAULT_CALIBRATION
 from repro.core.deployment import Deployment
 from repro.core.scheduler import PAPER_CROSS_POINTS
 from repro.errors import CapacityError, ReproError
+from repro.faults.plan import FaultPlan, default_resilience_plan
 from repro.runner import PoolRunner, ResultCache, default_cache_root
 from repro.telemetry import (
     MetricsRegistry,
@@ -135,14 +144,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     archs = architecture_registry()
     app = get_app(args.app)
     tracer = Tracer() if args.trace_out else None
+    fault_plan = FaultPlan.load(args.faults) if args.faults else None
     deployment = Deployment(
-        archs[args.arch], register_datasets=True, tracer=tracer
+        archs[args.arch], register_datasets=True, tracer=tracer,
+        fault_plan=fault_plan,
     )
     job = app.make_job(parse_size(args.size))
     try:
         result = deployment.run_job(job)
     except CapacityError as exc:
         print(f"infeasible: {exc}")
+        return 1
+    if result.failed:
+        print(f"job failed: {result.failure_reason}")
         return 1
     rows = [
         ["execution time", format_duration(result.execution_time)],
@@ -328,8 +342,10 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else None
     runner = _make_runner(args.workers, args.no_cache)
+    fault_plan = FaultPlan.load(args.faults) if args.faults else None
     outcome = fig10_trace_replay(
-        num_jobs=args.jobs, seed=args.seed, tracer=tracer, runner=runner
+        num_jobs=args.jobs, seed=args.seed, tracer=tracer, runner=runner,
+        fault_plan=fault_plan,
     )
     headers = ["architecture", "class", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"]
     rows: List[List[object]] = []
@@ -345,6 +361,12 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             headers, rows, title="Fig 10: FB-2009 replay (execution time CDFs)"
         )
     )
+    if fault_plan is not None:
+        counts = ", ".join(
+            f"{name}: {sum(1 for r in replay.results if r.failed)}"
+            for name, replay in outcome.items()
+        )
+        print(f"\nunder {fault_plan.describe()} — failed jobs: {counts}")
     if tracer is not None:
         path = write_chrome_trace(tracer, args.trace_out)
         print(f"Hybrid replay trace ({len(tracer)} events) written to {path}")
@@ -396,6 +418,30 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.analysis.resilience import render_resilience, resilience_experiment
+    from repro.workload.fb2009 import DAY
+
+    if args.faults:
+        fault_plan = FaultPlan.load(args.faults)
+    else:
+        duration = DAY * args.jobs / 6000.0
+        fault_plan = default_resilience_plan(duration, seed=args.fault_seed)
+    if args.save_plan:
+        path = fault_plan.save(args.save_plan)
+        print(f"fault plan ({fault_plan.describe()}) written to {path}\n")
+    runner = _make_runner(args.workers, args.no_cache)
+    report = resilience_experiment(
+        num_jobs=args.jobs,
+        seed=args.seed,
+        fault_plan=fault_plan,
+        runner=runner,
+    )
+    print(render_resilience(report))
+    _print_runner_stats(runner)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -415,6 +461,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print(render_table(["kind", "entries"], rows))
     rows = [[status, count] for status, count in sorted(info.by_status.items())]
     print(render_table(["status", "entries"], rows))
+    holes = [
+        [
+            key[:12],
+            payload.get("cell", "?") or "?",
+            payload.get("error_type", "?"),
+            payload.get("error", ""),
+        ]
+        for key, payload in cache.holes()
+    ]
+    if holes:
+        print()
+        print(
+            render_table(
+                ["key", "cell", "error type", "why infeasible"],
+                holes,
+                title=f"infeasible holes ({len(holes)})",
+            )
+        )
     return 0
 
 
@@ -422,6 +486,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hybrid-hadoop",
         description="Hybrid scale-up/out Hadoop architecture (ICPP 2015) reproduction",
+    )
+    parser.add_argument(
+        "--debug", action="store_true",
+        help="show full tracebacks instead of one-line error diagnostics",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -433,6 +501,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
     run.add_argument("--trace-out", metavar="FILE",
                      help="also record a Chrome trace of the run here")
+    run.add_argument("--faults", metavar="FILE",
+                     help="inject a JSON fault plan (see docs/FAULTS.md)")
 
     sweep = sub.add_parser("sweep", help="size sweep on the four architectures")
     sweep.add_argument("--app", default="wordcount", choices=sorted(APP_REGISTRY))
@@ -456,7 +526,25 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--seed", type=int, default=2009)
     replay.add_argument("--trace-out", metavar="FILE",
                         help="write a Chrome trace of the Hybrid replay here")
+    replay.add_argument("--faults", metavar="FILE",
+                        help="inject a JSON fault plan into every replay")
     _add_runner_options(replay, flag="--workers")
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="replay under a fault plan; compare architecture degradation",
+    )
+    resilience.add_argument("--jobs", type=int, default=300)
+    resilience.add_argument("--seed", type=int, default=2009,
+                            help="trace seed (the workload)")
+    resilience.add_argument("--fault-seed", type=int, default=0,
+                            help="seed for the default fault plan's jitter")
+    resilience.add_argument("--faults", metavar="FILE",
+                            help="use this JSON fault plan instead of the "
+                                 "built-in schedule")
+    resilience.add_argument("--save-plan", metavar="FILE",
+                            help="write the plan in effect to FILE (JSON)")
+    _add_runner_options(resilience, flag="--workers")
 
     trace_export = sub.add_parser(
         "trace-export",
@@ -527,6 +615,7 @@ _COMMANDS = {
     "crosspoints": _cmd_crosspoints,
     "trace": _cmd_trace,
     "replay": _cmd_replay,
+    "resilience": _cmd_resilience,
     "timeline": _cmd_timeline,
     "advise": _cmd_advise,
     "verify": _cmd_verify,
@@ -542,6 +631,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _COMMANDS[args.command](args)
     except (OSError, ReproError) as exc:
+        # Expected failure modes (bad paths, malformed plans, infeasible
+        # or invalid configurations) get a one-line diagnostic; the
+        # traceback is opt-in via --debug.
+        if args.debug:
+            raise
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

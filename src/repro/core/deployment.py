@@ -45,6 +45,8 @@ from repro.core.architectures import ArchitectureSpec
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.scheduler import Decision, SizeAwareScheduler
 from repro.errors import SchedulingError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.mapreduce.config import HadoopConfig
 from repro.mapreduce.job import JobResult, JobSpec
 from repro.mapreduce.jobtracker import JobTracker
@@ -99,6 +101,7 @@ class Deployment:
         register_datasets: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         self.spec = spec
         self.calibration = calibration
@@ -172,6 +175,19 @@ class Deployment:
         else:
             self.router = lambda job, deployment: 0
 
+        #: Routing statistics under faults (all zero in healthy runs).
+        self.jobs_rerouted = 0
+        self.jobs_requeued = 0
+        self.jobs_rejected = 0
+        #: Fault schedule, armed on the fresh clock *before* any job is
+        #: submitted so fault events precede same-time job events.  An
+        #: empty (or absent) plan arms nothing: healthy runs stay
+        #: byte-identical to deployments built without a plan.
+        self.fault_plan = fault_plan
+        self.injector: Optional[FaultInjector] = None
+        if fault_plan is not None and not fault_plan.is_empty:
+            self.injector = FaultInjector(self, fault_plan)
+
     # -- conveniences -----------------------------------------------------
 
     def tracker_for_role(self, role: str) -> JobTracker:
@@ -220,11 +236,36 @@ class Deployment:
         cannot fit, which is how up-HDFS's ~80 GB ceiling manifests —
         and released when the job completes.  Returns the member index
         the job ran on.
+
+        Graceful degradation: when the routed cluster is not operational
+        (every node dead or blacklisted — see
+        :meth:`~repro.mapreduce.jobtracker.JobTracker.is_operational`),
+        the job falls back to the operational member with the least
+        outstanding work.  With no operational member at all the job is
+        *rejected*: a failed :class:`JobResult` is recorded immediately
+        and ``-1`` is returned.
         """
         register = self._resolve_register(register_dataset, False, "submit")
         index = self.router(job, self)
         if not 0 <= index < len(self.trackers):
             raise SchedulingError(f"router returned invalid member index {index}")
+        if not self.trackers[index].is_operational():
+            fallback = self._operational_member()
+            if fallback is None:
+                return self._reject(job, on_complete)
+            self.jobs_rerouted += 1
+            if self.sim.tracer is not None:
+                self.sim.tracer.instant(
+                    "job_rerouted",
+                    "scheduler",
+                    track="router",
+                    args={
+                        "job_id": job.job_id,
+                        "from": self.trackers[index].name,
+                        "to": self.trackers[fallback].name,
+                    },
+                )
+            index = fallback
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.instant(
@@ -293,6 +334,10 @@ class Deployment:
         self.submit(job, collected.append, register_dataset=register)
         self.sim.run()
         if not collected:
+            # Under fault injection the job may be stranded on a dead
+            # cluster; fail it so the caller gets an explicit outcome.
+            self.fail_unfinished()
+        if not collected:
             raise SchedulingError(f"job {job.job_id} did not complete")
         return collected[0]
 
@@ -321,6 +366,140 @@ class Deployment:
         self.sim.run()
         return self.results
 
+    # -- graceful degradation (fault injection) ----------------------------
+
+    def _operational_member(self) -> Optional[int]:
+        """Operational member with the least outstanding work (ties go to
+        the lowest index — deterministic), or None if every cluster is
+        down."""
+        best: Optional[int] = None
+        best_work = 0.0
+        for i, tracker in enumerate(self.trackers):
+            if not tracker.is_operational():
+                continue
+            work = tracker.outstanding_work()
+            if best is None or work < best_work:
+                best = i
+                best_work = work
+        return best
+
+    def _reject(
+        self, job: JobSpec, on_complete: Optional[Callable[[JobResult], None]]
+    ) -> int:
+        """No operational cluster: record an immediate failed result."""
+        self.jobs_rejected += 1
+        result = JobResult(
+            job_id=job.job_id,
+            app=job.app,
+            cluster="unrouted",
+            input_bytes=job.input_bytes,
+            shuffle_bytes=job.shuffle_bytes,
+            submit_time=self.sim.now,
+            end_time=self.sim.now,
+            failed=True,
+            failure_reason="no operational cluster",
+        )
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "job_rejected",
+                "scheduler",
+                track="router",
+                args={"job_id": job.job_id},
+            )
+        if self.sim.metrics is not None:
+            self.sim.metrics.counter("router.rejected").inc()
+        self.results.append(result)
+        if on_complete is not None:
+            on_complete(result)
+        return -1
+
+    def _handle_cluster_outage(self, index: int) -> None:
+        """Called by the fault injector after a crash: if the member is no
+        longer operational, evacuate its in-flight jobs and requeue them
+        on surviving members (or fail them when none survive)."""
+        tracker = self.trackers[index]
+        if tracker.is_operational():
+            return
+        for spec, on_complete in tracker.evacuate():
+            self._requeue(spec, on_complete)
+
+    def _requeue(
+        self, spec: JobSpec, on_complete: Optional[Callable[[JobResult], None]]
+    ) -> None:
+        """Resubmit an evacuated job, keeping its *original* completion
+        callback so any storage registered at first submission is still
+        released exactly once."""
+        target = self._operational_member()
+        if target is None:
+            self.jobs_rejected += 1
+            result = JobResult(
+                job_id=spec.job_id,
+                app=spec.app,
+                cluster="unrouted",
+                input_bytes=spec.input_bytes,
+                shuffle_bytes=spec.shuffle_bytes,
+                submit_time=self.sim.now,
+                end_time=self.sim.now,
+                failed=True,
+                failure_reason="evacuated with no operational cluster",
+            )
+            if on_complete is not None:
+                on_complete(result)  # the original closure records it
+            else:
+                self.results.append(result)
+            return
+        self.jobs_requeued += 1
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "job_requeued",
+                "scheduler",
+                track="router",
+                args={"job_id": spec.job_id, "to": self.trackers[target].name},
+            )
+        self.trackers[target].submit(spec, on_complete)
+
+    def fail_unfinished(self, reason: str = "cluster never recovered") -> int:
+        """Declare every job still in flight failed (call after ``run``:
+        a permanently dead cluster strands its jobs without an event to
+        finish them).  Returns the number of jobs failed."""
+        count = 0
+        for tracker in self.trackers:
+            count += tracker.abort_active_jobs(reason)
+        return count
+
+    def fault_summary(self) -> dict:
+        """Aggregate fault/retry/degradation counters for reporting.
+
+        All-zero for healthy runs; serialised into replay payloads so the
+        resilience experiment can report counters from cached results.
+        """
+        seen: set[int] = set()
+        data_loss = 0
+        rereplication = 0.0
+        for storage in self.storages:
+            if id(storage) in seen:  # the hybrid shares one OFS
+                continue
+            seen.add(id(storage))
+            if storage.data_lost:
+                data_loss += 1
+            rereplication += getattr(storage, "rereplication_bytes", 0.0)
+        return {
+            "injected_events": self.injector.injected if self.injector else 0,
+            "skipped_events": self.injector.skipped if self.injector else 0,
+            "task_attempt_failures": sum(
+                t.task_attempt_failures for t in self.trackers
+            ),
+            "maps_reexecuted": sum(t.maps_reexecuted for t in self.trackers),
+            "jobs_failed": sum(t.jobs_failed for t in self.trackers),
+            "nodes_crashed": sum(t.nodes_crashed for t in self.trackers),
+            "nodes_blacklisted": sum(t.nodes_blacklisted for t in self.trackers),
+            "jobs_rerouted": self.jobs_rerouted,
+            "jobs_requeued": self.jobs_requeued,
+            "jobs_rejected": self.jobs_rejected,
+            "storage_data_loss": data_loss,
+            "rereplication_bytes": rereplication,
+        }
+
 
 def build_deployment(
     spec: ArchitectureSpec,
@@ -330,8 +509,8 @@ def build_deployment(
 ) -> Deployment:
     """Factory alias, for symmetry with the architecture factories.
 
-    Keyword arguments (``register_datasets``, ``tracer``, ``metrics``)
-    pass through to :class:`Deployment`.
+    Keyword arguments (``register_datasets``, ``tracer``, ``metrics``,
+    ``fault_plan``) pass through to :class:`Deployment`.
     """
     return Deployment(spec, calibration=calibration, router=router, **kwargs)  # type: ignore[arg-type]
 

@@ -39,3 +39,9 @@ class RunnerError(ReproError):
 
 class TraceError(ReproError):
     """A workload trace is malformed or internally inconsistent."""
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed, or an injected fault put the modeled
+    system into a state it cannot serve (e.g. every replica of a job's
+    data lost, or a job exhausting its task attempts)."""

@@ -1,0 +1,42 @@
+"""Deterministic fault injection (see docs/FAULTS.md).
+
+A :class:`FaultPlan` is a seeded, serializable schedule of infrastructure
+faults; a :class:`FaultInjector` replays it against a deployment on the
+simulation clock.  Identical plan + seed replay byte-identically, and an
+empty plan leaves every healthy result byte-identical to a run with no
+plan at all.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    HDFS_REPLICA_LOSS,
+    NODE_CRASH,
+    NODE_RECOVER,
+    OFS_SERVER_LOSS,
+    OFS_SERVER_RECOVER,
+    PLAN_SCHEMA,
+    TASK_FAILURE,
+    FaultEvent,
+    FaultPlan,
+    crash_storm_plan,
+    default_resilience_plan,
+    plan_from_events,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "HDFS_REPLICA_LOSS",
+    "NODE_CRASH",
+    "NODE_RECOVER",
+    "OFS_SERVER_LOSS",
+    "OFS_SERVER_RECOVER",
+    "PLAN_SCHEMA",
+    "TASK_FAILURE",
+    "crash_storm_plan",
+    "default_resilience_plan",
+    "plan_from_events",
+]

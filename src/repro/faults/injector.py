@@ -1,0 +1,132 @@
+"""Fault injection: replay a :class:`FaultPlan` against a deployment.
+
+The injector arms one simulator-clock callback per plan event at
+deployment construction time — *before* any job event is scheduled — so
+a fault at time *t* is applied before any same-time task event, and the
+sequence numbers of job events shift uniformly regardless of how many
+faults a plan carries.  An empty plan arms nothing, which keeps healthy
+runs byte-identical to deployments built without a plan at all.
+
+Events that do not apply to the deployment — an ``"up"`` crash on
+THadoop, an OFS server loss on an HDFS-backed architecture, a node index
+beyond the cluster — are counted as *skipped*, not errors.  That is what
+lets a single plan drive a fair hybrid-vs-THadoop-vs-RHadoop comparison:
+each architecture experiences the applicable subset of the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    HDFS_REPLICA_LOSS,
+    NODE_CRASH,
+    NODE_RECOVER,
+    OFS_SERVER_LOSS,
+    OFS_SERVER_RECOVER,
+    TASK_FAILURE,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.storage.hdfs import HDFS
+from repro.storage.ofs import OrangeFS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deployment import Deployment
+
+
+class FaultInjector:
+    """Schedules and applies a plan's events on a deployment's clock."""
+
+    def __init__(self, deployment: "Deployment", plan: FaultPlan) -> None:
+        self.deployment = deployment
+        self.plan = plan
+        #: Events that changed deployment state.
+        self.injected = 0
+        #: Events that did not apply to this architecture.
+        self.skipped = 0
+        for event in plan.events:
+            deployment.sim.schedule_at(event.time, lambda e=event: self._fire(e))
+
+    # -- targeting ------------------------------------------------------
+
+    def _resolve_member(self, event: FaultEvent) -> Optional[int]:
+        """Member index an event addresses, or None when the architecture
+        has no such member (the event is then skipped)."""
+        member = event.member
+        if member == "":
+            return 0
+        if member.isdigit():
+            index = int(member)
+            return index if index < len(self.deployment.trackers) else None
+        try:
+            return self.deployment.spec.role_index(member)
+        except ConfigurationError:
+            return None
+
+    def _find_ofs(self) -> Optional[OrangeFS]:
+        for storage in self.deployment.storages:
+            if isinstance(storage, OrangeFS):
+                return storage
+        return None
+
+    # -- application ----------------------------------------------------
+
+    def _fire(self, event: FaultEvent) -> None:
+        applied = False
+        kind = event.kind
+        if kind in (NODE_CRASH, NODE_RECOVER, TASK_FAILURE):
+            member = self._resolve_member(event)
+            if member is not None:
+                tracker = self.deployment.trackers[member]
+                if event.node < len(tracker.nodes):
+                    if kind == NODE_CRASH:
+                        tracker.crash_node(event.node)
+                        applied = True
+                        # A crash can leave the whole cluster dead; the
+                        # deployment then evacuates its in-flight jobs.
+                        self.deployment._handle_cluster_outage(member)
+                    elif kind == NODE_RECOVER:
+                        tracker.recover_node(event.node)
+                        applied = True
+                    else:
+                        applied = (
+                            tracker.fail_running_attempts(event.node, event.count) > 0
+                        )
+        elif kind in (OFS_SERVER_LOSS, OFS_SERVER_RECOVER):
+            ofs = self._find_ofs()
+            if ofs is not None:
+                if kind == OFS_SERVER_LOSS:
+                    applied = ofs.fail_servers(event.count) > 0
+                else:
+                    applied = ofs.restore_servers(event.count) > 0
+        elif kind == HDFS_REPLICA_LOSS:
+            member = self._resolve_member(event)
+            if member is not None:
+                storage = self.deployment.storages[member]
+                if isinstance(storage, HDFS) and event.node < len(storage.devices):
+                    storage.lose_datanode(event.node)
+                    applied = True
+        if applied:
+            self.injected += 1
+        else:
+            self.skipped += 1
+        sim = self.deployment.sim
+        tracer = sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "fault_injected" if applied else "fault_skipped",
+                "fault",
+                track="faults",
+                args=asdict(event),
+            )
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.counter(
+                "faults.injected" if applied else "faults.skipped"
+            ).inc()
+
+
+__all__ = ["FaultInjector"]

@@ -82,6 +82,17 @@ class HadoopConfig:
         discarded.  Reduce-side speculation is not modelled.
     speculative_slack:
         Straggler threshold multiplier (see above).
+    max_task_attempts:
+        Attempts a task may *fail* before its job is declared failed
+        (mapred.map/reduce.max.attempts; Hadoop 1.x defaults to 4).
+        Attempts killed by a tracker (node) death are re-run without
+        counting against this limit, matching Hadoop's killed-vs-failed
+        distinction.
+    blacklist_threshold:
+        Failed task attempts on one node before the JobTracker stops
+        scheduling new tasks there (mapred.max.tracker.failures).  A
+        blacklisted node drains its running tasks; node recovery clears
+        the blacklist.
     """
 
     heap_size: float
@@ -100,6 +111,8 @@ class HadoopConfig:
     scheduler_policy: str = "fifo"
     speculative_execution: bool = False
     speculative_slack: float = 1.5
+    max_task_attempts: int = 4
+    blacklist_threshold: int = 3
 
     def __post_init__(self) -> None:
         if self.heap_size <= 0:
@@ -147,6 +160,14 @@ class HadoopConfig:
         if self.speculative_slack < 1:
             raise ConfigurationError(
                 f"speculative_slack must be >= 1: {self.speculative_slack}"
+            )
+        if self.max_task_attempts < 1:
+            raise ConfigurationError(
+                f"max_task_attempts must be >= 1: {self.max_task_attempts}"
+            )
+        if self.blacklist_threshold < 1:
+            raise ConfigurationError(
+                f"blacklist_threshold must be >= 1: {self.blacklist_threshold}"
             )
 
     @property

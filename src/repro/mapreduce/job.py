@@ -102,6 +102,11 @@ class JobResult:
     * shuffle phase  = last shuffle end - last map end
     * reduce phase   = job end        - last shuffle end
     * execution time = job end        - job start (start = submission)
+
+    Under fault injection a job can *fail* (a task exhausting its
+    attempts, or no operational cluster to run on): ``failed`` is set,
+    ``failure_reason`` says why, and ``end_time`` records when the
+    failure was declared.  Healthy runs never set these fields.
     """
 
     job_id: str
@@ -114,6 +119,8 @@ class JobResult:
     last_map_end: float = field(default=float("nan"))
     last_shuffle_end: float = field(default=float("nan"))
     end_time: float = field(default=float("nan"))
+    failed: bool = False
+    failure_reason: str = ""
 
     @property
     def execution_time(self) -> float:

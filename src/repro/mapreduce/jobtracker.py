@@ -40,6 +40,36 @@ from repro.units import blocks_for
 JobCallback = Callable[[JobResult], None]
 
 
+class _Attempt:
+    """One live task-attempt: the unit fault injection can kill.
+
+    In-flight attempts are closure chains on the simulation clock and
+    cannot be unscheduled; killing one sets ``aborted`` and every stage
+    callback checks the flag and returns.  In-flight storage transfers
+    run to completion (their bandwidth stays charged — a conservative
+    approximation of Hadoop killing a task whose I/O is mid-stream).
+    """
+
+    __slots__ = ("state", "idx", "node", "kind", "speculative", "aborted", "copied")
+
+    def __init__(
+        self,
+        state: "_JobState",
+        idx: int,
+        node: NodeRuntime,
+        kind: str,
+        speculative: bool = False,
+    ) -> None:
+        self.state = state
+        self.idx = idx
+        self.node = node
+        self.kind = kind  # "map" | "reduce"
+        self.speculative = speculative
+        self.aborted = False
+        #: Reduce only: this attempt already counted in reduces_copied.
+        self.copied = False
+
+
 def decide_num_reducers(
     spec: JobSpec, total_reduce_slots: int, target_bytes: float
 ) -> int:
@@ -72,6 +102,10 @@ class _JobState:
         "completed_map_time_sum",
         "on_complete",
         "_rng",
+        "map_attempt_failures",
+        "reduce_attempt_failures",
+        "map_output_node",
+        "failed",
     )
 
     def __init__(
@@ -101,6 +135,16 @@ class _JobState:
         #: Sum of completed map durations (for the straggler heuristic).
         self.completed_map_time_sum = 0.0
         self.on_complete = on_complete
+        #: Failed (charged) attempts per task index; at
+        #: ``max_task_attempts`` the whole job fails, as in Hadoop.
+        self.map_attempt_failures: dict[int, int] = {}
+        self.reduce_attempt_failures: dict[int, int] = {}
+        #: Node whose shuffle store holds each completed map's output —
+        #: what a node crash forces HDFS-backed clusters to re-execute.
+        self.map_output_node: dict[int, int] = {}
+        #: The job failed or was evacuated; queue entries are dropped
+        #: lazily by the dispatch loops.
+        self.failed = False
         # Deterministic per-job stream; seeding with the job id string uses
         # SHA-512 under the hood, so results are stable across processes.
         self._rng = random.Random(f"jitter:{spec.job_id}")
@@ -165,6 +209,18 @@ class JobTracker:
         # from submission — not from enqueue after the setup delay — so
         # routers see the backlog the moment jobs are accepted.
         self._committed_map_tasks = 0
+        # Live task attempts per node (insertion order — deterministic
+        # kill order on a crash).
+        self._live_attempts: List[List[_Attempt]] = [[] for _ in range(cluster.count)]
+        # Charged (failed) attempts per node since its last recovery;
+        # at ``blacklist_threshold`` the node stops receiving new tasks.
+        self._node_failures = [0] * cluster.count
+        #: Fault statistics (all zero in healthy runs).
+        self.task_attempt_failures = 0
+        self.maps_reexecuted = 0
+        self.jobs_failed = 0
+        self.nodes_blacklisted = 0
+        self.nodes_crashed = 0
 
     # -- submission -------------------------------------------------------
 
@@ -243,6 +299,25 @@ class JobTracker:
         """
         return self._committed_map_tasks / max(1, self.cluster.total_map_slots)
 
+    # -- health ------------------------------------------------------------
+
+    def _node_ok(self, index: int) -> bool:
+        """Schedulable: alive and below the blacklist threshold."""
+        return (
+            self.nodes[index].alive
+            and self._node_failures[index] < self.config.blacklist_threshold
+        )
+
+    def schedulable_nodes(self) -> int:
+        """Nodes currently eligible for new tasks."""
+        return sum(1 for i in range(len(self.nodes)) if self._node_ok(i))
+
+    def is_operational(self) -> bool:
+        """Whether this cluster can accept work: at least one node is
+        alive and not blacklisted.  Routers consult this to route around
+        a dead cluster (graceful degradation)."""
+        return self.schedulable_nodes() > 0
+
     # -- utilization accounting ---------------------------------------------
 
     def _account(self) -> None:
@@ -277,11 +352,15 @@ class JobTracker:
     # -- slot dispatch ------------------------------------------------------
 
     def _pick_node(self, free: List[int]) -> Optional[NodeRuntime]:
-        """Most-free-slots placement (deterministic, spreads load evenly)."""
+        """Most-free-slots placement (deterministic, spreads load evenly).
+
+        Crashed and blacklisted nodes are never picked (a crashed node
+        also has zero free slots, but blacklisting leaves slots free
+        while denying new work, so the health check is explicit)."""
         best_index = -1
         best_free = 0
         for i, count in enumerate(free):
-            if count > best_free:
+            if count > best_free and self._node_ok(i):
                 best_free = count
                 best_index = i
         if best_index < 0:
@@ -293,7 +372,9 @@ class JobTracker:
         holder (Hadoop's locality scheduling); otherwise most-free."""
         if self.block_map is not None:
             replicas = self.block_map.replicas(state.spec.job_id, idx)
-            candidates = [n for n in replicas if self._free_map[n] > 0]
+            candidates = [
+                n for n in replicas if self._free_map[n] > 0 and self._node_ok(n)
+            ]
             if candidates:
                 best = max(candidates, key=lambda n: self._free_map[n])
                 return self.nodes[best]
@@ -332,6 +413,12 @@ class JobTracker:
             if entry is None:
                 return
             state, idx = entry
+            if state.failed or idx in state.map_done_flags:
+                # Failed/evacuated job, or a crash-requeued map that a
+                # still-in-flight speculative copy meanwhile completed:
+                # drop the entry, keeping queue accounting balanced.
+                self._map_queue.task_finished(state)
+                continue
             node = self._pick_map_node(state, idx)
             self._free_map[node.index] -= 1
             self._start_map(state, idx, node)
@@ -372,7 +459,14 @@ class JobTracker:
         self._speculation_tick_armed = True
 
         def tick() -> None:
-            if self._active_jobs == 0:
+            # Disarm when idle — and also when the cluster can make no
+            # progress at all (every node dead/blacklisted and no
+            # attempts draining): re-arming forever would keep the event
+            # heap non-empty and the simulation would never terminate.
+            # ``recover_node`` re-arms when capacity returns.
+            if self._active_jobs == 0 or not (
+                self.is_operational() or any(self._live_attempts)
+            ):
                 self._speculation_tick_armed = False
                 return
             self._dispatch_speculative_maps()
@@ -407,6 +501,9 @@ class JobTracker:
             if entry is None:
                 return
             state, idx = entry
+            if state.failed:
+                self._reduce_queue.task_finished(state)
+                continue
             self._free_reduce[node.index] -= 1
             self._start_reduce(state, idx, node)
 
@@ -434,6 +531,8 @@ class JobTracker:
         node.task_started()
         if not speculative:
             state.map_running[idx] = self.sim.now
+        attempt = _Attempt(state, idx, node, "map", speculative)
+        self._live_attempts[node.index].append(attempt)
         jitter = state.jitter(self.config.task_jitter)
         read_bytes = spec.input_bytes * spec.input_read_fraction / state.num_maps
         nominal_bytes = spec.input_bytes / state.num_maps
@@ -445,6 +544,9 @@ class JobTracker:
         )
 
         def finish() -> None:
+            if attempt.aborted:
+                return
+            self._live_attempts[node.index].remove(attempt)
             self._account()
             tracer = self.sim.tracer
             if tracer is not None:
@@ -477,6 +579,7 @@ class JobTracker:
                 self._dispatch_maps()
                 return
             state.map_done_flags.add(idx)
+            state.map_output_node[idx] = node.index
             started_at = state.map_running.pop(idx, self.sim.now)
             state.completed_map_time_sum += self.sim.now - started_at
             self._committed_map_tasks -= 1
@@ -497,6 +600,8 @@ class JobTracker:
             self._dispatch_maps()
 
         def write_output() -> None:
+            if attempt.aborted:
+                return
             if spec.map_writes_output:
                 # TestDFSIO-style: each map writes its slice of the output
                 # file directly to the main storage system.
@@ -517,9 +622,26 @@ class JobTracker:
                 node.shuffle_store.transfer(store_bytes, finish)
 
         def run_cpu() -> None:
+            if attempt.aborted:
+                return
             self.sim.schedule(cpu_seconds, write_output)
 
         def read_input() -> None:
+            if attempt.aborted:
+                return
+            if read_bytes > 0 and self.storage.data_lost:
+                # Hard data loss (all replicas gone / OFS shrunk below
+                # its resident data): the read fails, charging the
+                # attempt but not the node — the storage is at fault.
+                self._attempt_failed(
+                    attempt,
+                    f"{self.storage.name} input data lost",
+                    charge_task=True,
+                    charge_node=False,
+                    release_slot=True,
+                )
+                self._dispatch_maps()
+                return
             if read_bytes > 0:
                 kwargs = dict(
                     stream_cap=node.nic_share(),
@@ -553,6 +675,8 @@ class JobTracker:
         result = state.result
         task_start = self.sim.now
         node.task_started()
+        attempt = _Attempt(state, idx, node, "reduce")
+        self._live_attempts[node.index].append(attempt)
         jitter = state.jitter(self.config.task_jitter)
         share = spec.shuffle_bytes / state.num_reducers
         store_bytes = reduce_shuffle_store_bytes(
@@ -566,6 +690,9 @@ class JobTracker:
         )
 
         def finish() -> None:
+            if attempt.aborted:
+                return
+            self._live_attempts[node.index].remove(attempt)
             self._account()
             tracer = self.sim.tracer
             metrics = self.sim.metrics
@@ -627,6 +754,8 @@ class JobTracker:
             self._dispatch_reduces()
 
         def write_output() -> None:
+            if attempt.aborted:
+                return
             if spec.map_writes_output:
                 # Output already written by the maps; the reducer only
                 # aggregates statistics (TestDFSIO's single reducer).
@@ -642,15 +771,22 @@ class JobTracker:
             )
 
         def run_cpu() -> None:
+            if attempt.aborted:
+                return
             self.sim.schedule(cpu_seconds, write_output)
 
         def copied() -> None:
+            if attempt.aborted:
+                return
+            attempt.copied = True
             state.reduces_copied += 1
             if state.reduces_copied == state.num_reducers:
                 result.last_shuffle_end = self.sim.now
             run_cpu()
 
         def copy() -> None:
+            if attempt.aborted:
+                return
             tracer = self.sim.tracer
             if tracer is None:
                 node.shuffle_store.transfer(store_bytes, copied, cap=node.nic_share())
@@ -658,6 +794,8 @@ class JobTracker:
             copy_start = self.sim.now
 
             def traced_copied() -> None:
+                if attempt.aborted:
+                    return
                 tracer.complete(
                     "shuffle_copy",
                     "task",
@@ -677,6 +815,8 @@ class JobTracker:
             node.shuffle_store.transfer(store_bytes, traced_copied, cap=node.nic_share())
 
         def begin() -> None:
+            if attempt.aborted:
+                return
             if state.maps_done == state.num_maps:
                 copy()
             else:
@@ -686,3 +826,295 @@ class JobTracker:
                 state.map_phase_waiters.append(copy)
 
         self.sim.schedule(self.config.task_overhead * jitter, begin)
+
+    # -- fault handling -----------------------------------------------------
+
+    def crash_node(self, index: int) -> None:
+        """A node dies: its live attempts are *killed* (requeued without
+        charging ``max_task_attempts`` — Hadoop's killed-vs-failed
+        distinction), its slots leave the pool, and on HDFS-backed
+        clusters the *completed* maps whose output lived on its shuffle
+        store are re-executed if any reducer still needs them."""
+        node = self.nodes[index]
+        if not node.alive:
+            return
+        self._account()
+        self.nodes_crashed += 1
+        # Kill live attempts first: their slot bookkeeping must run
+        # before the node's counters are zeroed.
+        for attempt in list(self._live_attempts[index]):
+            self._attempt_failed(
+                attempt,
+                "node crash",
+                charge_task=False,
+                charge_node=False,
+                release_slot=False,
+            )
+        self._live_attempts[index] = []
+        node.crash()
+        self._free_map[index] = 0
+        self._free_reduce[index] = 0
+        if not self.storage.intermediate_survives_node_loss:
+            self._reexecute_lost_map_outputs(index)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "node_crash", "fault", track=self.name, args={"node": index}
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.node_crashes").inc()
+        # Requeued tasks may fit on surviving nodes right away.
+        self._dispatch_maps()
+        self._dispatch_reduces()
+
+    def _reexecute_lost_map_outputs(self, index: int) -> None:
+        """Re-run completed maps whose intermediate output died with node
+        ``index`` — the cost asymmetry between node-local shuffle stores
+        (HDFS clusters) and a shared remote store (OFS clusters), where
+        ``intermediate_survives_node_loss`` makes this a no-op."""
+        for state in self._active_states:
+            if state.reduces_copied >= state.num_reducers:
+                # Every reducer already copied; outputs no longer needed.
+                continue
+            lost = [
+                i
+                for i, n in sorted(state.map_output_node.items())
+                if n == index and i in state.map_done_flags
+            ]
+            for i in lost:
+                state.map_done_flags.discard(i)
+                state.map_output_node.pop(i, None)
+                state.maps_done -= 1
+                self._committed_map_tasks += 1
+                self.maps_reexecuted += 1
+                self._map_queue.push(state, i)
+            if lost:
+                metrics = self.sim.metrics
+                if metrics is not None:
+                    metrics.counter(f"{self.name}.maps_reexecuted").inc(len(lost))
+
+    def recover_node(self, index: int) -> None:
+        """The node rejoins (fresh and empty) and its blacklist record,
+        if any, is cleared."""
+        node = self.nodes[index]
+        self._account()
+        if not node.alive:
+            node.recover()
+            self._free_map[index] = self.cluster.slots.map_slots
+            self._free_reduce[index] = self.cluster.slots.reduce_slots
+        self._node_failures[index] = 0
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "node_recover", "fault", track=self.name, args={"node": index}
+            )
+        if self.config.speculative_execution and self._active_jobs > 0:
+            self._arm_speculation_tick()
+        self._dispatch_maps()
+        self._dispatch_reduces()
+
+    def fail_running_attempts(
+        self, index: int, count: int = 1, reason: str = "injected task failure"
+    ) -> int:
+        """Fail up to ``count`` live attempts on node ``index`` (transient
+        task failure: bad disk sector, OOM kill).  Unlike a crash these
+        are *charged* — to the task (toward ``max_task_attempts``) and to
+        the node (toward the blacklist threshold).  Returns the number of
+        attempts actually failed."""
+        failed = 0
+        for attempt in list(self._live_attempts[index]):
+            if failed >= count:
+                break
+            self._attempt_failed(
+                attempt, reason, charge_task=True, charge_node=True, release_slot=True
+            )
+            failed += 1
+        if failed:
+            self._dispatch_maps()
+            self._dispatch_reduces()
+        return failed
+
+    def _attempt_failed(
+        self,
+        attempt: _Attempt,
+        reason: str,
+        *,
+        charge_task: bool,
+        charge_node: bool,
+        release_slot: bool,
+    ) -> None:
+        """Central attempt-death bookkeeping.
+
+        ``charge_task`` counts the failure toward the task's
+        ``max_task_attempts`` (exhaustion fails the whole job);
+        ``charge_node`` counts it toward the node's blacklist threshold;
+        ``release_slot`` returns the slot (False when the node itself
+        died and took its slots with it).  Surviving tasks are requeued.
+        """
+        if attempt.aborted:
+            return
+        attempt.aborted = True
+        state = attempt.state
+        node = attempt.node
+        idx = attempt.idx
+        try:
+            self._live_attempts[node.index].remove(attempt)
+        except ValueError:
+            pass
+        self.task_attempt_failures += 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.task_attempt_failures").inc()
+        is_map = attempt.kind == "map"
+        if release_slot:
+            node.task_finished()
+            if is_map:
+                self._free_map[node.index] += 1
+            else:
+                self._free_reduce[node.index] += 1
+        # Queue accounting: every popped entry gets exactly one
+        # task_finished, whether the attempt finished or died.
+        if is_map:
+            if not attempt.speculative:
+                self._map_queue.task_finished(state)
+                state.map_running.pop(idx, None)
+            else:
+                # The original copy lives on; a new backup may launch.
+                state.map_duplicated.discard(idx)
+        else:
+            self._reduce_queue.task_finished(state)
+            if attempt.copied:
+                state.reduces_copied -= 1
+        if charge_node:
+            self._note_node_failure(node)
+        if state.failed:
+            return
+        if is_map and idx in state.map_done_flags:
+            return  # another copy already won this task
+        if charge_task:
+            failures = (
+                state.map_attempt_failures if is_map else state.reduce_attempt_failures
+            )
+            failures[idx] = failures.get(idx, 0) + 1
+            if failures[idx] >= self.config.max_task_attempts:
+                kind = "map" if is_map else "reduce"
+                self._fail_job(
+                    state,
+                    f"{kind} task {idx} failed {failures[idx]} attempts: {reason}",
+                )
+                return
+        # Requeue for retry (speculative copies are extras, not queued).
+        if is_map:
+            if not attempt.speculative:
+                self._map_queue.push(state, idx)
+        else:
+            self._reduce_queue.push(state, idx)
+
+    def _note_node_failure(self, node: NodeRuntime) -> None:
+        """Count a charged failure against a node; blacklist at the
+        threshold.  A blacklisted node drains its running tasks but gets
+        no new ones; recovery clears the record."""
+        i = node.index
+        self._node_failures[i] += 1
+        if node.alive and self._node_failures[i] == self.config.blacklist_threshold:
+            self.nodes_blacklisted += 1
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "node_blacklisted",
+                    "fault",
+                    track=self.name,
+                    args={"node": i, "failures": self._node_failures[i]},
+                )
+            metrics = self.sim.metrics
+            if metrics is not None:
+                metrics.counter(f"{self.name}.nodes_blacklisted").inc()
+
+    def _fail_job(self, state: _JobState, reason: str) -> None:
+        """Declare a job failed (a task exhausted its attempts).  The
+        result records why; remaining attempts are aborted and queue
+        entries are dropped lazily by the dispatch loops."""
+        if state.failed:
+            return
+        state.failed = True
+        result = state.result
+        result.failed = True
+        result.failure_reason = reason
+        result.end_time = self.sim.now
+        self.jobs_failed += 1
+        self._active_jobs -= 1
+        self._active_states.remove(state)
+        self._committed_map_tasks -= state.num_maps - state.maps_done
+        if self.block_map is not None:
+            self.block_map.remove_dataset(state.spec.job_id)
+        # Abort the job's other live attempts (state.failed is already
+        # set, so these cannot recurse back here).
+        for node_attempts in self._live_attempts:
+            for attempt in list(node_attempts):
+                if attempt.state is state:
+                    self._attempt_failed(
+                        attempt,
+                        "job failed",
+                        charge_task=False,
+                        charge_node=False,
+                        release_slot=True,
+                    )
+        state.map_phase_waiters = []
+        self.results.append(result)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "job_failed",
+                "job",
+                track=self.name,
+                args={"job_id": state.spec.job_id, "reason": reason},
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.jobs_failed").inc()
+        if state.on_complete is not None:
+            state.on_complete(result)
+
+    def _cancel_job(self, state: _JobState) -> None:
+        """Withdraw a job from this tracker without declaring a result
+        (evacuation: the job will be resubmitted elsewhere)."""
+        state.failed = True  # dispatch loops drop its queue entries
+        self._active_jobs -= 1
+        self._active_states.remove(state)
+        self._committed_map_tasks -= state.num_maps - state.maps_done
+        if self.block_map is not None:
+            self.block_map.remove_dataset(state.spec.job_id)
+        for node_attempts in self._live_attempts:
+            for attempt in list(node_attempts):
+                if attempt.state is state:
+                    self._attempt_failed(
+                        attempt,
+                        "job evacuated",
+                        charge_task=False,
+                        charge_node=False,
+                        release_slot=attempt.node.alive,
+                    )
+        state.map_phase_waiters = []
+
+    def evacuate(self) -> List[tuple[JobSpec, Optional[JobCallback]]]:
+        """Withdraw every in-flight job for resubmission elsewhere.
+
+        Called by the deployment when this cluster stops being
+        operational.  Returns ``(spec, on_complete)`` pairs with the
+        *original* completion callbacks, so storage registered at first
+        submission is still released exactly once."""
+        evacuated: List[tuple[JobSpec, Optional[JobCallback]]] = []
+        for state in list(self._active_states):
+            evacuated.append((state.spec, state.on_complete))
+            self._cancel_job(state)
+        return evacuated
+
+    def abort_active_jobs(self, reason: str) -> int:
+        """Fail every job still active (e.g. stranded on a cluster that
+        never recovered).  Returns the number of jobs failed."""
+        count = 0
+        for state in list(self._active_states):
+            self._fail_job(state, reason)
+            count += 1
+        return count

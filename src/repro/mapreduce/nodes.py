@@ -55,12 +55,29 @@ class NodeRuntime:
         #: 4.0 models the sick-but-alive node that motivates Hadoop's
         #: speculative execution.
         self.slowdown = 1.0
+        #: Hard-failure state (fault injection): a crashed node runs no
+        #: tasks and its in-flight task attempts are killed.  Distinct
+        #: from ``slowdown``, which models sick-but-alive.
+        self.alive = True
 
     def degrade(self, slowdown: float) -> None:
         """Inject a performance fault: slow this node's CPU by ``slowdown``x."""
         if slowdown < 1.0:
             raise ConfigurationError(f"slowdown must be >= 1: {slowdown}")
         self.slowdown = slowdown
+
+    def crash(self) -> None:
+        """Inject a hard fault: the node dies.  The JobTracker is
+        responsible for killing its task attempts (``JobTracker.crash_node``
+        does both); this only flips local state."""
+        self.alive = False
+        self.active_tasks = 0
+
+    def recover(self) -> None:
+        """The node rejoins, healthy and empty."""
+        self.alive = True
+        self.active_tasks = 0
+        self.slowdown = 1.0
 
     def effective_core_speed(self) -> float:
         """Relative core speed after any injected degradation."""

@@ -165,6 +165,18 @@ class ResultCache:
             if self._valid(payload):
                 yield path.stem, payload
 
+    def holes(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Iterate ``(key, payload)`` over the infeasible entries.
+
+        Each payload records *why* the cell was infeasible
+        (``error_type`` + ``error``) and which cell it was (``cell``) —
+        written by :func:`repro.runner.work.execute_cell`; see
+        ``repro cache`` for the human-readable report.
+        """
+        for key, payload in self.entries():
+            if payload.get("status") == "infeasible":
+                yield key, payload
+
     def __len__(self) -> int:
         return sum(1 for _ in self._files())
 

@@ -35,6 +35,7 @@ from repro.apps.base import AppProfile
 from repro.core.architectures import ArchitectureSpec
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.units import parse_size
 
 #: Version of the cached-payload schema (cache files carry it).
@@ -43,7 +44,7 @@ CACHE_SCHEMA = 1
 #: Stand-in for the simulator's code version.  Bump the date-tag whenever
 #: a model change alters simulation results; every cached result keyed
 #: under the old salt then misses and is recomputed.
-CODE_SALT = f"repro-cells-v{CACHE_SCHEMA}-2026.08"
+CODE_SALT = f"repro-cells-v{CACHE_SCHEMA}-2026.08b"
 
 #: Cell kinds understood by :mod:`repro.runner.work`.
 KIND_ISOLATED = "isolated"
@@ -93,12 +94,20 @@ class CellSpec:
     num_jobs: int = 0
     shrink_factor: float = 5.0
     duration: Optional[float] = None
+    #: Fault schedule injected into the cell's deployment.  Part of the
+    #: content key (the full plan hashes into it), so a faulted run and a
+    #: healthy run of the same cell never collide in the cache — nor do
+    #: two different fault schedules.  An *empty* plan is normalised to
+    #: None, keeping "no faults" a single cache identity.
+    fault_plan: Optional[FaultPlan] = None
     # -- probe-only field --------------------------------------------------
     probe: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
             raise ConfigurationError(f"unknown cell kind {self.kind!r}")
+        if self.fault_plan is not None and self.fault_plan.is_empty:
+            object.__setattr__(self, "fault_plan", None)
         if self.kind == KIND_ISOLATED:
             if self.architecture is None or self.app is None:
                 raise ConfigurationError(
@@ -130,7 +139,10 @@ class CellSpec:
             assert self.app is not None
             return f"{self.app.name}@{int(self.input_bytes)}B on {arch}"
         if self.kind == KIND_REPLAY:
-            return f"replay[{self.num_jobs} jobs, seed {self.seed}] on {arch}"
+            faults = (
+                f", {len(self.fault_plan)} faults" if self.fault_plan else ""
+            )
+            return f"replay[{self.num_jobs} jobs, seed {self.seed}{faults}] on {arch}"
         return f"probe[{self.probe}]"
 
 
@@ -161,8 +173,9 @@ def replay_cell(
     shrink_factor: float = 5.0,
     calibration: Calibration = DEFAULT_CALIBRATION,
     duration: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> CellSpec:
-    """One Section V trace-replay cell."""
+    """One Section V trace-replay cell (optionally under a fault plan)."""
     return CellSpec(
         kind=KIND_REPLAY,
         architecture=architecture,
@@ -171,6 +184,7 @@ def replay_cell(
         num_jobs=num_jobs,
         shrink_factor=shrink_factor,
         duration=duration,
+        fault_plan=fault_plan,
     )
 
 

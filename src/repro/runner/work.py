@@ -53,7 +53,9 @@ def job_result_to_dict(result: JobResult) -> Dict[str, Any]:
 
 
 def job_result_from_dict(data: Dict[str, Any]) -> JobResult:
-    return JobResult(**{name: data[name] for name in _JOB_RESULT_FIELDS})
+    # Tolerant of older payloads that predate newer JobResult fields
+    # (e.g. ``failed``): missing keys fall back to dataclass defaults.
+    return JobResult(**{name: data[name] for name in _JOB_RESULT_FIELDS if name in data})
 
 
 def cell_job_id(app_name: str, input_bytes: float, seed: int) -> str:
@@ -64,14 +66,20 @@ def cell_job_id(app_name: str, input_bytes: float, seed: int) -> str:
     return base if seed == 0 else f"{base}-s{seed}"
 
 
-def _ok(kind: str, result: Any) -> Dict[str, Any]:
+def _ok(kind: str, result: Any, **extra: Any) -> Dict[str, Any]:
     return {"schema": CACHE_SCHEMA, "kind": kind, "status": "ok",
-            "result": result, "error": ""}
+            "result": result, "error": "", **extra}
 
 
-def _infeasible(kind: str, error: str) -> Dict[str, Any]:
+def _infeasible(
+    kind: str, error: str, error_type: str = "CapacityError", cell: str = ""
+) -> Dict[str, Any]:
+    """An explicit cached hole, recording *why* the cell is infeasible
+    (exception type + message + cell description) so ``repro cache`` can
+    explain holes without re-running anything."""
     return {"schema": CACHE_SCHEMA, "kind": kind, "status": "infeasible",
-            "result": None, "error": error}
+            "result": None, "error": error, "error_type": error_type,
+            "cell": cell}
 
 
 def _execute_isolated(cell: CellSpec) -> Dict[str, Any]:
@@ -79,7 +87,11 @@ def _execute_isolated(cell: CellSpec) -> Dict[str, Any]:
     from repro.core.deployment import Deployment
 
     assert cell.architecture is not None and cell.app is not None
-    deployment = Deployment(cell.architecture, calibration=cell.calibration)
+    deployment = Deployment(
+        cell.architecture,
+        calibration=cell.calibration,
+        fault_plan=cell.fault_plan,
+    )
     job = cell.app.make_job(
         cell.input_bytes,
         job_id=cell_job_id(cell.app.name, cell.input_bytes, cell.seed),
@@ -87,7 +99,9 @@ def _execute_isolated(cell: CellSpec) -> Dict[str, Any]:
     try:
         result = deployment.run_job(job, register_dataset=cell.register_dataset)
     except CapacityError as exc:
-        return _infeasible(KIND_ISOLATED, str(exc))
+        return _infeasible(
+            KIND_ISOLATED, str(exc), type(exc).__name__, cell.describe()
+        )
     return _ok(KIND_ISOLATED, job_result_to_dict(result))
 
 
@@ -110,14 +124,24 @@ def _execute_replay(
         calibration=cell.calibration,
         tracer=tracer,
         metrics=metrics,
+        fault_plan=cell.fault_plan,
     )
     results = deployment.run_trace(jobs, register_dataset=False)
+    # A permanently dead cluster strands jobs with no event to finish
+    # them; declare those failed so every trace job has an outcome.
+    deployment.fail_unfinished()
     if len(results) != len(jobs):
         raise RuntimeError(
             f"{cell.architecture.name}: {len(results)} of {len(jobs)} "
             "trace jobs completed"
         )
-    return _ok(KIND_REPLAY, [job_result_to_dict(r) for r in results])
+    # The fault summary rides in the payload (extra keys are cache-safe)
+    # so resilience reports survive caching and process boundaries.
+    return _ok(
+        KIND_REPLAY,
+        [job_result_to_dict(r) for r in results],
+        faults=deployment.fault_summary(),
+    )
 
 
 def _execute_probe(cell: CellSpec) -> Dict[str, Any]:
@@ -127,7 +151,9 @@ def _execute_probe(cell: CellSpec) -> Dict[str, Any]:
     if action == "raise":
         raise RuntimeError(f"probe cell failed deliberately ({arg or 'no arg'})")
     if action == "infeasible":
-        return _infeasible(KIND_PROBE, "probe capacity hole")
+        return _infeasible(
+            KIND_PROBE, "probe capacity hole", "CapacityError", cell.describe()
+        )
     if action == "flaky":
         # flaky:<path>:<n> — count attempts in a file; fail the first n.
         path, _, times = arg.rpartition(":")

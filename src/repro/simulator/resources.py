@@ -196,6 +196,18 @@ class FairShareResource:
         self._reschedule()
         return flow
 
+    def set_capacity(self, capacity: Optional[float]) -> None:
+        """Change the aggregate capacity mid-simulation (fault injection:
+        a storage server dying or rejoining).  In-flight flows keep their
+        progress; rates are re-solved from the current instant, so the
+        change is exact piecewise-constant fluid dynamics like any other
+        arrival/departure."""
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"resource {self.name!r} needs positive capacity")
+        self._advance()
+        self.capacity = capacity
+        self._reschedule()
+
     def cancel_flow(self, flow: Flow) -> None:
         """Abort a flow; its completion callback will not fire."""
         self._advance()

@@ -30,6 +30,21 @@ class StorageSystem(ABC):
     #: per-*access* component is inside read()/write().
     per_job_overhead: float
 
+    #: Whether a node's death takes its completed map outputs with it.
+    #: HDFS-backed clusters spill map outputs to node-local storage, so
+    #: a crash forces Hadoop to re-execute the dead node's *completed*
+    #: maps; clusters backed by the shared remote file system keep
+    #: intermediate data reachable from every surviving node.  This
+    #: asymmetry is one of the resilience questions the fault model
+    #: exists to answer (see docs/FAULTS.md).
+    intermediate_survives_node_loss: bool = False
+
+    #: Set by fault injection when data is unrecoverable (all replicas of
+    #: HDFS blocks lost, or an OFS array shrunk below its resident data).
+    #: Task input reads then fail, which surfaces as task-attempt
+    #: failures and, after ``max_task_attempts``, failed jobs.
+    data_lost: bool = False
+
     @abstractmethod
     def read(
         self,

@@ -90,6 +90,80 @@ class HDFS(StorageSystem):
         self.page_cache_bytes = page_cache_bytes
         self._dataset_bytes = 0.0
         self._replica_cursor = 0
+        #: Datanode indices whose disks were lost (fault injection).
+        self._lost_nodes: set[int] = set()
+        #: Bytes of re-replication traffic injected so far.
+        self.rereplication_bytes = 0.0
+
+    # -- fault injection ------------------------------------------------
+
+    @property
+    def lost_datanodes(self) -> int:
+        return len(self._lost_nodes)
+
+    def lose_datanode(self, index: int) -> float:
+        """A datanode's disk is lost (fault injection).
+
+        Hadoop-faithful consequences:
+
+        * the namenode re-replicates the lost replicas from survivors —
+          modeled as background transfers spread over the surviving
+          disks (one read-or-write charge per survivor, the fluid
+          approximation of the re-replication pipeline), contending with
+          foreground task I/O;
+        * once ``replication`` distinct datanodes have been lost, some
+          block has lost *all* replicas: ``data_lost`` latches and task
+          reads start failing (hard data loss);
+        * reads/writes addressed to the lost device are served by the
+          surviving replica holders.
+
+        Returns the bytes of re-replication traffic scheduled.
+        """
+        if index < 0 or index >= len(self.devices):
+            raise ConfigurationError(
+                f"no datanode {index} (have {len(self.devices)})"
+            )
+        if index in self._lost_nodes:
+            return 0.0
+        self._lost_nodes.add(index)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.datanodes_lost").inc()
+        if len(self._lost_nodes) >= self.replication:
+            self.data_lost = True
+            if metrics is not None:
+                metrics.counter(f"{self.name}.data_loss_events").inc()
+        survivors = [
+            d for i, d in enumerate(self.devices) if i not in self._lost_nodes
+        ]
+        if not survivors:
+            self.data_lost = True
+            return 0.0
+        if self.data_lost:
+            # Nothing left to re-replicate *from* for the doomed blocks;
+            # skip the traffic rather than model a partial recovery.
+            return 0.0
+        # The lost disk held its share of the raw (replicated) bytes.
+        lost_bytes = (
+            self._dataset_bytes * self.replication / len(self.devices)
+        )
+        if lost_bytes <= 0:
+            return 0.0
+        share = lost_bytes / len(survivors)
+
+        def one_done() -> None:
+            self.rereplication_bytes += share
+            if metrics is not None:
+                metrics.counter(f"{self.name}.rereplication_bytes").inc(share)
+
+        for device in survivors:
+            device.transfer(share, one_done)
+        return lost_bytes
+
+    def restore_datanode(self, index: int) -> None:
+        """The datanode rejoins with a fresh disk (its old data is gone,
+        but re-replication already restored the replica count)."""
+        self._lost_nodes.discard(index)
 
     # -- capacity -------------------------------------------------------
 

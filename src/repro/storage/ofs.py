@@ -79,13 +79,77 @@ class OrangeFS(StorageSystem):
         self.access_latency = access_latency
         self.stream_cap = stream_cap
         self.per_job_overhead = per_job_overhead
-        self.capacity = capacity
+        self._base_capacity = capacity
         self._dataset_bytes = 0.0
+        self._active_servers = num_servers
         self.array = FairShareResource(
             sim, num_servers * server_bandwidth, name="ofs-array"
         )
 
+    # OFS has no replication: the array *is* the intermediate store for
+    # clusters that mount it, so a compute-node death cannot take shuffle
+    # data with it — the paper's resilience argument for shared storage.
+    intermediate_survives_node_loss = True
+
+    # -- fault injection ------------------------------------------------
+
+    @property
+    def active_servers(self) -> int:
+        return self._active_servers
+
+    def fail_servers(self, count: int = 1) -> int:
+        """Lose ``count`` storage servers (fault injection).
+
+        Consequences, per the model's OFS abstraction:
+
+        * the array's aggregate bandwidth shrinks proportionally (in-flight
+          flows are re-shared at the new capacity mid-transfer);
+        * usable capacity shrinks proportionally; if resident data no
+          longer fits, OFS has no replication to fall back on, so
+          ``data_lost`` latches and reads start failing — the shared-fate
+          risk of unreplicated shared storage that the paper leaves open.
+
+        At least one server always survives (a zero-capacity array would
+        be a configuration error, not a degradation).  Returns the number
+        of servers actually lost.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0: {count}")
+        lost = min(count, self._active_servers - 1)
+        if lost <= 0:
+            return 0
+        self._active_servers -= lost
+        self._rescale()
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.servers_lost").inc(lost)
+        if self._dataset_bytes > self.capacity:
+            self.data_lost = True
+            if metrics is not None:
+                metrics.counter(f"{self.name}.data_loss_events").inc()
+        return lost
+
+    def restore_servers(self, count: int = 1) -> int:
+        """Bring ``count`` servers back (bandwidth and capacity return;
+        data already declared lost stays lost).  Returns servers restored."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0: {count}")
+        restored = min(count, self.num_servers - self._active_servers)
+        if restored <= 0:
+            return 0
+        self._active_servers += restored
+        self._rescale()
+        return restored
+
+    def _rescale(self) -> None:
+        self.array.set_capacity(self._active_servers * self.server_bandwidth)
+
     # -- capacity -------------------------------------------------------
+
+    @property
+    def capacity(self) -> float:
+        """Usable bytes, scaled down while servers are lost."""
+        return self._base_capacity * self._active_servers / self.num_servers
 
     @property
     def used(self) -> float:

@@ -19,8 +19,8 @@ depends only on its own spec — never on execution order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.apps.base import AppProfile
 from repro.core.architectures import ArchitectureSpec
@@ -28,7 +28,7 @@ from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.mapreduce.job import JobResult
 from repro.runner.pool import PoolRunner, raise_on_failure
 from repro.runner.spec import isolated_cell, sweep_experiment
-from repro.runner.work import decode_result, execute_cell
+from repro.runner.work import decode_profile, decode_result, execute_cell
 from repro.units import parse_size
 
 
@@ -40,6 +40,9 @@ class SweepResult:
     app: str
     sizes: List[float]
     results: List[Optional[JobResult]]
+    #: Per-cell profiler summaries (bucket attribution), aligned with
+    #: ``results``; all-None unless the sweep ran with ``profile=True``.
+    profiles: List[Optional[Dict[str, Any]]] = field(default_factory=list)
 
     def _phase(self, attr: str) -> List[Optional[float]]:
         return [
@@ -92,6 +95,7 @@ def sweep_architectures(
     *,
     seed: int = 0,
     runner: Optional[PoolRunner] = None,
+    profile: bool = False,
 ) -> Dict[str, SweepResult]:
     """The full measurement grid for one application.
 
@@ -100,24 +104,37 @@ def sweep_architectures(
     :class:`~repro.runner.pool.PoolRunner` for parallel execution and
     result caching.  Raises :class:`~repro.errors.RunnerError` if any
     cell crashed after the runner's retries.
+
+    ``profile=True`` runs every cell with an internal tracer and fills
+    each column's ``profiles`` with compact bucket-attribution digests
+    (see :mod:`repro.profiler`).  Job results are identical either way;
+    profiled cells cache under their own content keys.
     """
     specs = list(specs)
     resolved = [parse_size(s) for s in sizes]
-    experiment = sweep_experiment(specs, app, resolved, calibration, seed)
+    experiment = sweep_experiment(
+        specs, app, resolved, calibration, seed, profile=profile
+    )
     active = runner if runner is not None else PoolRunner()
     outcomes = active.run_experiment(experiment)
     raise_on_failure(outcomes)
     grid: Dict[str, SweepResult] = {}
     for column, spec in enumerate(specs):
         start = column * len(resolved)
+        column_outcomes = outcomes[start:start + len(resolved)]
         results = [
             decode_result(o.payload)  # type: ignore[arg-type]
-            for o in outcomes[start:start + len(resolved)]
+            for o in column_outcomes
+        ]
+        profiles = [
+            decode_profile(o.payload)  # type: ignore[arg-type]
+            for o in column_outcomes
         ]
         grid[spec.name] = SweepResult(
             architecture=spec.name,
             app=app.name,
             sizes=list(resolved),
             results=results,
+            profiles=profiles,
         )
     return grid

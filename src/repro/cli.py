@@ -16,14 +16,19 @@ Commands map one-to-one onto the paper's artifacts:
   JSON (open in Perfetto / ``chrome://tracing``).
 * ``metrics``      — run a replay with a metrics registry attached and
   print/dump the flat metrics.
+* ``profile``      — traced replay -> critical-path & bottleneck
+  attribution, written as a self-contained HTML dashboard (``--ab`` for
+  a Hybrid-vs-THadoop side-by-side; ``--trace-in`` profiles a
+  previously exported Chrome trace instead of re-running).
 * ``resilience``   — replay the trace on Hybrid/THadoop/RHadoop under a
   fault plan (see docs/FAULTS.md) and compare the degradation.
 * ``cache``        — inspect or clear the on-disk result cache (holes —
   cached infeasible cells — are listed with the reason they failed).
 
 ``run`` and ``replay`` also accept ``--trace-out FILE`` to record the
-run they already perform, and ``--faults FILE`` to inject a JSON fault
-plan into the simulation.
+run they already perform (``replay`` additionally ``--metrics-out
+FILE`` for a flat metrics dump of the same run), and ``--faults FILE``
+to inject a JSON fault plan into the simulation.
 
 Errors: expected failures (bad input, infeasible configurations,
 malformed fault plans) print a one-line ``error:`` diagnostic and exit
@@ -341,11 +346,12 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else None
+    metrics = MetricsRegistry() if args.metrics_out else None
     runner = _make_runner(args.workers, args.no_cache)
     fault_plan = FaultPlan.load(args.faults) if args.faults else None
     outcome = fig10_trace_replay(
-        num_jobs=args.jobs, seed=args.seed, tracer=tracer, runner=runner,
-        fault_plan=fault_plan,
+        num_jobs=args.jobs, seed=args.seed, tracer=tracer, metrics=metrics,
+        runner=runner, fault_plan=fault_plan,
     )
     headers = ["architecture", "class", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"]
     rows: List[List[object]] = []
@@ -370,6 +376,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     if tracer is not None:
         path = write_chrome_trace(tracer, args.trace_out)
         print(f"Hybrid replay trace ({len(tracer)} events) written to {path}")
+    if metrics is not None:
+        path = write_metrics(metrics, args.metrics_out)
+        print(f"Hybrid replay metrics written to {path}")
     return 0
 
 
@@ -415,6 +424,60 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     if args.out:
         path = write_metrics(metrics, args.out)
         print(f"\nmetrics dump written to {path}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.profiler import profile_run, profile_trace_file, write_dashboard
+
+    profiles = []
+    if args.trace_in:
+        profiles.append(profile_trace_file(args.trace_in))
+        title = f"repro profile: {profiles[0].label}"
+    else:
+        arch_names = [args.arch]
+        if args.ab:
+            if args.ab == args.arch:
+                print("error: --ab architecture equals --arch", file=sys.stderr)
+                return 1
+            arch_names.append(args.ab)
+        for name in arch_names:
+            tracer = Tracer()
+            _replay_with_telemetry(name, args.jobs, args.seed, tracer, None)
+            profiles.append(profile_run(tracer, label=name))
+        title = (
+            f"{' vs '.join(arch_names)} — FB-2009 replay, "
+            f"{args.jobs} jobs, seed {args.seed}"
+        )
+    rows = [
+        [
+            p.label,
+            len(p.jobs),
+            p.jobs_failed,
+            f"{p.horizon:.1f}",
+            p.dominant_bucket,
+            len(p.faults),
+        ]
+        for p in profiles
+    ]
+    print(
+        render_table(
+            ["run", "jobs", "failed", "horizon (s)", "dominant bucket", "faults"],
+            rows,
+            title="profile summary",
+        )
+    )
+    path = write_dashboard(profiles, args.out, title=title)
+    print(f"\ndashboard written to {path} (self-contained HTML)")
+    if args.json:
+        from pathlib import Path
+
+        Path(args.json).write_text(
+            json.dumps([p.to_summary() for p in profiles], indent=1)
+        )
+        print(f"summary JSON written to {args.json}")
     return 0
 
 
@@ -526,6 +589,9 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--seed", type=int, default=2009)
     replay.add_argument("--trace-out", metavar="FILE",
                         help="write a Chrome trace of the Hybrid replay here")
+    replay.add_argument("--metrics-out", metavar="FILE",
+                        help="write a flat metrics dump of the Hybrid "
+                             "replay here (JSON)")
     replay.add_argument("--faults", metavar="FILE",
                         help="inject a JSON fault plan into every replay")
     _add_runner_options(replay, flag="--workers")
@@ -555,6 +621,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace_export.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
     trace_export.add_argument("--out", default="trace.json",
                               help="output trace file (default trace.json)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="critical-path & bottleneck dashboard for a traced replay",
+    )
+    profile.add_argument("--jobs", type=int, default=200)
+    profile.add_argument("--seed", type=int, default=2009)
+    profile.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
+    profile.add_argument("--ab", nargs="?", const="THadoop",
+                         choices=ARCH_CHOICES, metavar="ARCH",
+                         help="profile a second architecture side by side "
+                              "(default THadoop)")
+    profile.add_argument("--trace-in", metavar="FILE",
+                         help="profile this exported Chrome trace instead "
+                              "of running a replay")
+    profile.add_argument("--out", default="profile.html",
+                         help="dashboard output file (default profile.html)")
+    profile.add_argument("--json", metavar="FILE",
+                         help="also write compact profile summaries here")
 
     metrics = sub.add_parser(
         "metrics", help="replay with a metrics registry; print the flat dump"
@@ -621,6 +706,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "figures": _cmd_figures,
     "trace-export": _cmd_trace_export,
+    "profile": _cmd_profile,
     "metrics": _cmd_metrics,
     "cache": _cmd_cache,
 }

@@ -36,7 +36,7 @@ explicitly to silence it.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.compat import warn_deprecated
 
@@ -44,7 +44,7 @@ from repro.core.api import Router, Scheduler
 from repro.core.architectures import ArchitectureSpec
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.scheduler import Decision, SizeAwareScheduler
-from repro.errors import SchedulingError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.mapreduce.config import HadoopConfig
@@ -57,6 +57,9 @@ from repro.storage.hdfs import HDFS
 from repro.storage.ofs import OrangeFS
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.profiler.model import RunProfile
 
 
 def algorithm1_router(scheduler: Optional[Scheduler] = None) -> Router:
@@ -319,6 +322,24 @@ class Deployment:
         """Drain the event loop; returns all completed job results."""
         self.sim.run(until=until)
         return self.results
+
+    def profile_run(self, label: Optional[str] = None) -> "RunProfile":
+        """Analyse this deployment's recorded trace (critical paths,
+        bottleneck buckets, timelines) — see :mod:`repro.profiler`.
+
+        Strictly post-hoc: call it after ``run``/``run_trace``; it only
+        reads the attached tracer's events, so it cannot perturb the
+        simulation.  Raises :class:`~repro.errors.ConfigurationError`
+        when the deployment was built without a tracer.
+        """
+        if self.tracer is None:
+            raise ConfigurationError(
+                "profile_run() needs a tracer: build the deployment with "
+                "Deployment(..., tracer=Tracer())"
+            )
+        from repro.profiler import build_run_profile
+
+        return build_run_profile(self.tracer, label=label or self.spec.name)
 
     def run_job(
         self, job: JobSpec, *, register_dataset: Optional[bool] = None

@@ -92,9 +92,11 @@ class _JobState:
         "num_maps",
         "num_reducers",
         "maps_done",
+        "maps_enqueued_at",
         "reduces_copied",
         "reduces_done",
         "reduces_enqueued",
+        "reduces_enqueued_at",
         "map_phase_waiters",
         "map_running",
         "map_done_flags",
@@ -124,6 +126,10 @@ class _JobState:
         self.reduces_copied = 0
         self.reduces_done = 0
         self.reduces_enqueued = False
+        #: When the job's map / reduce tasks entered the FIFO queues
+        #: (NaN until they do) — the profiler's queue-wait anchors.
+        self.maps_enqueued_at = math.nan
+        self.reduces_enqueued_at = math.nan
         #: Reducers holding a slot, parked until the map phase completes.
         self.map_phase_waiters: List[Callable[[], None]] = []
         #: Running (not yet won) map tasks: index -> first start time.
@@ -221,6 +227,21 @@ class JobTracker:
         self.jobs_failed = 0
         self.nodes_blacklisted = 0
         self.nodes_crashed = 0
+        tracer = sim.tracer
+        if tracer is not None:
+            # Static cluster facts the profiler needs to scale slot
+            # timelines and map clusters to their storage systems.
+            tracer.instant(
+                "cluster_info",
+                "meta",
+                track=self.name,
+                args={
+                    "nodes": cluster.count,
+                    "map_slots": cluster.total_map_slots,
+                    "reduce_slots": cluster.total_reduce_slots,
+                    "storage": storage.name,
+                },
+            )
 
     # -- submission -------------------------------------------------------
 
@@ -267,6 +288,7 @@ class JobTracker:
             self._arm_speculation_tick()
 
     def _enqueue_maps(self, state: _JobState) -> None:
+        state.maps_enqueued_at = self.sim.now
         for idx in range(state.num_maps):
             self._map_queue.push(state, idx)
         if self._slowstart_threshold(state) == 0:
@@ -533,6 +555,10 @@ class JobTracker:
             state.map_running[idx] = self.sim.now
         attempt = _Attempt(state, idx, node, "map", speculative)
         self._live_attempts[node.index].append(attempt)
+        # Stage timestamps for the profiler's bucket attribution.  Only
+        # collected on traced runs; recording them is pure local state,
+        # so the simulated event sequence is identical either way.
+        marks = {} if self.sim.tracer is not None else None
         jitter = state.jitter(self.config.task_jitter)
         read_bytes = spec.input_bytes * spec.input_read_fraction / state.num_maps
         nominal_bytes = spec.input_bytes / state.num_maps
@@ -550,17 +576,29 @@ class JobTracker:
             self._account()
             tracer = self.sim.tracer
             if tracer is not None:
+                args = {
+                    "job_id": spec.job_id,
+                    "index": idx,
+                    "speculative": speculative,
+                    "queued_at": state.maps_enqueued_at,
+                    "writes_output": spec.map_writes_output,
+                }
+                if marks is not None:
+                    now = self.sim.now
+                    read_start = marks.get("read_start", task_start)
+                    cpu_start = marks.get("cpu_start", read_start)
+                    store_start = marks.get("store_start", now)
+                    args["overhead"] = read_start - task_start
+                    args["read"] = cpu_start - read_start
+                    args["cpu"] = store_start - cpu_start
+                    args["store"] = now - store_start
                 tracer.complete(
                     "map_task",
                     "task",
                     task_start,
                     track=self.name,
                     lane=node.index,
-                    args={
-                        "job_id": spec.job_id,
-                        "index": idx,
-                        "speculative": speculative,
-                    },
+                    args=args,
                 )
             metrics = self.sim.metrics
             if metrics is not None:
@@ -602,6 +640,8 @@ class JobTracker:
         def write_output() -> None:
             if attempt.aborted:
                 return
+            if marks is not None:
+                marks["store_start"] = self.sim.now
             if spec.map_writes_output:
                 # TestDFSIO-style: each map writes its slice of the output
                 # file directly to the main storage system.
@@ -624,11 +664,15 @@ class JobTracker:
         def run_cpu() -> None:
             if attempt.aborted:
                 return
+            if marks is not None:
+                marks["cpu_start"] = self.sim.now
             self.sim.schedule(cpu_seconds, write_output)
 
         def read_input() -> None:
             if attempt.aborted:
                 return
+            if marks is not None:
+                marks["read_start"] = self.sim.now
             if read_bytes > 0 and self.storage.data_lost:
                 # Hard data loss (all replicas gone / OFS shrunk below
                 # its resident data): the read fails, charging the
@@ -666,6 +710,7 @@ class JobTracker:
 
     def _enqueue_reduces(self, state: _JobState) -> None:
         state.reduces_enqueued = True
+        state.reduces_enqueued_at = self.sim.now
         for idx in range(state.num_reducers):
             self._reduce_queue.push(state, idx)
         self._dispatch_reduces()
@@ -677,6 +722,8 @@ class JobTracker:
         node.task_started()
         attempt = _Attempt(state, idx, node, "reduce")
         self._live_attempts[node.index].append(attempt)
+        # Stage timestamps for bucket attribution (traced runs only).
+        marks = {} if self.sim.tracer is not None else None
         jitter = state.jitter(self.config.task_jitter)
         share = spec.shuffle_bytes / state.num_reducers
         store_bytes = reduce_shuffle_store_bytes(
@@ -697,13 +744,30 @@ class JobTracker:
             tracer = self.sim.tracer
             metrics = self.sim.metrics
             if tracer is not None:
+                args = {
+                    "job_id": spec.job_id,
+                    "index": idx,
+                    "queued_at": state.reduces_enqueued_at,
+                    "writes_output": not spec.map_writes_output,
+                }
+                if marks is not None:
+                    now = self.sim.now
+                    begin_t = marks.get("begin", task_start)
+                    copy_start = marks.get("copy_start", begin_t)
+                    copy_end = marks.get("copy_end", copy_start)
+                    write_start = marks.get("write_start", now)
+                    args["overhead"] = begin_t - task_start
+                    args["wait"] = copy_start - begin_t
+                    args["copy"] = copy_end - copy_start
+                    args["cpu"] = write_start - copy_end
+                    args["write"] = now - write_start
                 tracer.complete(
                     "reduce_task",
                     "task",
                     task_start,
                     track=self.name,
                     lane=node.index,
-                    args={"job_id": spec.job_id, "index": idx},
+                    args=args,
                 )
             if metrics is not None:
                 metrics.counter(f"{self.name}.reduce_tasks_finished").inc()
@@ -729,7 +793,10 @@ class JobTracker:
                         track=self.name,
                         lane=-1,
                         args={
+                            "job_id": spec.job_id,
                             "app": spec.app,
+                            "storage": self.storage.name,
+                            "input_bytes": spec.input_bytes,
                             "map_phase": result.map_phase,
                             "shuffle_phase": result.shuffle_phase,
                             "reduce_phase": result.reduce_phase,
@@ -756,6 +823,8 @@ class JobTracker:
         def write_output() -> None:
             if attempt.aborted:
                 return
+            if marks is not None:
+                marks["write_start"] = self.sim.now
             if spec.map_writes_output:
                 # Output already written by the maps; the reducer only
                 # aggregates statistics (TestDFSIO's single reducer).
@@ -778,6 +847,8 @@ class JobTracker:
         def copied() -> None:
             if attempt.aborted:
                 return
+            if marks is not None:
+                marks["copy_end"] = self.sim.now
             attempt.copied = True
             state.reduces_copied += 1
             if state.reduces_copied == state.num_reducers:
@@ -787,6 +858,8 @@ class JobTracker:
         def copy() -> None:
             if attempt.aborted:
                 return
+            if marks is not None:
+                marks["copy_start"] = self.sim.now
             tracer = self.sim.tracer
             if tracer is None:
                 node.shuffle_store.transfer(store_bytes, copied, cap=node.nic_share())
@@ -817,6 +890,8 @@ class JobTracker:
         def begin() -> None:
             if attempt.aborted:
                 return
+            if marks is not None:
+                marks["begin"] = self.sim.now
             if state.maps_done == state.num_maps:
                 copy()
             else:
@@ -859,7 +934,10 @@ class JobTracker:
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.instant(
-                "node_crash", "fault", track=self.name, args={"node": index}
+                "node_crash",
+                "fault",
+                track="faults",
+                args={"cluster": self.name, "node": index},
             )
         metrics = self.sim.metrics
         if metrics is not None:
@@ -907,7 +985,10 @@ class JobTracker:
         tracer = self.sim.tracer
         if tracer is not None:
             tracer.instant(
-                "node_recover", "fault", track=self.name, args={"node": index}
+                "node_recover",
+                "fault",
+                track="faults",
+                args={"cluster": self.name, "node": index},
             )
         if self.config.speculative_execution and self._active_jobs > 0:
             self._arm_speculation_tick()
@@ -1024,8 +1105,12 @@ class JobTracker:
                 tracer.instant(
                     "node_blacklisted",
                     "fault",
-                    track=self.name,
-                    args={"node": i, "failures": self._node_failures[i]},
+                    track="faults",
+                    args={
+                        "cluster": self.name,
+                        "node": i,
+                        "failures": self._node_failures[i],
+                    },
                 )
             metrics = self.sim.metrics
             if metrics is not None:

@@ -1,0 +1,87 @@
+"""Offline critical-path and bottleneck analysis over recorded telemetry.
+
+The paper's method is measurement-driven: its cross-point claims rest
+on *why* each architecture wins — which phase, which resource.  This
+package answers those questions for simulated runs, strictly post-hoc
+over a :class:`~repro.telemetry.tracer.Tracer`'s recorded events (or a
+previously exported Chrome trace), so profiling can never perturb a
+simulation: a profiled run is byte-identical to a bare run.
+
+Quickstart::
+
+    from repro import Deployment, hybrid, WORDCOUNT
+    from repro.telemetry import Tracer
+    from repro.profiler import profile_run, write_dashboard
+
+    tracer = Tracer()
+    deployment = Deployment(hybrid(), tracer=tracer)
+    deployment.run_job(WORDCOUNT.make_job("8GB"), register_dataset=True)
+    profile = profile_run(tracer, label="Hybrid")
+    print(profile.buckets)                  # where the time went
+    write_dashboard([profile], "run.html")  # self-contained HTML
+
+Or from the command line: ``repro profile --jobs 200 --out run.html``
+(add ``--ab`` for a Hybrid-vs-THadoop side-by-side).  See
+``docs/PROFILER.md`` for the algorithms and bucket definitions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.profiler.attribution import BUCKETS, dominant_bucket, empty_buckets
+from repro.profiler.criticalpath import PathSegment, critical_path, path_buckets
+from repro.profiler.dashboard import render_dashboard, write_dashboard
+from repro.profiler.model import (
+    ClusterProfile,
+    EventSource,
+    JobProfile,
+    RoutingDecision,
+    RunProfile,
+    build_run_profile,
+)
+from repro.profiler.timelines import (
+    BandwidthSeries,
+    SlotSeries,
+    bandwidth_series,
+    slot_series,
+)
+
+
+def profile_run(source: EventSource, label: str = "run") -> RunProfile:
+    """Profile a recorded run: a :class:`~repro.telemetry.tracer.Tracer`
+    or any iterable of :class:`~repro.telemetry.tracer.TraceEvent`\\ s
+    (e.g. from :func:`repro.telemetry.read_chrome_trace`)."""
+    return build_run_profile(source, label=label)
+
+
+def profile_trace_file(path: Union[str, Path], label: str = "") -> RunProfile:
+    """Profile a previously exported Chrome trace JSON file."""
+    from repro.telemetry.export import read_chrome_trace
+
+    events = read_chrome_trace(path)
+    return build_run_profile(events, label=label or Path(path).stem)
+
+
+__all__ = [
+    "BUCKETS",
+    "BandwidthSeries",
+    "ClusterProfile",
+    "JobProfile",
+    "PathSegment",
+    "RoutingDecision",
+    "RunProfile",
+    "SlotSeries",
+    "bandwidth_series",
+    "build_run_profile",
+    "critical_path",
+    "dominant_bucket",
+    "empty_buckets",
+    "path_buckets",
+    "profile_run",
+    "profile_trace_file",
+    "render_dashboard",
+    "slot_series",
+    "write_dashboard",
+]

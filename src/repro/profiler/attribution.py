@@ -1,0 +1,150 @@
+"""Bucket attribution: where a job's wall-clock actually went.
+
+The paper's design method rests on phase breakdowns — map vs shuffle vs
+reduce, CPU-bound vs disk-bound vs network-bound — so the profiler
+decomposes every critical-path segment into a small, fixed set of
+resource buckets:
+
+``cpu``
+    Map and reduce function execution (the task's compute stage).
+``disk``
+    Local-disk I/O: HDFS reads/writes (locality scheduling keeps them
+    node-local in the model).
+``network``
+    Remote-storage I/O: OrangeFS reads/writes cross the fabric, so
+    their service time is network-side by construction.
+``shuffle-wait``
+    Everything between map output and reduce input: map-side spill to
+    the shuffle store, the reduce-side copy tail, and a slowstart
+    reducer's wait for the map phase to finish.
+``queue-wait``
+    Gaps on the critical path where no task of the job was running —
+    tasks sitting in the FIFO queues behind other work, plus job setup.
+``other``
+    Task launch overheads and any residual the stage marks don't cover.
+
+Buckets for one job always sum to its makespan exactly: the critical
+path partitions ``[submit, end]`` into segments, and each segment's
+clip is fully distributed (unattributed remainder goes to ``other``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+#: Fixed bucket order (display order and deterministic tie-break order).
+BUCKETS = ("cpu", "disk", "network", "shuffle-wait", "queue-wait", "other")
+
+#: Stage order inside a map task span (matches the jobtracker lifecycle).
+MAP_STAGES = ("overhead", "read", "cpu", "store")
+
+#: Stage order inside a reduce task span.
+REDUCE_STAGES = ("overhead", "wait", "copy", "cpu", "write")
+
+
+def empty_buckets() -> Dict[str, float]:
+    return {bucket: 0.0 for bucket in BUCKETS}
+
+
+def add_buckets(into: Dict[str, float], other: Mapping[str, float]) -> None:
+    for bucket, value in other.items():
+        into[bucket] = into.get(bucket, 0.0) + value
+
+
+def dominant_bucket(buckets: Mapping[str, float]) -> str:
+    """The bucket holding the most time (first in BUCKETS order on ties)."""
+    best = BUCKETS[0]
+    best_value = buckets.get(best, 0.0)
+    for bucket in BUCKETS[1:]:
+        value = buckets.get(bucket, 0.0)
+        if value > best_value:
+            best, best_value = bucket, value
+    return best
+
+
+def storage_bucket(storage: Optional[str]) -> str:
+    """Which resource a storage access burns: HDFS reads node-local
+    disks; the remote file system crosses the network fabric."""
+    if not storage:
+        return "other"
+    return "disk" if storage.upper().startswith("HDFS") else "network"
+
+
+def stage_bucket(
+    kind: str, stage: str, storage: Optional[str], writes_output: bool
+) -> str:
+    """Map one lifecycle stage of a task to its bucket."""
+    if stage == "cpu":
+        return "cpu"
+    if stage == "overhead":
+        return "other"
+    if kind == "map":
+        if stage == "read":
+            return storage_bucket(storage)
+        if stage == "store":
+            # TestDFSIO-style maps write job output to the storage
+            # system; ordinary maps spill to the shuffle store.
+            return storage_bucket(storage) if writes_output else "shuffle-wait"
+    else:
+        if stage in ("wait", "copy"):
+            return "shuffle-wait"
+        if stage == "write":
+            return storage_bucket(storage)
+    return "other"
+
+
+def split_segment(
+    span_name: str,
+    span_ts: float,
+    args: Optional[Dict[str, Any]],
+    seg_start: float,
+    seg_end: float,
+    storage: Optional[str],
+) -> Dict[str, float]:
+    """Distribute the ``[seg_start, seg_end]`` clip of a task span over
+    buckets using the stage durations recorded in the span's args.
+
+    Stages are laid out back-to-back from the span's start (that is how
+    the jobtracker executes them); each stage's overlap with the clip
+    goes to its bucket, and whatever the marks don't cover goes to
+    ``other`` — so the result always sums to ``seg_end - seg_start``.
+    Spans without stage marks (e.g. traces recorded before they were
+    added) degrade to a single ``other`` charge.
+    """
+    out = empty_buckets()
+    total = seg_end - seg_start
+    if total <= 0:
+        return out
+    kind = "map" if span_name == "map_task" else "reduce"
+    stages = MAP_STAGES if kind == "map" else REDUCE_STAGES
+    payload = args or {}
+    writes_output = bool(payload.get("writes_output"))
+    cursor = span_ts
+    for stage in stages:
+        try:
+            duration = float(payload.get(stage, 0.0) or 0.0)
+        except (TypeError, ValueError):
+            duration = 0.0
+        if duration > 0:
+            lo = max(cursor, seg_start)
+            hi = min(cursor + duration, seg_end)
+            if hi > lo:
+                out[stage_bucket(kind, stage, storage, writes_output)] += hi - lo
+            cursor += duration
+    covered = sum(out.values())
+    if total - covered > 0:
+        out["other"] += total - covered
+    return out
+
+
+__all__ = [
+    "BUCKETS",
+    "MAP_STAGES",
+    "REDUCE_STAGES",
+    "add_buckets",
+    "dominant_bucket",
+    "empty_buckets",
+    "split_segment",
+    "stage_bucket",
+    "storage_bucket",
+]

@@ -1,0 +1,129 @@
+"""Critical-path extraction over a job's recorded task spans.
+
+The chain that determined a job's makespan is recovered by a backward
+sweep from the job's end: the last thing to finish is on the path by
+definition; before its start, whatever finished latest (no later than
+that start) bounded when it could run; and so on back to submission.
+Any gap between two consecutive path elements is time the job spent
+with none of its tasks running — queue wait (FIFO backlog, setup, or a
+slowstart barrier with no slot held).
+
+The sweep telescopes: the produced segments partition ``[submit, end]``
+with no gaps and no overlaps, so the sum of segment durations equals
+the job's makespan *by construction* — the invariant the tests pin.
+
+Per-span **slack** is reported against the span's phase barrier: a map
+can finish up to ``last_map_end`` without delaying the shuffle, a
+reduce up to the job's end.  The path's final map has zero slack — it
+*is* the map-phase barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.profiler.attribution import empty_buckets, split_segment
+from repro.telemetry.tracer import TraceEvent
+
+#: Float-comparison tolerance for timestamps (seconds).
+EPS = 1e-9
+
+
+@dataclass
+class PathSegment:
+    """One element of a job's critical path.
+
+    ``kind`` is ``"map"``/``"reduce"`` for task segments and ``"wait"``
+    for gaps; ``start``/``end`` are the segment's clip of the timeline
+    (a task segment may be clipped when a later path element started
+    mid-span).  ``buckets`` is the segment's time fully distributed
+    over attribution buckets (sums to ``end - start``).
+    """
+
+    kind: str
+    start: float
+    end: float
+    lane: int = -1
+    task_index: int = -1
+    slack: float = 0.0
+    buckets: Dict[str, float] = field(default_factory=empty_buckets)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _wait_segment(start: float, end: float) -> PathSegment:
+    segment = PathSegment(kind="wait", start=start, end=end)
+    segment.buckets["queue-wait"] = end - start
+    return segment
+
+
+def critical_path(
+    submit: float,
+    end: float,
+    task_spans: Sequence[TraceEvent],
+    storage: str = "",
+) -> List[PathSegment]:
+    """The critical path of one job as ordered :class:`PathSegment`\\ s.
+
+    ``task_spans`` are the job's ``map_task``/``reduce_task`` complete
+    spans (speculative losers included — one that finished after the
+    job's end simply never qualifies for the sweep).
+    """
+    if end - submit <= EPS:
+        return []
+    spans = sorted(task_spans, key=lambda s: (s.end, s.ts, s.lane))
+    last_map_end = max(
+        (s.end for s in spans if s.name == "map_task" and s.end <= end + EPS),
+        default=end,
+    )
+    segments: List[PathSegment] = []
+    cursor = end
+    i = len(spans) - 1
+    while cursor - submit > EPS:
+        while i >= 0 and spans[i].end > cursor + EPS:
+            i -= 1
+        if i < 0:
+            segments.append(_wait_segment(submit, cursor))
+            cursor = submit
+            break
+        span = spans[i]
+        i -= 1
+        seg_end = min(span.end, cursor)
+        if seg_end < cursor - EPS:
+            segments.append(_wait_segment(seg_end, cursor))
+        seg_start = max(min(span.ts, seg_end), submit)
+        if seg_end - seg_start > 0:
+            kind = "map" if span.name == "map_task" else "reduce"
+            barrier = last_map_end if kind == "map" else end
+            args = span.args or {}
+            segments.append(
+                PathSegment(
+                    kind=kind,
+                    start=seg_start,
+                    end=seg_end,
+                    lane=span.lane,
+                    task_index=int(args.get("index", -1)),
+                    slack=max(0.0, barrier - span.end),
+                    buckets=split_segment(
+                        span.name, span.ts, span.args, seg_start, seg_end, storage
+                    ),
+                )
+            )
+        cursor = seg_start
+    segments.reverse()
+    return segments
+
+
+def path_buckets(segments: Sequence[PathSegment]) -> Dict[str, float]:
+    """Sum of all segment buckets (equals the job makespan)."""
+    out = empty_buckets()
+    for segment in segments:
+        for bucket, value in segment.buckets.items():
+            out[bucket] = out.get(bucket, 0.0) + value
+    return out
+
+
+__all__ = ["EPS", "PathSegment", "critical_path", "path_buckets"]

@@ -1,0 +1,549 @@
+"""Self-contained HTML dashboard for one run or an A/B pair of runs.
+
+Stdlib only: the emitted document embeds all CSS and renders every
+chart as inline SVG — no script tags, no external fetches, no fonts
+beyond the system sans.  Open the file from disk and it just works;
+CI asserts there is not a single ``http://``/``https://`` reference.
+
+Layout: one column per :class:`~repro.profiler.model.RunProfile`
+(A/B comparisons render side by side), each column stacking summary
+tiles, bucket-attribution bars, slot-occupancy and storage-bandwidth
+timelines (with fault annotations), the slowest job's critical path,
+the routing-decision audit and the fault log.  Identity is never
+color-alone: every chart has a legend and every number also appears in
+a table, and all text wears the text tokens rather than series colors.
+
+Rendering is deterministic: fixed float formatting, sorted iteration,
+no timestamps — the same profile always yields byte-identical HTML
+(pinned by ``tests/test_profiler.py``).
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.profiler.attribution import BUCKETS
+from repro.profiler.model import JobProfile, RunProfile
+
+#: Bucket -> CSS custom property (categorical slots in validated order;
+#: "other" deliberately wears the muted ink, not a series slot).
+_BUCKET_VARS = {
+    "cpu": "--series-1",
+    "disk": "--series-2",
+    "network": "--series-3",
+    "shuffle-wait": "--series-4",
+    "queue-wait": "--series-5",
+    "other": "--muted",
+}
+
+_CSS = """
+:root {
+  color-scheme: light dark;
+}
+body {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  font-size: 14px; line-height: 1.45;
+}
+.viz-root {
+  --page:           #f9f9f7;
+  --surface-1:      #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --muted:          #898781;
+  --grid:           #e1e0d9;
+  --baseline:       #c3c2b7;
+  --border:         rgba(11,11,11,0.10);
+  --series-1:       #2a78d6;
+  --series-2:       #eb6834;
+  --series-3:       #1baf7a;
+  --series-4:       #eda100;
+  --series-5:       #e87ba4;
+  --series-6:       #008300;
+  --status-critical:#d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted:          #898781;
+    --grid:           #2c2c2a;
+    --baseline:       #383835;
+    --border:         rgba(255,255,255,0.10);
+    --series-1:       #3987e5;
+    --series-2:       #d95926;
+    --series-3:       #199e70;
+    --series-4:       #c98500;
+    --series-5:       #d55181;
+    --series-6:       #008300;
+    --status-critical:#d03b3b;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 24px 0 8px; }
+h3 { font-size: 13px; margin: 16px 0 6px; color: var(--text-secondary); }
+.subtitle { color: var(--text-secondary); margin-bottom: 20px; }
+.runs { display: grid; gap: 24px; align-items: start;
+        grid-template-columns: repeat(auto-fit, minmax(560px, 1fr)); }
+.run { background: var(--surface-1); border: 1px solid var(--border);
+       border-radius: 8px; padding: 16px 20px 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 10px; margin: 8px 0 4px; }
+.tile { border: 1px solid var(--border); border-radius: 6px;
+        padding: 8px 14px; min-width: 96px; }
+.tile .v { font-size: 20px; }
+.tile .k { color: var(--text-secondary); font-size: 12px; }
+.legend { display: flex; flex-wrap: wrap; gap: 12px; margin: 6px 0 10px;
+          color: var(--text-secondary); font-size: 12px; }
+.legend .chip { display: inline-block; width: 10px; height: 10px;
+                border-radius: 2px; margin-right: 5px; vertical-align: -1px; }
+.barrow { margin: 6px 0; }
+.barrow .lbl { font-size: 12px; color: var(--text-secondary); margin-bottom: 2px; }
+table { border-collapse: collapse; width: 100%; font-size: 12.5px; }
+th { text-align: left; color: var(--text-secondary); font-weight: 500;
+     border-bottom: 1px solid var(--baseline); padding: 4px 8px 4px 0; }
+td { border-bottom: 1px solid var(--grid); padding: 4px 8px 4px 0;
+     font-variant-numeric: tabular-nums; }
+.note { color: var(--muted); font-size: 12px; margin: 4px 0 0; }
+svg { display: block; }
+svg text { font-family: system-ui, -apple-system, "Segoe UI", sans-serif; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _f(value: float, places: int = 1) -> str:
+    """Fixed-point float (deterministic rendering)."""
+    return f"{value:.{places}f}"
+
+
+def _fmt_secs(value: float) -> str:
+    if value >= 3600:
+        return f"{_f(value / 3600, 2)} h"
+    if value >= 60:
+        return f"{_f(value / 60, 1)} min"
+    return f"{_f(value, 1)} s"
+
+
+def _fmt_bytes(value: float) -> str:
+    for unit, scale in (("GB", 1e9), ("MB", 1e6), ("kB", 1e3)):
+        if value >= scale:
+            return f"{_f(value / scale, 1)} {unit}"
+    return f"{_f(value, 0)} B"
+
+
+def _fmt_rate(value: float) -> str:
+    return f"{_fmt_bytes(value)}/s"
+
+
+def _legend(entries: Sequence[Tuple[str, str]]) -> str:
+    chips = "".join(
+        f'<span><span class="chip" style="background:var({var})"></span>'
+        f"{_esc(name)}</span>"
+        for name, var in entries
+    )
+    return f'<div class="legend">{chips}</div>'
+
+
+def _bucket_legend() -> str:
+    return _legend([(bucket, _BUCKET_VARS[bucket]) for bucket in BUCKETS])
+
+
+def _stacked_bar(
+    buckets: Dict[str, float], width: int = 520, height: int = 16
+) -> str:
+    """Horizontal 100%-stacked bar of one bucket dict (2px gaps)."""
+    total = sum(buckets.values())
+    if total <= 0:
+        return ""
+    parts: List[str] = []
+    x = 0.0
+    for bucket in BUCKETS:
+        share = buckets.get(bucket, 0.0) / total
+        px = share * width
+        if px >= 1.0:
+            parts.append(
+                f'<rect x="{_f(x, 2)}" y="0" width="{_f(max(px - 2, 1), 2)}" '
+                f'height="{height}" rx="2" fill="var({_BUCKET_VARS[bucket]})">'
+                f"<title>{_esc(bucket)}: {_fmt_secs(buckets.get(bucket, 0.0))} "
+                f"({_f(share * 100, 1)}%)</title></rect>"
+            )
+        x += px
+    return (
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}" '
+        f'role="img">{"".join(parts)}</svg>'
+    )
+
+
+def _line_chart(
+    series: Sequence[Tuple[str, str, Sequence[Tuple[float, float]]]],
+    x_max: float,
+    y_label: str,
+    vlines: Sequence[Tuple[float, str]] = (),
+    width: int = 520,
+    height: int = 110,
+) -> str:
+    """Multi-series line chart: ``(name, css_var, points)`` triples,
+    shared x in seconds, auto y scale.  ``vlines`` are fault markers."""
+    pad_l, pad_r, pad_t, pad_b = 6, 6, 14, 16
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    y_max = 0.0
+    for _, _, points in series:
+        for _, y in points:
+            y_max = max(y_max, y)
+    if x_max <= 0 or y_max <= 0:
+        return '<p class="note">no samples recorded</p>'
+
+    def sx(x: float) -> str:
+        return _f(pad_l + plot_w * min(max(x / x_max, 0.0), 1.0), 2)
+
+    def sy(y: float) -> str:
+        return _f(pad_t + plot_h * (1.0 - min(max(y / y_max, 0.0), 1.0)), 2)
+
+    parts: List[str] = [
+        f'<rect x="0" y="0" width="{width}" height="{height}" '
+        f'fill="var(--surface-1)"/>'
+    ]
+    for frac in (0.5, 1.0):
+        y = sy(y_max * frac)
+        parts.append(
+            f'<line x1="{pad_l}" y1="{y}" x2="{width - pad_r}" y2="{y}" '
+            f'stroke="var(--grid)" stroke-width="1"/>'
+        )
+    parts.append(
+        f'<line x1="{pad_l}" y1="{sy(0)}" x2="{width - pad_r}" y2="{sy(0)}" '
+        f'stroke="var(--baseline)" stroke-width="1"/>'
+    )
+    for ts, name in vlines:
+        if 0 <= ts <= x_max:
+            x = sx(ts)
+            parts.append(
+                f'<line x1="{x}" y1="{pad_t}" x2="{x}" y2="{sy(0)}" '
+                f'stroke="var(--status-critical)" stroke-width="1" '
+                f'stroke-dasharray="3 3"><title>{_esc(name)} at '
+                f"{_fmt_secs(ts)}</title></line>"
+            )
+    for name, var, points in series:
+        if not points:
+            continue
+        coords = " ".join(f"{sx(x)},{sy(y)}" for x, y in points)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" '
+            f'stroke="var({var})" stroke-width="2" '
+            f'stroke-linejoin="round"><title>{_esc(name)}</title></polyline>'
+        )
+    parts.append(
+        f'<text x="{pad_l}" y="10" font-size="10" '
+        f'fill="var(--muted)">{_esc(y_label)} (max {_esc(_axis_max(y_label, y_max))})</text>'
+    )
+    parts.append(
+        f'<text x="{width - pad_r}" y="{height - 4}" font-size="10" '
+        f'text-anchor="end" fill="var(--muted)">{_fmt_secs(x_max)}</text>'
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">{"".join(parts)}</svg>'
+    )
+
+
+def _axis_max(y_label: str, y_max: float) -> str:
+    if "bandwidth" in y_label:
+        return _fmt_rate(y_max)
+    return _f(y_max, 0)
+
+
+def _step_points(
+    points: Sequence[Tuple[float, float]], x_max: float
+) -> List[Tuple[float, float]]:
+    """Sample-and-hold rendering of a counter series."""
+    out: List[Tuple[float, float]] = []
+    for x, y in points:
+        if out:
+            out.append((x, out[-1][1]))
+        out.append((x, y))
+    if out:
+        out.append((x_max, out[-1][1]))
+    return out
+
+
+def _tiles(run: RunProfile) -> str:
+    tiles = [
+        ("jobs profiled", str(len(run.jobs))),
+        ("jobs failed", str(run.jobs_failed)),
+        ("horizon", _fmt_secs(run.horizon)),
+        ("dominant bucket", run.dominant_bucket if run.jobs else "—"),
+        ("faults", str(len(run.faults))),
+    ]
+    body = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="k">{_esc(k)}</div></div>'
+        for k, v in tiles
+    )
+    return f'<div class="tiles">{body}</div>'
+
+
+def _attribution_section(run: RunProfile) -> str:
+    rows = [
+        f'<div class="barrow"><div class="lbl">all jobs · '
+        f"{_fmt_secs(run.total_attributed)} attributed</div>"
+        f"{_stacked_bar(run.buckets)}</div>"
+    ]
+    for name in sorted(run.clusters):
+        cluster = run.clusters[name]
+        if cluster.jobs == 0:
+            continue
+        rows.append(
+            f'<div class="barrow"><div class="lbl">{_esc(name)} · '
+            f"{cluster.jobs} jobs · storage {_esc(cluster.storage or '?')}"
+            f"</div>{_stacked_bar(cluster.buckets)}</div>"
+        )
+    return (
+        "<h2>Bottleneck attribution</h2>"
+        + _bucket_legend()
+        + "".join(rows)
+    )
+
+
+def _timeline_section(run: RunProfile) -> str:
+    vlines = [(fault["ts"], fault["name"]) for fault in run.faults]
+    blocks: List[str] = ["<h2>Utilization timelines</h2>"]
+    if vlines:
+        blocks.append(
+            '<p class="note">dashed red lines mark fault events</p>'
+        )
+    for name in sorted(run.clusters):
+        cluster = run.clusters[name]
+        points = cluster.slots.points
+        if not points:
+            continue
+        maps = _step_points([(p[0], p[3]) for p in points], run.horizon)
+        reduces = _step_points([(p[0], p[4]) for p in points], run.horizon)
+        queued = _step_points([(p[0], p[1]) for p in points], run.horizon)
+        blocks.append(f"<h3>{_esc(name)} slot occupancy</h3>")
+        blocks.append(
+            _legend(
+                [
+                    ("busy map slots", "--series-1"),
+                    ("busy reduce slots", "--series-2"),
+                    ("queued maps", "--series-5"),
+                ]
+            )
+        )
+        blocks.append(
+            _line_chart(
+                [
+                    ("busy map slots", "--series-1", maps),
+                    ("busy reduce slots", "--series-2", reduces),
+                    ("queued maps", "--series-5", queued),
+                ],
+                run.horizon,
+                "slots / tasks",
+                vlines,
+            )
+        )
+    for name in sorted(run.bandwidth):
+        series = run.bandwidth[name]
+        xs = [series.bin_width * (i + 0.5) for i in range(len(series.read_rates))]
+        blocks.append(f"<h3>{_esc(name)} bandwidth</h3>")
+        blocks.append(
+            _legend([("read", "--series-1"), ("write", "--series-2")])
+        )
+        blocks.append(
+            _line_chart(
+                [
+                    ("read", "--series-1", list(zip(xs, series.read_rates))),
+                    ("write", "--series-2", list(zip(xs, series.write_rates))),
+                ],
+                run.horizon,
+                "bandwidth",
+                vlines,
+            )
+        )
+    return "".join(blocks)
+
+
+def _jobs_section(run: RunProfile, top: int = 8) -> str:
+    if not run.jobs:
+        return "<h2>Jobs</h2><p class='note'>no completed jobs recorded</p>"
+    slowest = sorted(run.jobs, key=lambda j: (-j.makespan, j.job_id))[:top]
+    rows = []
+    for job in slowest:
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(job.job_id)}</td><td>{_esc(job.app)}</td>"
+            f"<td>{_esc(job.cluster)}</td>"
+            f"<td>{_fmt_bytes(job.input_bytes)}</td>"
+            f"<td>{_fmt_secs(job.makespan)}</td>"
+            f"<td>{_esc(job.dominant_bucket)}</td>"
+            f"<td>{_stacked_bar(job.buckets, width=160, height=10)}</td>"
+            "</tr>"
+        )
+    note = (
+        f'<p class="note">showing the {len(slowest)} slowest of '
+        f"{len(run.jobs)} jobs</p>"
+        if len(run.jobs) > len(slowest)
+        else ""
+    )
+    return (
+        f"<h2>Slowest jobs</h2><table><thead><tr>"
+        f"<th>job</th><th>app</th><th>cluster</th><th>input</th>"
+        f"<th>makespan</th><th>dominant</th><th>breakdown</th>"
+        f'</tr></thead><tbody>{"".join(rows)}</tbody></table>{note}'
+    )
+
+
+def _critical_path_section(run: RunProfile, max_rows: int = 14) -> str:
+    if not run.jobs:
+        return ""
+    job = max(run.jobs, key=lambda j: (j.makespan, j.job_id))
+    rows = []
+    segments = job.path
+    shown = segments[:max_rows]
+    for segment in shown:
+        where = "—" if segment.kind == "wait" else f"node {segment.lane}"
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(segment.kind)}</td>"
+            f"<td>{_f(segment.start - job.submit_time, 2)} s</td>"
+            f"<td>{_f(segment.duration, 2)} s</td>"
+            f"<td>{_esc(where)}</td>"
+            f"<td>{_f(segment.slack, 2)} s</td>"
+            f"<td>{_stacked_bar(segment.buckets, width=160, height=10)}</td>"
+            "</tr>"
+        )
+    note = (
+        f'<p class="note">showing {len(shown)} of {len(segments)} '
+        f"segments</p>"
+        if len(segments) > len(shown)
+        else ""
+    )
+    return (
+        f"<h2>Critical path — {_esc(job.job_id)} "
+        f"({_fmt_secs(job.makespan)})</h2>"
+        f"<table><thead><tr><th>kind</th><th>offset</th><th>duration</th>"
+        f"<th>where</th><th>slack</th><th>buckets</th></tr></thead>"
+        f'<tbody>{"".join(rows)}</tbody></table>{note}'
+    )
+
+
+def _routing_section(run: RunProfile, max_rows: int = 12) -> str:
+    if not run.routing:
+        return ""
+    rows = []
+    disagreements = sum(
+        1 for d in run.routing if d.suggested and d.suggested != d.cluster
+    )
+    shown = run.routing[:max_rows]
+    for decision in shown:
+        flag = (
+            " ⚠" if decision.suggested and decision.suggested != decision.cluster
+            else ""
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{_esc(decision.job_id)}</td>"
+            f"<td>{_esc(decision.decision)}</td>"
+            f"<td>{_esc(decision.cluster or '—')}</td>"
+            f"<td>{_fmt_bytes(decision.input_bytes)}</td>"
+            f"<td>{_esc(decision.dominant_bucket or '—')}</td>"
+            f"<td>{_f(decision.queue_share * 100, 1)}%</td>"
+            f"<td>{_esc(decision.suggested or '—')}{flag}</td>"
+            "</tr>"
+        )
+    note = (
+        f'<p class="note">showing {len(shown)} of {len(run.routing)} '
+        f"decisions · {disagreements} where the breakdown suggests the "
+        f"other cluster (queue-wait &gt; 50% of makespan — a load "
+        f"heuristic, not ground truth)</p>"
+    )
+    return (
+        f"<h2>Routing audit (Algorithm 1)</h2>"
+        f"<table><thead><tr><th>job</th><th>decision</th><th>ran on</th>"
+        f"<th>input</th><th>dominant</th><th>queue share</th>"
+        f"<th>breakdown suggests</th></tr></thead>"
+        f'<tbody>{"".join(rows)}</tbody></table>{note}'
+    )
+
+
+def _faults_section(run: RunProfile, max_rows: int = 12) -> str:
+    if not run.faults:
+        return ""
+    rows = []
+    for fault in run.faults[:max_rows]:
+        detail = ", ".join(
+            f"{k}={v}" for k, v in sorted(fault["args"].items())
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{_fmt_secs(fault['ts'])}</td>"
+            f"<td>{_esc(fault['name'])}</td>"
+            f"<td>{_esc(detail)}</td>"
+            "</tr>"
+        )
+    note = (
+        f'<p class="note">showing {max_rows} of {len(run.faults)} fault '
+        f"events</p>"
+        if len(run.faults) > max_rows
+        else ""
+    )
+    return (
+        f"<h2>Fault events</h2><table><thead><tr><th>time</th>"
+        f"<th>event</th><th>detail</th></tr></thead>"
+        f'<tbody>{"".join(rows)}</tbody></table>{note}'
+    )
+
+
+def _run_column(run: RunProfile) -> str:
+    return (
+        f'<section class="run"><h2 style="margin-top:0">{_esc(run.label)}'
+        f"</h2>"
+        + _tiles(run)
+        + _attribution_section(run)
+        + _timeline_section(run)
+        + _jobs_section(run)
+        + _critical_path_section(run)
+        + _routing_section(run)
+        + _faults_section(run)
+        + "</section>"
+    )
+
+
+def render_dashboard(
+    profiles: Sequence[RunProfile], title: str = "repro run profile"
+) -> str:
+    """The full HTML document for one or more run profiles."""
+    columns = "".join(_run_column(run) for run in profiles)
+    labels = " vs ".join(_esc(run.label) for run in profiles)
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style>\n"
+        '</head><body class="viz-root">\n'
+        f"<h1>{_esc(title)}</h1>\n"
+        f'<div class="subtitle">{labels} · critical-path &amp; bottleneck '
+        f"attribution · generated offline from recorded telemetry</div>\n"
+        f'<div class="runs">{columns}</div>\n'
+        "</body></html>\n"
+    )
+
+
+def write_dashboard(
+    profiles: Sequence[RunProfile],
+    path: Union[str, Path],
+    title: str = "repro run profile",
+) -> Path:
+    """Render and write the dashboard; returns the written path."""
+    target = Path(path)
+    target.write_text(render_dashboard(profiles, title=title))
+    return target
+
+
+__all__ = ["render_dashboard", "write_dashboard"]

@@ -1,0 +1,305 @@
+"""Profile data model: turn a recorded event stream into structured facts.
+
+:func:`build_run_profile` is the single entry point — it walks the
+event list once, groups task spans by job, extracts each completed
+job's critical path, attributes its makespan to resource buckets, and
+aggregates per-cluster and run-level views, plus the routing-decision
+audit and fault annotations the dashboard renders.
+
+Everything here is strictly post-hoc: the inputs are immutable recorded
+events, iteration orders are deterministic (record order, then sorted
+keys), and no clocks or randomness are consulted — profiling the same
+trace twice yields identical structures, which the tests pin via a
+canonical JSON rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.profiler.attribution import (
+    BUCKETS,
+    add_buckets,
+    dominant_bucket,
+    empty_buckets,
+)
+from repro.profiler.criticalpath import PathSegment, critical_path, path_buckets
+from repro.profiler.timelines import (
+    BandwidthSeries,
+    SlotSeries,
+    bandwidth_series,
+    slot_series,
+)
+from repro.telemetry.tracer import (
+    PHASE_COMPLETE,
+    PHASE_INSTANT,
+    TraceEvent,
+    Tracer,
+)
+
+
+@dataclass
+class JobProfile:
+    """One completed job: identity, phases, critical path and buckets."""
+
+    job_id: str
+    app: str
+    cluster: str
+    storage: str
+    submit_time: float
+    end_time: float
+    input_bytes: float
+    map_phase: float
+    shuffle_phase: float
+    reduce_phase: float
+    num_map_spans: int
+    num_reduce_spans: int
+    path: List[PathSegment] = field(default_factory=list)
+    buckets: Dict[str, float] = field(default_factory=empty_buckets)
+
+    @property
+    def makespan(self) -> float:
+        return self.end_time - self.submit_time
+
+    @property
+    def dominant_bucket(self) -> str:
+        return dominant_bucket(self.buckets)
+
+    def bucket_share(self, bucket: str) -> float:
+        if self.makespan <= 0:
+            return 0.0
+        return self.buckets.get(bucket, 0.0) / self.makespan
+
+
+@dataclass
+class ClusterProfile:
+    """Per-cluster aggregate: static facts plus summed job buckets."""
+
+    name: str
+    nodes: int = 0
+    map_slots: int = 0
+    reduce_slots: int = 0
+    storage: str = ""
+    jobs: int = 0
+    buckets: Dict[str, float] = field(default_factory=empty_buckets)
+    slots: SlotSeries = field(default_factory=lambda: SlotSeries(track=""))
+
+
+@dataclass
+class RoutingDecision:
+    """One Algorithm 1 decision joined with the job's actual breakdown."""
+
+    job_id: str
+    decision: str
+    input_bytes: float
+    shuffle_input_ratio: float
+    cluster: str = ""
+    dominant_bucket: str = ""
+    queue_share: float = 0.0
+    suggested: str = ""
+
+
+@dataclass
+class RunProfile:
+    """Everything the profiler knows about one recorded run."""
+
+    label: str
+    jobs: List[JobProfile] = field(default_factory=list)
+    clusters: Dict[str, ClusterProfile] = field(default_factory=dict)
+    buckets: Dict[str, float] = field(default_factory=empty_buckets)
+    routing: List[RoutingDecision] = field(default_factory=list)
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    bandwidth: Dict[str, BandwidthSeries] = field(default_factory=dict)
+    event_count: int = 0
+    jobs_failed: int = 0
+    horizon: float = 0.0
+
+    @property
+    def total_attributed(self) -> float:
+        return sum(self.buckets.values())
+
+    @property
+    def dominant_bucket(self) -> str:
+        return dominant_bucket(self.buckets)
+
+    def to_summary(self) -> Dict[str, Any]:
+        """Compact JSON-ready digest (what sweep cells cache)."""
+        cluster_buckets = {
+            name: {b: profile.buckets[b] for b in BUCKETS}
+            for name, profile in sorted(self.clusters.items())
+        }
+        return {
+            "label": self.label,
+            "jobs": len(self.jobs),
+            "jobs_failed": self.jobs_failed,
+            "horizon": self.horizon,
+            "dominant_bucket": self.dominant_bucket,
+            "buckets": {b: self.buckets[b] for b in BUCKETS},
+            "cluster_buckets": cluster_buckets,
+            "faults": len(self.faults),
+        }
+
+
+EventSource = Union[Tracer, Iterable[TraceEvent]]
+
+
+def _events_of(source: EventSource) -> List[TraceEvent]:
+    if isinstance(source, Tracer):
+        return list(source.events)
+    return list(source)
+
+
+#: The routing audit flags a job whose critical path was mostly queue
+#: wait: Algorithm 1 sized the job correctly for the chosen cluster's
+#: *hardware*, but the cluster's backlog dominated anyway.
+QUEUE_DOMINATED_SHARE = 0.5
+
+
+def _suggestion(
+    decision: RoutingDecision, cluster_names: List[str]
+) -> str:
+    """Heuristic second opinion for the audit table.
+
+    Purely advisory: when a job spent most of its makespan queued and
+    another cluster existed, the breakdown *suggests* the other member
+    (load balancing would beat the size rule for this job).  Anything
+    else concurs with Algorithm 1.
+    """
+    if (
+        decision.queue_share > QUEUE_DOMINATED_SHARE
+        and decision.cluster
+        and len(cluster_names) == 2
+    ):
+        other = [n for n in cluster_names if n != decision.cluster]
+        if other:
+            return other[0]
+    return decision.cluster or decision.decision
+
+
+def build_run_profile(source: EventSource, label: str = "run") -> RunProfile:
+    """Analyse one recorded run into a :class:`RunProfile`."""
+    events = _events_of(source)
+    run = RunProfile(label=label, event_count=len(events))
+    if events:
+        run.horizon = max(e.end for e in events)
+
+    # -- single pass: group what the later stages need -----------------
+    cluster_info: Dict[str, Dict[str, Any]] = {}
+    task_spans: Dict[str, List[TraceEvent]] = {}
+    job_spans: List[TraceEvent] = []
+    routing_instants: List[TraceEvent] = []
+    actual_cluster: Dict[str, str] = {}
+    for event in events:
+        if event.phase == PHASE_COMPLETE and event.category == "task":
+            if event.name in ("map_task", "reduce_task"):
+                job_id = str((event.args or {}).get("job_id", ""))
+                task_spans.setdefault(job_id, []).append(event)
+        elif event.phase == PHASE_COMPLETE and event.category == "job":
+            job_spans.append(event)
+        elif event.phase == PHASE_INSTANT:
+            if event.category == "fault":
+                run.faults.append(
+                    {
+                        "ts": event.ts,
+                        "name": event.name,
+                        "track": event.track,
+                        "args": dict(event.args or {}),
+                    }
+                )
+            elif event.name == "cluster_info":
+                cluster_info[event.track] = dict(event.args or {})
+            elif event.name == "algorithm1_decision":
+                routing_instants.append(event)
+            elif event.name == "scheduler_decision":
+                args = event.args or {}
+                actual_cluster[str(args.get("job_id", ""))] = str(
+                    args.get("cluster", "")
+                )
+            elif event.name == "job_failed":
+                run.jobs_failed += 1
+
+    # -- per-job profiles ----------------------------------------------
+    for span in job_spans:
+        args = span.args or {}
+        job_id = str(args.get("job_id", "")) or span.name.partition(":")[2]
+        cluster = span.track
+        info = cluster_info.get(cluster, {})
+        storage = str(args.get("storage", "") or info.get("storage", ""))
+        spans = task_spans.get(job_id, [])
+        path = critical_path(span.ts, span.end, spans, storage)
+        run.jobs.append(
+            JobProfile(
+                job_id=job_id,
+                app=str(args.get("app", "")),
+                cluster=cluster,
+                storage=storage,
+                submit_time=span.ts,
+                end_time=span.end,
+                input_bytes=float(args.get("input_bytes", 0.0)),
+                map_phase=float(args.get("map_phase", 0.0)),
+                shuffle_phase=float(args.get("shuffle_phase", 0.0)),
+                reduce_phase=float(args.get("reduce_phase", 0.0)),
+                num_map_spans=sum(1 for s in spans if s.name == "map_task"),
+                num_reduce_spans=sum(
+                    1 for s in spans if s.name == "reduce_task"
+                ),
+                path=path,
+                buckets=path_buckets(path),
+            )
+        )
+    run.jobs.sort(key=lambda j: (j.submit_time, j.job_id))
+
+    # -- aggregates ----------------------------------------------------
+    for name in sorted(cluster_info):
+        info = cluster_info[name]
+        run.clusters[name] = ClusterProfile(
+            name=name,
+            nodes=int(info.get("nodes", 0)),
+            map_slots=int(info.get("map_slots", 0)),
+            reduce_slots=int(info.get("reduce_slots", 0)),
+            storage=str(info.get("storage", "")),
+            slots=slot_series(events, name),
+        )
+    for job in run.jobs:
+        add_buckets(run.buckets, job.buckets)
+        cluster = run.clusters.get(job.cluster)
+        if cluster is None:
+            cluster = ClusterProfile(name=job.cluster, storage=job.storage)
+            cluster.slots = slot_series(events, job.cluster)
+            run.clusters[job.cluster] = cluster
+        cluster.jobs += 1
+        add_buckets(cluster.buckets, job.buckets)
+
+    run.bandwidth = bandwidth_series(events, run.horizon)
+
+    # -- routing audit -------------------------------------------------
+    jobs_by_id = {job.job_id: job for job in run.jobs}
+    cluster_names = sorted(run.clusters)
+    for instant in routing_instants:
+        args = instant.args or {}
+        job_id = str(args.get("job_id", ""))
+        decision = RoutingDecision(
+            job_id=job_id,
+            decision=str(args.get("decision", "")),
+            input_bytes=float(args.get("input_bytes", 0.0)),
+            shuffle_input_ratio=float(args.get("shuffle_input_ratio", 0.0)),
+            cluster=actual_cluster.get(job_id, ""),
+        )
+        job = jobs_by_id.get(job_id)
+        if job is not None:
+            decision.cluster = decision.cluster or job.cluster
+            decision.dominant_bucket = job.dominant_bucket
+            decision.queue_share = job.bucket_share("queue-wait")
+        decision.suggested = _suggestion(decision, cluster_names)
+        run.routing.append(decision)
+    return run
+
+
+__all__ = [
+    "ClusterProfile",
+    "JobProfile",
+    "RoutingDecision",
+    "RunProfile",
+    "build_run_profile",
+]

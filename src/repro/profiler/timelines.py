@@ -1,0 +1,140 @@
+"""Utilization timelines from recorded counter and storage events.
+
+Two kinds of series feed the dashboard:
+
+* **Slot occupancy** — the jobtracker samples ``slots`` counters
+  (queued/busy map and reduce slots) on every dispatch; the tracer
+  already dropped consecutive identical samples, so the recorded points
+  *are* the step function.
+* **Bandwidth** — storage systems record one complete span per access.
+  Each span's bytes are spread uniformly over its duration and binned
+  into a fixed number of buckets, giving an aggregate bytes/second
+  series per storage system without retaining per-flow state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.telemetry.tracer import PHASE_COMPLETE, PHASE_COUNTER, TraceEvent
+
+#: Default bin count for bandwidth series (~dashboard pixel budget).
+DEFAULT_BINS = 120
+
+
+@dataclass
+class SlotSeries:
+    """Step series of slot occupancy for one cluster track."""
+
+    track: str
+    #: ``(ts, queued_maps, queued_reduces, busy_maps, busy_reduces)``
+    points: List[Tuple[float, float, float, float, float]] = field(
+        default_factory=list
+    )
+
+    @property
+    def peak_busy_maps(self) -> float:
+        return max((p[3] for p in self.points), default=0.0)
+
+
+@dataclass
+class BandwidthSeries:
+    """Binned aggregate bandwidth for one storage track."""
+
+    track: str
+    bin_width: float
+    read_rates: List[float] = field(default_factory=list)
+    write_rates: List[float] = field(default_factory=list)
+
+    @property
+    def peak(self) -> float:
+        return max(
+            max(self.read_rates, default=0.0), max(self.write_rates, default=0.0)
+        )
+
+
+def slot_series(events: Sequence[TraceEvent], track: str) -> SlotSeries:
+    """The ``slots`` counter samples of one cluster, in record order."""
+    series = SlotSeries(track=track)
+    for event in events:
+        if (
+            event.phase == PHASE_COUNTER
+            and event.name == "slots"
+            and event.track == track
+        ):
+            values = event.args or {}
+            series.points.append(
+                (
+                    event.ts,
+                    float(values.get("queued_maps", 0.0)),
+                    float(values.get("queued_reduces", 0.0)),
+                    float(values.get("busy_map_slots", 0.0)),
+                    float(values.get("busy_reduce_slots", 0.0)),
+                )
+            )
+    return series
+
+
+def bandwidth_series(
+    events: Sequence[TraceEvent],
+    horizon: float,
+    nbins: int = DEFAULT_BINS,
+) -> Dict[str, BandwidthSeries]:
+    """Binned read/write bandwidth per storage track.
+
+    Storage spans are recognised by ``category == "storage"`` and a
+    ``_read``/``_write`` name suffix.  A zero-duration span's bytes
+    land entirely in its start bin (an impulse, not lost volume).
+    """
+    if horizon <= 0 or nbins < 1:
+        return {}
+    width = horizon / nbins
+    out: Dict[str, BandwidthSeries] = {}
+    for event in events:
+        if event.phase != PHASE_COMPLETE or event.category != "storage":
+            continue
+        if event.name.endswith("_read"):
+            direction = "read"
+        elif event.name.endswith("_write"):
+            direction = "write"
+        else:
+            continue
+        args = event.args or {}
+        try:
+            num_bytes = float(args.get("bytes", 0.0))
+        except (TypeError, ValueError):
+            continue
+        if num_bytes <= 0:
+            continue
+        series = out.get(event.track)
+        if series is None:
+            series = BandwidthSeries(
+                track=event.track,
+                bin_width=width,
+                read_rates=[0.0] * nbins,
+                write_rates=[0.0] * nbins,
+            )
+            out[event.track] = series
+        rates = series.read_rates if direction == "read" else series.write_rates
+        first = min(nbins - 1, max(0, int(event.ts / width)))
+        if event.dur <= 0:
+            rates[first] += num_bytes / width
+            continue
+        rate = num_bytes / event.dur
+        last = min(nbins - 1, max(0, int((event.end - 1e-12) / width)))
+        for b in range(first, last + 1):
+            lo = max(event.ts, b * width)
+            hi = min(event.end, (b + 1) * width)
+            if hi > lo:
+                rates[b] += rate * (hi - lo) / width
+    return out
+
+
+__all__ = [
+    "DEFAULT_BINS",
+    "BandwidthSeries",
+    "SlotSeries",
+    "bandwidth_series",
+    "slot_series",
+]

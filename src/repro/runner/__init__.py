@@ -49,6 +49,7 @@ from repro.runner.spec import (
 )
 from repro.runner.work import (
     cell_job_id,
+    decode_profile,
     decode_replay_results,
     decode_result,
     execute_cell,
@@ -69,6 +70,7 @@ __all__ = [
     "RunStats",
     "canonical_json",
     "cell_job_id",
+    "decode_profile",
     "decode_replay_results",
     "decode_result",
     "default_cache_root",

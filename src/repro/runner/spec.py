@@ -43,8 +43,10 @@ CACHE_SCHEMA = 1
 
 #: Stand-in for the simulator's code version.  Bump the date-tag whenever
 #: a model change alters simulation results; every cached result keyed
-#: under the old salt then misses and is recomputed.
-CODE_SALT = f"repro-cells-v{CACHE_SCHEMA}-2026.08b"
+#: under the old salt then misses and is recomputed.  (2026.08c: the
+#: ``profile`` cell field joined the canonical payload, changing every
+#: key; old payloads also lack the new profile summaries.)
+CODE_SALT = f"repro-cells-v{CACHE_SCHEMA}-2026.08c"
 
 #: Cell kinds understood by :mod:`repro.runner.work`.
 KIND_ISOLATED = "isolated"
@@ -100,6 +102,12 @@ class CellSpec:
     #: two different fault schedules.  An *empty* plan is normalised to
     #: None, keeping "no faults" a single cache identity.
     fault_plan: Optional[FaultPlan] = None
+    #: Attach an internal tracer and store a compact profiler summary
+    #: (bucket attribution — see :mod:`repro.profiler`) in the payload.
+    #: Part of the content key: profiled and bare payloads differ, so
+    #: they must not collide in the cache.  Simulated *results* are
+    #: identical either way (telemetry is a pure observer).
+    profile: bool = False
     # -- probe-only field --------------------------------------------------
     probe: str = ""
 
@@ -153,6 +161,7 @@ def isolated_cell(
     calibration: Calibration = DEFAULT_CALIBRATION,
     seed: int = 0,
     register_dataset: bool = True,
+    profile: bool = False,
 ) -> CellSpec:
     """One Section III measurement cell (accepts "32GB"-style sizes)."""
     return CellSpec(
@@ -163,6 +172,7 @@ def isolated_cell(
         input_bytes=parse_size(input_size),
         seed=seed,
         register_dataset=register_dataset,
+        profile=profile,
     )
 
 
@@ -174,6 +184,7 @@ def replay_cell(
     calibration: Calibration = DEFAULT_CALIBRATION,
     duration: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
+    profile: bool = False,
 ) -> CellSpec:
     """One Section V trace-replay cell (optionally under a fault plan)."""
     return CellSpec(
@@ -185,6 +196,7 @@ def replay_cell(
         shrink_factor=shrink_factor,
         duration=duration,
         fault_plan=fault_plan,
+        profile=profile,
     )
 
 
@@ -219,11 +231,12 @@ def sweep_experiment(
     sizes: Sequence[float | str],
     calibration: Calibration = DEFAULT_CALIBRATION,
     seed: int = 0,
+    profile: bool = False,
 ) -> ExperimentSpec:
     """The full measurement grid for one application, row-major: all
     sizes of the first architecture, then the next."""
     cells = tuple(
-        isolated_cell(spec, app, size, calibration, seed)
+        isolated_cell(spec, app, size, calibration, seed, profile=profile)
         for spec in architectures
         for size in sizes
     )

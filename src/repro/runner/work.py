@@ -82,14 +82,28 @@ def _infeasible(
             "cell": cell}
 
 
+def _profile_summary(tracer: Any, label: str) -> Dict[str, Any]:
+    """Compact profiler digest for a cacheable payload (see
+    :meth:`repro.profiler.RunProfile.to_summary`)."""
+    from repro.profiler import build_run_profile
+
+    return build_run_profile(tracer, label=label).to_summary()
+
+
 def _execute_isolated(cell: CellSpec) -> Dict[str, Any]:
     # Imported here so probe-only use (tests) never pays for the model.
     from repro.core.deployment import Deployment
 
     assert cell.architecture is not None and cell.app is not None
+    tracer = None
+    if cell.profile:
+        from repro.telemetry.tracer import Tracer
+
+        tracer = Tracer()
     deployment = Deployment(
         cell.architecture,
         calibration=cell.calibration,
+        tracer=tracer,
         fault_plan=cell.fault_plan,
     )
     job = cell.app.make_job(
@@ -102,7 +116,10 @@ def _execute_isolated(cell: CellSpec) -> Dict[str, Any]:
         return _infeasible(
             KIND_ISOLATED, str(exc), type(exc).__name__, cell.describe()
         )
-    return _ok(KIND_ISOLATED, job_result_to_dict(result))
+    extra: Dict[str, Any] = {}
+    if tracer is not None:
+        extra["profile"] = _profile_summary(tracer, cell.architecture.name)
+    return _ok(KIND_ISOLATED, job_result_to_dict(result), **extra)
 
 
 def _execute_replay(
@@ -112,6 +129,10 @@ def _execute_replay(
     from repro.workload.fb2009 import DAY, generate_fb2009
 
     assert cell.architecture is not None
+    if cell.profile and tracer is None:
+        from repro.telemetry.tracer import Tracer
+
+        tracer = Tracer()
     duration = cell.duration
     if duration is None:
         duration = DAY * cell.num_jobs / 6000.0
@@ -136,11 +157,16 @@ def _execute_replay(
             "trace jobs completed"
         )
     # The fault summary rides in the payload (extra keys are cache-safe)
-    # so resilience reports survive caching and process boundaries.
+    # so resilience reports survive caching and process boundaries; the
+    # profile summary rides the same way when the cell asks for one.
+    extra: Dict[str, Any] = {}
+    if cell.profile and tracer is not None:
+        extra["profile"] = _profile_summary(tracer, cell.architecture.name)
     return _ok(
         KIND_REPLAY,
         [job_result_to_dict(r) for r in results],
         faults=deployment.fault_summary(),
+        **extra,
     )
 
 
@@ -214,8 +240,15 @@ def decode_replay_results(payload: Dict[str, Any]) -> List[JobResult]:
     return [job_result_from_dict(d) for d in payload["result"]]
 
 
+def decode_profile(payload: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    """The payload's profiler summary, or None (unprofiled cell, hole,
+    or a payload cached before profiling existed)."""
+    return payload.get("profile")
+
+
 __all__ = [
     "cell_job_id",
+    "decode_profile",
     "decode_replay_results",
     "decode_result",
     "execute_cell",

@@ -9,7 +9,7 @@ contention composes naturally with slot scheduling in the jobtracker.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulator.engine import Simulation
@@ -89,6 +89,17 @@ class StorageSystem(ABC):
         """Return previously registered capacity (job output cleaned up)."""
 
     # -- telemetry ------------------------------------------------------
+
+    def _fault_instant(self, name: str, **args: Any) -> None:
+        """Record a storage-fault marker on the shared ``faults`` track
+        (where the injector's own events live), so server loss and the
+        data-loss latch show up in Perfetto and on the dashboard.  A
+        no-op without a tracer."""
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                name, "fault", track="faults", args={"storage": self.name, **args}
+            )
 
     def _observed(
         self,

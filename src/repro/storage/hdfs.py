@@ -126,17 +126,27 @@ class HDFS(StorageSystem):
         if index in self._lost_nodes:
             return 0.0
         self._lost_nodes.add(index)
+        self._fault_instant(
+            "hdfs_datanode_loss", node=index, lost_total=len(self._lost_nodes)
+        )
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.counter(f"{self.name}.datanodes_lost").inc()
         if len(self._lost_nodes) >= self.replication:
             self.data_lost = True
+            self._fault_instant(
+                "data_loss",
+                reason="replication factor exhausted",
+                lost_total=len(self._lost_nodes),
+            )
             if metrics is not None:
                 metrics.counter(f"{self.name}.data_loss_events").inc()
         survivors = [
             d for i, d in enumerate(self.devices) if i not in self._lost_nodes
         ]
         if not survivors:
+            if not self.data_lost:
+                self._fault_instant("data_loss", reason="no surviving datanodes")
             self.data_lost = True
             return 0.0
         if self.data_lost:
@@ -163,6 +173,8 @@ class HDFS(StorageSystem):
     def restore_datanode(self, index: int) -> None:
         """The datanode rejoins with a fresh disk (its old data is gone,
         but re-replication already restored the replica count)."""
+        if index in self._lost_nodes:
+            self._fault_instant("hdfs_datanode_recover", node=index)
         self._lost_nodes.discard(index)
 
     # -- capacity -------------------------------------------------------

@@ -120,11 +120,20 @@ class OrangeFS(StorageSystem):
             return 0
         self._active_servers -= lost
         self._rescale()
+        self._fault_instant(
+            "ofs_server_loss", lost=lost, active_servers=self._active_servers
+        )
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.counter(f"{self.name}.servers_lost").inc(lost)
         if self._dataset_bytes > self.capacity:
             self.data_lost = True
+            self._fault_instant(
+                "data_loss",
+                reason="array shrunk below resident data",
+                dataset_bytes=self._dataset_bytes,
+                capacity=self.capacity,
+            )
             if metrics is not None:
                 metrics.counter(f"{self.name}.data_loss_events").inc()
         return lost
@@ -139,6 +148,11 @@ class OrangeFS(StorageSystem):
             return 0
         self._active_servers += restored
         self._rescale()
+        self._fault_instant(
+            "ofs_server_recover",
+            restored=restored,
+            active_servers=self._active_servers,
+        )
         return restored
 
     def _rescale(self) -> None:

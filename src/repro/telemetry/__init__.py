@@ -29,6 +29,8 @@ Quickstart::
 from repro.telemetry.export import (
     chrome_trace_events,
     chrome_trace_json,
+    chrome_trace_to_events,
+    read_chrome_trace,
     write_chrome_trace,
     write_metrics,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "Tracer",
     "chrome_trace_events",
     "chrome_trace_json",
+    "chrome_trace_to_events",
+    "read_chrome_trace",
     "write_chrome_trace",
     "write_metrics",
 ]

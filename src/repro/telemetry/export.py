@@ -91,6 +91,51 @@ def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
     return target
 
 
+def chrome_trace_to_events(doc: Dict[str, Any]) -> List["TraceEvent"]:
+    """Inverse of :func:`chrome_trace_events`: rebuild ``TraceEvent``s
+    from an exported Chrome trace document (or a bare event list).
+
+    ``process_name`` metadata records are consumed to map pids back to
+    track names; pids without one fall back to ``"pid:<n>"``.  Times
+    come back in simulation seconds.  This is what lets ``repro
+    profile --trace-in trace.json`` analyse a previously exported run
+    without re-simulating it.
+    """
+    from repro.telemetry.tracer import TraceEvent
+
+    records = doc.get("traceEvents", []) if isinstance(doc, dict) else doc
+    tracks: Dict[int, str] = {}
+    for record in records:
+        if record.get("ph") == "M" and record.get("name") == "process_name":
+            args = record.get("args") or {}
+            tracks[int(record.get("pid", 0))] = str(args.get("name", ""))
+
+    events: List[TraceEvent] = []
+    for record in records:
+        phase = record.get("ph")
+        if phase not in (PHASE_COMPLETE, PHASE_INSTANT, PHASE_COUNTER):
+            continue
+        pid = int(record.get("pid", 0))
+        events.append(
+            TraceEvent(
+                name=str(record.get("name", "")),
+                category=str(record.get("cat", "")),
+                phase=str(phase),
+                ts=float(record.get("ts", 0.0)) / _US,
+                dur=float(record.get("dur", 0.0)) / _US,
+                track=tracks.get(pid, f"pid:{pid}"),
+                lane=int(record.get("tid", 0)),
+                args=record.get("args"),
+            )
+        )
+    return events
+
+
+def read_chrome_trace(path: Union[str, Path]) -> List["TraceEvent"]:
+    """Load an exported trace file back into ``TraceEvent``s."""
+    return chrome_trace_to_events(json.loads(Path(path).read_text()))
+
+
 def write_metrics(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
     """Serialise the registry's flat dump as JSON; returns the path."""
     target = Path(path)
@@ -101,6 +146,8 @@ def write_metrics(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
 __all__ = [
     "chrome_trace_events",
     "chrome_trace_json",
+    "chrome_trace_to_events",
+    "read_chrome_trace",
     "write_chrome_trace",
     "write_metrics",
 ]

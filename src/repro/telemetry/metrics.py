@@ -115,7 +115,7 @@ class Histogram:
     def summary(self) -> Dict[str, float]:
         if self.count == 0:
             return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                    "p50": 0.0, "p99": 0.0}
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "sum": self.total,
@@ -123,6 +123,7 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
         }
 

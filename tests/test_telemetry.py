@@ -23,6 +23,8 @@ from repro.telemetry import (
     Tracer,
     chrome_trace_events,
     chrome_trace_json,
+    chrome_trace_to_events,
+    read_chrome_trace,
     write_chrome_trace,
     write_metrics,
 )
@@ -166,6 +168,23 @@ class TestHistogram:
     def test_empty_summary_is_all_zero(self):
         assert set(Histogram("h").summary().values()) == {0}
 
+    def test_summary_reports_p95_between_p50_and_p99(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        summary = h.summary()
+        assert {"p50", "p95", "p99"} <= set(summary)
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+        assert summary["p95"] == h.quantile(0.95)
+
+    def test_dump_and_write_metrics_include_p95(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.histogram("t").observe(8.0)
+        flat = registry.dump()
+        assert "t.p95" in flat
+        path = write_metrics(registry, tmp_path / "m.json")
+        assert "t.p95" in json.loads(path.read_text())
+
 
 class TestChromeExport:
     def _traced_run(self):
@@ -221,6 +240,80 @@ class TestChromeExport:
         registry.counter("a.jobs").inc(3)
         path = write_metrics(registry, tmp_path / "m.json")
         assert json.loads(path.read_text()) == {"a.jobs": 3.0}
+
+
+class TestChromeTraceSchema:
+    """The exported trace-event schema, pinned record by record."""
+
+    def _document(self):
+        tracer = Tracer()
+        deployment = Deployment(hybrid(), register_datasets=True, tracer=tracer)
+        deployment.run_job(WORDCOUNT.make_job(4 * GB))
+        return tracer, chrome_trace_json(tracer)
+
+    def test_every_record_has_a_known_phase(self):
+        _, doc = self._document()
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases <= {PHASE_COMPLETE, PHASE_INSTANT, PHASE_COUNTER, "M"}
+        assert {PHASE_COMPLETE, PHASE_INSTANT, PHASE_COUNTER} <= phases
+
+    def test_dur_appears_exactly_on_complete_spans(self):
+        _, doc = self._document()
+        for record in doc["traceEvents"]:
+            if record["ph"] == PHASE_COMPLETE:
+                assert "dur" in record and record["dur"] >= 0.0
+            else:
+                assert "dur" not in record
+
+    def test_timestamps_are_nonnegative_microseconds(self):
+        tracer, doc = self._document()
+        data = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert all(e["ts"] >= 0.0 for e in data)
+        # µs in the document, seconds on the tracer, same horizon.
+        assert max(e["ts"] + e.get("dur", 0.0) for e in data) == pytest.approx(
+            max(e.ts + e.dur for e in tracer.events) * 1e6
+        )
+
+    def test_document_survives_a_json_round_trip(self):
+        _, doc = self._document()
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_events_round_trip_through_the_inverse(self, tmp_path):
+        tracer, doc = self._document()
+        for restored in (
+            chrome_trace_to_events(doc),
+            read_chrome_trace(write_chrome_trace(tracer, tmp_path / "t.json")),
+        ):
+            originals = list(tracer.events)
+            assert len(restored) == len(originals)
+            for a, b in zip(originals, restored):
+                assert (a.name, a.category, a.phase, a.track, a.lane) == (
+                    b.name, b.category, b.phase, b.track, b.lane
+                )
+                # Through µs and back: equal to float tolerance only.
+                assert b.ts == pytest.approx(a.ts, abs=1e-9)
+                assert b.dur == pytest.approx(a.dur, abs=1e-9)
+
+    def test_fault_instants_ride_the_faults_track(self):
+        from repro.faults.plan import (
+            FaultEvent,
+            FaultPlan,
+            NODE_CRASH,
+            NODE_RECOVER,
+        )
+
+        plan = FaultPlan(events=(
+            FaultEvent(time=2.0, kind=NODE_CRASH, member="out", node=1),
+            FaultEvent(time=20.0, kind=NODE_RECOVER, member="out", node=1),
+        ))
+        tracer = Tracer()
+        deployment = Deployment(
+            hybrid(), register_datasets=True, tracer=tracer, fault_plan=plan
+        )
+        deployment.run_job(WORDCOUNT.make_job(64 * GB))
+        faults = list(tracer.by_category("fault"))
+        assert faults and all(e.track == "faults" for e in faults)
+        assert "node_crash" in {e.name for e in faults}
 
 
 class TestDeploymentIntegration:

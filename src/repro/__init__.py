@@ -22,6 +22,21 @@ With telemetry (Chrome-trace export + metrics; see :mod:`repro.telemetry`)::
     deployment = Deployment(hybrid(), tracer=tracer, metrics=metrics)
     deployment.run_trace(jobs)
     write_chrome_trace(tracer, "trace.json")
+
+As an always-on service (streaming NDJSON admission, backpressure,
+checkpoint/restore; see :mod:`repro.service` and docs/SERVICE.md)::
+
+    from repro import JobSubmission, ReproService
+
+    service = ReproService("Hybrid")
+    service.submit(JobSubmission(job_id="j1", input_bytes=2**30))
+    print(service.drain())
+
+The typed wire schemas (:class:`JobSubmission`, :class:`JobStatus`,
+:class:`ServiceState`, :func:`validate_ndjson`) live in
+:mod:`repro.core.api` next to the :class:`Scheduler` / :class:`Router`
+protocols — that module is the package's single typed public facade,
+and ``tests/test_public_api.py`` locks this surface.
 """
 
 from repro.apps import GREP, TERASORT, TESTDFSIO_WRITE, WORDCOUNT, AppProfile, get_app
@@ -39,9 +54,11 @@ from repro.core import (
     Scheduler,
     SizeAwareScheduler,
     algorithm1_router,
+    build_deployment,
     derive_cross_points,
     estimate_cross_point,
     hybrid,
+    named_architectures,
     out_hdfs,
     out_ofs,
     rhadoop,
@@ -50,7 +67,13 @@ from repro.core import (
     up_hdfs,
     up_ofs,
 )
-from repro.telemetry import MetricsRegistry, Tracer
+from repro.core.api import (
+    JobStatus,
+    JobSubmission,
+    ServiceState,
+    validate_ndjson,
+)
+from repro.telemetry import MetricsRegistry, ServiceInstruments, Tracer
 from repro.errors import (
     CapacityError,
     ConfigurationError,
@@ -58,9 +81,11 @@ from repro.errors import (
     ReproError,
     RunnerError,
     SchedulingError,
+    ServiceError,
     SimulationError,
     TraceError,
 )
+from repro.service import AdmissionPolicy, ReproService, ServiceClient
 from repro.faults import (
     FaultEvent,
     FaultInjector,
@@ -108,6 +133,7 @@ __all__ = [
     "derive_cross_points",
     "ArchitectureSpec",
     "Deployment",
+    "build_deployment",
     "up_ofs",
     "up_hdfs",
     "out_ofs",
@@ -116,6 +142,15 @@ __all__ = [
     "thadoop",
     "rhadoop",
     "table1_architectures",
+    "named_architectures",
+    # service (the always-on daemon; wire schemas live in repro.core.api)
+    "AdmissionPolicy",
+    "JobStatus",
+    "JobSubmission",
+    "ReproService",
+    "ServiceClient",
+    "ServiceState",
+    "validate_ndjson",
     # mapreduce
     "HadoopConfig",
     "JobSpec",
@@ -123,6 +158,7 @@ __all__ = [
     # telemetry
     "Tracer",
     "MetricsRegistry",
+    "ServiceInstruments",
     # faults
     "FaultEvent",
     "FaultInjector",
@@ -156,6 +192,7 @@ __all__ = [
     "FaultError",
     "RunnerError",
     "SchedulingError",
+    "ServiceError",
     "SimulationError",
     "TraceError",
 ]

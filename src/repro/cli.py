@@ -24,22 +24,30 @@ Commands map one-to-one onto the paper's artifacts:
   fault plan (see docs/FAULTS.md) and compare the degradation.
 * ``cache``        — inspect or clear the on-disk result cache (holes —
   cached infeasible cells — are listed with the reason they failed).
+* ``serve``        — the always-on deployment daemon: streaming NDJSON
+  job admission over HTTP with live Algorithm-1 routing, backpressure
+  and checkpoint/restore (see docs/SERVICE.md).
+* ``submit``       — client for a running daemon: stream an NDJSON file
+  or a saved trace, optionally drain and shut the daemon down.
 
-``run`` and ``replay`` also accept ``--trace-out FILE`` to record the
-run they already perform (``replay`` additionally ``--metrics-out
-FILE`` for a flat metrics dump of the same run), and ``--faults FILE``
-to inject a JSON fault plan into the simulation.
+Shared flags are hoisted into parent parsers so every subcommand spells
+them the same way: ``--trace-out FILE`` records a Chrome trace of a run
+the command already performs, ``--metrics-out FILE`` dumps its flat
+metrics, ``--faults FILE`` injects a JSON fault plan, and ``--seed N``
+seeds the workload.
 
 Errors: expected failures (bad input, infeasible configurations,
 malformed fault plans) print a one-line ``error:`` diagnostic and exit
 non-zero; pass ``--debug`` before the command to get the traceback.
 
-Parallelism and caching: ``sweep`` and ``crosspoints`` take ``--jobs N``
-(worker processes); ``replay`` and ``figures`` take ``--workers N``
-(their ``--jobs`` already means trace-job count).  All four cache cell
-results under ``.repro-cache/`` (``$REPRO_CACHE_DIR`` overrides) so
-re-runs only simulate changed cells; ``--no-cache`` disables that.
-Parallel results are byte-identical to serial ones.
+Parallelism and caching: every cell-grid command (``sweep``,
+``crosspoints``, ``replay``, ``figures``, ``resilience``) takes
+``--workers N``; on ``sweep``/``crosspoints``, ``--jobs N`` survives as
+a hidden alias for one release (on the other three it already means
+trace-job count).  All cache cell results under ``.repro-cache/``
+(``$REPRO_CACHE_DIR`` overrides) so re-runs only simulate changed
+cells; ``--no-cache`` disables that.  Parallel results are
+byte-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -64,10 +72,8 @@ from repro.analysis.figures import (
 from repro.analysis.report import render_series, render_table
 from repro.apps import APP_REGISTRY, get_app
 from repro.core.architectures import (
-    hybrid,
-    rhadoop,
+    named_architectures,
     table1_architectures,
-    thadoop,
 )
 from repro.core.calibration import DEFAULT_CALIBRATION
 from repro.core.deployment import Deployment
@@ -87,12 +93,13 @@ from repro.workload.fb2009 import generate_fb2009
 
 
 def architecture_registry() -> dict:
-    """Every runnable architecture by CLI name (``--arch`` choices)."""
-    archs = dict(table1_architectures())
-    archs["Hybrid"] = hybrid()
-    archs["THadoop"] = thadoop()
-    archs["RHadoop"] = rhadoop()
-    return archs
+    """Every runnable architecture by CLI name (``--arch`` choices).
+
+    Delegates to :func:`repro.core.architectures.named_architectures` so
+    the CLI, the service daemon, and checkpoint restore all resolve
+    names from the same registry.
+    """
+    return named_architectures()
 
 
 #: ``--arch`` choices, stable order: Table I first, then Section V.
@@ -100,21 +107,62 @@ ARCH_CHOICES = ("up-OFS", "up-HDFS", "out-OFS", "out-HDFS",
                 "Hybrid", "THadoop", "RHadoop")
 
 
-def _add_runner_options(parser: argparse.ArgumentParser, *, flag: str) -> None:
-    """Attach the shared runner options to a subcommand.
+def _runner_options(*, alias_jobs: bool = False) -> argparse.ArgumentParser:
+    """Parent parser with the shared runner flags (``--workers``,
+    ``--no-cache``).
 
-    ``flag`` is ``--jobs`` where that name is free and ``--workers`` on
-    commands where ``--jobs`` already means trace-job count.
+    ``alias_jobs`` keeps the old ``--jobs N`` spelling alive as a hidden
+    alias on the commands where it used to mean worker count (one
+    release of grace; ``replay``/``figures``/``resilience`` keep
+    ``--jobs`` as trace-job count).
     """
-    dest = "jobs" if flag == "--jobs" else "workers"
-    parser.add_argument(
-        flag, dest=dest, type=int, default=1, metavar="N",
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers", type=int, default=1, metavar="N",
         help="worker processes for the cell grid (default 1 = serial)",
     )
-    parser.add_argument(
+    if alias_jobs:
+        parent.add_argument(
+            "--jobs", dest="workers", type=int, metavar="N",
+            help=argparse.SUPPRESS,
+        )
+    parent.add_argument(
         "--no-cache", action="store_true",
         help="recompute every cell; skip the on-disk result cache",
     )
+    return parent
+
+
+def _seed_options(default: int) -> argparse.ArgumentParser:
+    """Parent parser with the shared ``--seed`` flag."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--seed", type=int, default=default,
+        help=f"workload RNG seed (default {default})",
+    )
+    return parent
+
+
+def _telemetry_options(
+    *, metrics_out: bool = False, faults: bool = False
+) -> argparse.ArgumentParser:
+    """Parent parser with the shared telemetry/fault flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--trace-out", metavar="FILE",
+        help="also record a Chrome trace of the run here",
+    )
+    if metrics_out:
+        parent.add_argument(
+            "--metrics-out", metavar="FILE",
+            help="also write a flat metrics dump of the run here (JSON)",
+        )
+    if faults:
+        parent.add_argument(
+            "--faults", metavar="FILE",
+            help="inject a JSON fault plan (see docs/FAULTS.md)",
+        )
+    return parent
 
 
 def _make_runner(workers: int, no_cache: bool) -> PoolRunner:
@@ -190,7 +238,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sizes = [parse_size(s) for s in args.sizes.split(",")]
     else:
         sizes = DFSIO_SIZES if app.name == "testdfsio-write" else SHUFFLE_APP_SIZES
-    runner = _make_runner(args.jobs, args.no_cache)
+    runner = _make_runner(args.workers, args.no_cache)
     panels = measurement_panels(app, sizes, seed=args.seed, runner=runner)
     for key in ("execution", "map", "shuffle", "reduce"):
         panel = panels[key]
@@ -203,7 +251,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_crosspoints(args: argparse.Namespace) -> int:
     from repro.analysis.asciichart import render_chart
 
-    runner = _make_runner(args.jobs, args.no_cache)
+    runner = _make_runner(args.workers, args.no_cache)
     fig7 = fig7_crosspoints(sizes=FIG7_SIZES, runner=runner)
     print(render_series(fig7.sizes, fig7.series, title=fig7.title))
     print()
@@ -545,6 +593,96 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service import AdmissionPolicy, ReproService
+    from repro.service import serve as bind_server
+
+    policy = None
+    if args.queue_cap is not None or args.total_cap is not None:
+        policy = AdmissionPolicy(
+            max_pending_per_member=args.queue_cap,
+            max_total_pending=args.total_cap,
+        )
+    if args.checkpoint and Path(args.checkpoint).exists():
+        service = ReproService.restore(args.checkpoint, policy=policy)
+        print(
+            f"restored {service.architecture} service from {args.checkpoint} "
+            f"({len(service.results)} result(s) replayed, "
+            f"{service.pending} pending)"
+        )
+    else:
+        service = ReproService(
+            args.arch,
+            policy=policy,
+            register=args.register,
+            checkpoint_path=args.checkpoint,
+        )
+    server = bind_server(service, args.host, args.port, verbose=args.verbose)
+    port = server.server_address[1]
+    if args.port_file:
+        Path(args.port_file).write_text(f"{port}\n")
+    print(f"serving {service.architecture} deployment on {server.url}")
+    print("endpoints: POST /jobs, GET /jobs/<id>, GET /metrics, "
+          "GET /healthz, POST /drain, POST /advance, POST /shutdown")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        path = service.checkpoint()
+        if path:
+            print(f"\ncheckpoint written to {path}")
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.core.api import JobSubmission
+    from repro.service import ServiceClient
+    from repro.workload.trace import Trace
+
+    if not (args.file or args.trace or args.drain or args.shutdown):
+        print("error: nothing to do (need --file, --trace, --drain "
+              "or --shutdown)", file=sys.stderr)
+        return 1
+    client = ServiceClient(args.url)
+    text = None
+    if args.file:
+        text = Path(args.file).read_text()
+    elif args.trace:
+        trace = Trace.load(args.trace)
+        text = "".join(
+            json.dumps(JobSubmission.from_tracejob(job).to_wire(),
+                       sort_keys=True) + "\n"
+            for job in trace.jobs
+        )
+    if text is not None:
+        statuses = client.submit_ndjson(text)
+        accepted = sum(1 for s in statuses if s.accepted)
+        print(f"submitted {len(statuses)} job(s): {accepted} accepted, "
+              f"{len(statuses) - accepted} rejected")
+        for status in statuses:
+            if not status.accepted:
+                print(f"  rejected {status.job_id}: {status.reason}")
+    if args.drain:
+        summary = client.drain()
+        print(
+            f"drained: {summary['finished']}/{summary['accepted']} finished "
+            f"({summary['failed']} failed) at clock "
+            f"{format_duration(summary['clock'])}"
+        )
+    if args.shutdown:
+        reply = client.shutdown()
+        checkpoint = reply.get("checkpoint")
+        print("service shut down"
+              + (f" (checkpoint: {checkpoint})" if checkpoint else ""))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hybrid-hadoop",
@@ -558,51 +696,49 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="architectures, scheduler and calibration")
 
-    run = sub.add_parser("run", help="run one job on one architecture")
+    run = sub.add_parser(
+        "run", help="run one job on one architecture",
+        parents=[_telemetry_options(faults=True)],
+    )
     run.add_argument("--app", default="wordcount", choices=sorted(APP_REGISTRY))
     run.add_argument("--size", default="8GB", help='input size, e.g. "32GB"')
     run.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
-    run.add_argument("--trace-out", metavar="FILE",
-                     help="also record a Chrome trace of the run here")
-    run.add_argument("--faults", metavar="FILE",
-                     help="inject a JSON fault plan (see docs/FAULTS.md)")
 
-    sweep = sub.add_parser("sweep", help="size sweep on the four architectures")
+    sweep = sub.add_parser(
+        "sweep", help="size sweep on the four architectures",
+        parents=[_seed_options(0), _runner_options(alias_jobs=True)],
+    )
     sweep.add_argument("--app", default="wordcount", choices=sorted(APP_REGISTRY))
     sweep.add_argument("--sizes", help='comma list, e.g. "1GB,4GB,16GB"')
-    sweep.add_argument("--seed", type=int, default=0,
-                       help="per-cell RNG seed (0 = the paper's fixed runs)")
-    _add_runner_options(sweep, flag="--jobs")
 
     crosspoints = sub.add_parser(
-        "crosspoints", help="Figs. 7/8 curves and cross points"
+        "crosspoints", help="Figs. 7/8 curves and cross points",
+        parents=[_runner_options(alias_jobs=True)],
     )
-    _add_runner_options(crosspoints, flag="--jobs")
 
-    trace = sub.add_parser("trace", help="generate the FB-2009 trace (Fig. 3)")
+    trace = sub.add_parser(
+        "trace", help="generate the FB-2009 trace (Fig. 3)",
+        parents=[_seed_options(2009)],
+    )
     trace.add_argument("--jobs", type=int, default=6000)
-    trace.add_argument("--seed", type=int, default=2009)
     trace.add_argument("--out", help="write the trace JSON here")
 
-    replay = sub.add_parser("replay", help="Section V trace replay (Fig. 10)")
+    replay = sub.add_parser(
+        "replay", help="Section V trace replay (Fig. 10)",
+        parents=[
+            _seed_options(2009),
+            _telemetry_options(metrics_out=True, faults=True),
+            _runner_options(),
+        ],
+    )
     replay.add_argument("--jobs", type=int, default=1000)
-    replay.add_argument("--seed", type=int, default=2009)
-    replay.add_argument("--trace-out", metavar="FILE",
-                        help="write a Chrome trace of the Hybrid replay here")
-    replay.add_argument("--metrics-out", metavar="FILE",
-                        help="write a flat metrics dump of the Hybrid "
-                             "replay here (JSON)")
-    replay.add_argument("--faults", metavar="FILE",
-                        help="inject a JSON fault plan into every replay")
-    _add_runner_options(replay, flag="--workers")
 
     resilience = sub.add_parser(
         "resilience",
         help="replay under a fault plan; compare architecture degradation",
+        parents=[_seed_options(2009), _runner_options()],
     )
     resilience.add_argument("--jobs", type=int, default=300)
-    resilience.add_argument("--seed", type=int, default=2009,
-                            help="trace seed (the workload)")
     resilience.add_argument("--fault-seed", type=int, default=0,
                             help="seed for the default fault plan's jitter")
     resilience.add_argument("--faults", metavar="FILE",
@@ -610,14 +746,13 @@ def build_parser() -> argparse.ArgumentParser:
                                  "built-in schedule")
     resilience.add_argument("--save-plan", metavar="FILE",
                             help="write the plan in effect to FILE (JSON)")
-    _add_runner_options(resilience, flag="--workers")
 
     trace_export = sub.add_parser(
         "trace-export",
         help="traced replay -> Chrome trace-event JSON (Perfetto)",
+        parents=[_seed_options(2009)],
     )
     trace_export.add_argument("--jobs", type=int, default=200)
-    trace_export.add_argument("--seed", type=int, default=2009)
     trace_export.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
     trace_export.add_argument("--out", default="trace.json",
                               help="output trace file (default trace.json)")
@@ -625,9 +760,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile = sub.add_parser(
         "profile",
         help="critical-path & bottleneck dashboard for a traced replay",
+        parents=[_seed_options(2009)],
     )
     profile.add_argument("--jobs", type=int, default=200)
-    profile.add_argument("--seed", type=int, default=2009)
     profile.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
     profile.add_argument("--ab", nargs="?", const="THadoop",
                          choices=ARCH_CHOICES, metavar="ARCH",
@@ -642,20 +777,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write compact profile summaries here")
 
     metrics = sub.add_parser(
-        "metrics", help="replay with a metrics registry; print the flat dump"
+        "metrics", help="replay with a metrics registry; print the flat dump",
+        parents=[_seed_options(2009)],
     )
     metrics.add_argument("--jobs", type=int, default=200)
-    metrics.add_argument("--seed", type=int, default=2009)
     metrics.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
     metrics.add_argument("--out", help="also write the dump as JSON here")
 
     figures = sub.add_parser(
-        "figures", help="regenerate all figure data (txt + json) into a dir"
+        "figures", help="regenerate all figure data (txt + json) into a dir",
+        parents=[_seed_options(2009), _runner_options()],
     )
     figures.add_argument("--out", default="figures_out")
     figures.add_argument("--jobs", type=int, default=6000)
-    figures.add_argument("--seed", type=int, default=2009)
-    _add_runner_options(figures, flag="--workers")
 
     verify = sub.add_parser(
         "verify", help="re-derive the paper's conclusions on the model"
@@ -664,20 +798,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="replay sample size for the Section V checks")
 
     advise = sub.add_parser(
-        "advise", help="recommend a scale-up/out budget split for a workload"
+        "advise", help="recommend a scale-up/out budget split for a workload",
+        parents=[_seed_options(2009)],
     )
     advise.add_argument("--budget", type=float, default=24.0,
                         help="budget in scale-out-node price units")
     advise.add_argument("--jobs", type=int, default=200)
-    advise.add_argument("--seed", type=int, default=2009)
     advise.add_argument("--objective", default="mean",
                         choices=("mean", "p50", "p99", "max", "makespan"))
 
     timeline = sub.add_parser(
-        "timeline", help="Gantt view of a small hybrid replay"
+        "timeline", help="Gantt view of a small hybrid replay",
+        parents=[_seed_options(2009)],
     )
     timeline.add_argument("--jobs", type=int, default=30)
-    timeline.add_argument("--seed", type=int, default=2009)
     timeline.add_argument("--width", type=int, default=100)
     timeline.add_argument("--max-jobs", type=int, default=40)
 
@@ -689,6 +823,49 @@ def build_parser() -> argparse.ArgumentParser:
                             "$REPRO_CACHE_DIR)")
     cache.add_argument("--clear", action="store_true",
                        help="delete every cached entry")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on deployment daemon (docs/SERVICE.md)",
+    )
+    serve.add_argument("--arch", default="Hybrid", choices=ARCH_CHOICES)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8008,
+                       help="listen port (0 picks an ephemeral port; "
+                            "see --port-file)")
+    serve.add_argument("--port-file", metavar="FILE",
+                       help="write the bound port here once listening "
+                            "(for --port 0)")
+    serve.add_argument("--checkpoint", metavar="FILE",
+                       help="checkpoint path; restored on start when the "
+                            "file already exists")
+    serve.add_argument("--queue-cap", type=int, metavar="N",
+                       help="max pending jobs per cluster member "
+                            "(backpressure; default unbounded)")
+    serve.add_argument("--total-cap", type=int, metavar="N",
+                       help="max pending jobs service-wide "
+                            "(backpressure; default unbounded)")
+    serve.add_argument("--register", action="store_true",
+                       help="model one-time dataset registration per job")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+
+    submit = sub.add_parser(
+        "submit", help="stream jobs to a running daemon; drain or stop it"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8008",
+                        help="base URL of the daemon "
+                             "(default http://127.0.0.1:8008)")
+    submit.add_argument("--file", metavar="FILE",
+                        help="NDJSON job file to stream (one job per line)")
+    submit.add_argument("--trace", metavar="FILE",
+                        help="saved trace JSON (from `repro trace --out`) "
+                             "to stream as NDJSON")
+    submit.add_argument("--drain", action="store_true",
+                        help="then run the simulation until all admitted "
+                             "jobs finish")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="then checkpoint and stop the daemon")
 
     return parser
 
@@ -709,6 +886,8 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "metrics": _cmd_metrics,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -4,10 +4,14 @@ Keeping the warnings in one place gives them a uniform category, a
 uniform suffix, and one spot to grep when a shim is finally removed.
 ``tests/test_deprecations.py`` asserts two things about this module:
 
-* calling a shim still raises :class:`DeprecationWarning` (the shims
-  stay loud until removed), and
-* no in-repo caller — library, CLI, benchmarks — triggers any of them
-  (the repo itself is warning-clean).
+* the helper keeps its uniform sunset suffix (future shims route
+  through it), and
+* no in-repo caller — library, CLI, benchmarks — triggers any
+  deprecation warning (the repo itself is warning-clean).
+
+There are currently no active shims: the ``register_datasets`` cycle in
+:mod:`repro.core.deployment` completed and the old spellings now raise
+:class:`TypeError`.
 """
 
 from __future__ import annotations

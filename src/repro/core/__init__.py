@@ -20,6 +20,7 @@ from repro.core.crosspoint import estimate_cross_point, derive_cross_points
 from repro.core.architectures import (
     ArchitectureSpec,
     hybrid,
+    named_architectures,
     out_hdfs,
     out_ofs,
     rhadoop,
@@ -55,6 +56,7 @@ __all__ = [
     "thadoop",
     "rhadoop",
     "table1_architectures",
+    "named_architectures",
     "Deployment",
     "LoadBalancingRouter",
     "InterpolatingScheduler",

@@ -168,3 +168,18 @@ def rhadoop(count: int | None = None) -> ArchitectureSpec:
         members=(ClusterRole(specs.scale_out_cluster(count, name="scale-out"), "out"),),
         storage="ofs",
     )
+
+
+def named_architectures() -> Dict[str, ArchitectureSpec]:
+    """Every runnable architecture by its canonical name.
+
+    Table I first, then the Section V deployments — the registry behind
+    the CLI's ``--arch`` choices and the service's checkpointable
+    architecture field (a checkpoint stores the *name*, and restore
+    rebuilds the spec from this registry).
+    """
+    architectures = dict(table1_architectures())
+    architectures["Hybrid"] = hybrid()
+    architectures["THadoop"] = thadoop()
+    architectures["RHadoop"] = rhadoop()
+    return architectures

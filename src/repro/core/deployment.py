@@ -28,17 +28,15 @@ up-HDFS's ~80 GB ceiling.  The unified policy is:
   or per call with the keyword-only ``register_dataset=True``;
 * a per-call value always overrides the deployment-wide policy.
 
-Legacy shim: ``run_job`` historically defaulted to ``True``.  Calling it
-with neither a per-call value nor a deployment-wide policy keeps that
-behaviour but emits a :class:`DeprecationWarning`; pass either setting
-explicitly to silence it.
+History: ``run_job`` once registered by default and ``run_trace`` took a
+``register_datasets=`` alias; both shims completed their deprecation
+cycle and are gone — the old alias now raises :class:`TypeError`
+(pinned by ``tests/test_deprecations.py``).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
-
-from repro.compat import warn_deprecated
 
 from repro.core.api import Router, Scheduler
 from repro.core.architectures import ArchitectureSpec
@@ -205,22 +203,13 @@ class Deployment:
         its output.  TestDFSIO-write stores only what it writes."""
         return job.input_bytes * job.input_read_fraction + job.output_bytes
 
-    def _resolve_register(
-        self, override: Optional[bool], legacy_default: bool, method: str
-    ) -> bool:
-        """Apply the dataset-registration policy (module docstring)."""
+    def _resolve_register(self, override: Optional[bool]) -> bool:
+        """Apply the dataset-registration policy (module docstring):
+        per-call override first, then the deployment-wide setting, then
+        the unified off-by-default."""
         if override is not None:
             return override
-        if self.register_datasets is not None:
-            return self.register_datasets
-        if legacy_default:
-            warn_deprecated(
-                f"{method}() registering datasets by default is deprecated; "
-                "pass register_dataset=True explicitly or construct the "
-                "Deployment with register_datasets=True",
-                stacklevel=4,
-            )
-        return legacy_default
+        return bool(self.register_datasets)
 
     # -- submission ----------------------------------------------------------
 
@@ -248,7 +237,7 @@ class Deployment:
         *rejected*: a failed :class:`JobResult` is recorded immediately
         and ``-1`` is returned.
         """
-        register = self._resolve_register(register_dataset, False, "submit")
+        register = self._resolve_register(register_dataset)
         index = self.router(job, self)
         if not 0 <= index < len(self.trackers):
             raise SchedulingError(f"router returned invalid member index {index}")
@@ -310,7 +299,7 @@ class Deployment:
         register_dataset: Optional[bool] = None,
     ) -> None:
         """Schedule a future submission (defaults to the job's arrival time)."""
-        register = self._resolve_register(register_dataset, False, "submit_at")
+        register = self._resolve_register(register_dataset)
         time = job.arrival_time if when is None else when
         self.sim.schedule_at(
             time, lambda: self.submit(job, register_dataset=register)
@@ -322,6 +311,24 @@ class Deployment:
         """Drain the event loop; returns all completed job results."""
         self.sim.run(until=until)
         return self.results
+
+    def step(self) -> bool:
+        """Process one simulation event; False when the loop is idle.
+
+        The incremental-admission primitive for the always-on service
+        (:mod:`repro.service`): interleaving ``step``/``advance_until``
+        with further ``submit_at`` calls executes the exact event
+        sequence of a single run-to-completion, because the event heap
+        orders by (time, seq) regardless of when events were scheduled.
+        """
+        return self.sim.step()
+
+    def advance_until(self, time: float) -> float:
+        """Advance the clock to ``time``, processing every event due by
+        then, and return the new clock.  Unlike :meth:`run` this leaves
+        later events pending, so new jobs can still be admitted with
+        arrival times at or after the returned clock."""
+        return self.sim.run(until=time)
 
     def profile_run(self, label: Optional[str] = None) -> "RunProfile":
         """Analyse this deployment's recorded trace (critical paths,
@@ -346,11 +353,11 @@ class Deployment:
     ) -> JobResult:
         """Run one job in isolation and return its result.
 
-        With registration on (the legacy default — see the policy in the
-        module docstring), raises :class:`~repro.errors.CapacityError`
-        if the job's data cannot fit on the architecture's storage.
+        Follows the unified registration policy (module docstring): with
+        registration on, raises :class:`~repro.errors.CapacityError` if
+        the job's data cannot fit on the architecture's storage.
         """
-        register = self._resolve_register(register_dataset, True, "run_job")
+        register = self._resolve_register(register_dataset)
         collected: List[JobResult] = []
         self.submit(job, collected.append, register_dataset=register)
         self.sim.run()
@@ -367,21 +374,9 @@ class Deployment:
         jobs: Sequence[JobSpec],
         *,
         register_dataset: Optional[bool] = None,
-        register_datasets: Optional[bool] = None,
     ) -> List[JobResult]:
-        """Replay a workload trace by arrival time (the Section V setup).
-
-        ``register_datasets`` is a deprecated alias for the unified
-        keyword ``register_dataset``.
-        """
-        if register_datasets is not None:
-            warn_deprecated(
-                "run_trace(register_datasets=...) is deprecated; "
-                "use register_dataset=..."
-            )
-            if register_dataset is None:
-                register_dataset = register_datasets
-        register = self._resolve_register(register_dataset, False, "run_trace")
+        """Replay a workload trace by arrival time (the Section V setup)."""
+        register = self._resolve_register(register_dataset)
         for job in jobs:
             self.submit_at(job, register_dataset=register)
         self.sim.run()

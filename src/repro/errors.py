@@ -41,6 +41,12 @@ class TraceError(ReproError):
     """A workload trace is malformed or internally inconsistent."""
 
 
+class ServiceError(ReproError):
+    """A service wire payload (job submission, NDJSON batch, checkpoint
+    snapshot) is malformed, or the deployment daemon was asked for
+    something it cannot do (e.g. restoring from a missing checkpoint)."""
+
+
 class FaultError(ReproError):
     """A fault plan is malformed, or an injected fault put the modeled
     system into a state it cannot serve (e.g. every replica of a job's

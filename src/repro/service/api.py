@@ -1,0 +1,495 @@
+"""The deployment daemon's engine (:class:`ReproService`) and its HTTP
+client (:class:`ServiceClient`).
+
+:class:`ReproService` wraps one :class:`~repro.core.deployment.Deployment`
+behind streaming job admission:
+
+* **admission** — single submissions or NDJSON batches are schema-checked
+  (:func:`~repro.core.api.validate_ndjson`), bounded by an
+  :class:`~repro.service.admission.AdmissionPolicy`, and routed live via
+  the deployment's pluggable :class:`~repro.core.api.Router` (Algorithm 1
+  by default, failure-aware reroute preserved);
+* **execution** — the simulation clock is lazy: it only advances on
+  :meth:`advance_until` / :meth:`drain`, so admission order alone
+  determines the event schedule and a trace streamed through the service
+  produces byte-identical results to ``Deployment.run_trace`` (pinned by
+  ``tests/test_service.py``);
+* **durability** — every accepted submission joins an admission log that
+  checkpoints atomically (:class:`~repro.service.checkpoint.CheckpointStore`)
+  and restores by deterministic replay: a fresh deployment re-admits the
+  log in order, so a service killed mid-run recovers with no job lost,
+  none double-counted, and identical results after drain.
+
+Thread safety: every public method takes the service lock, so the HTTP
+layer (:mod:`repro.service.server`) can serve concurrent requests from
+its thread pool.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.api import (
+    JobStatus,
+    JobSubmission,
+    NDJSONReport,
+    Router,
+    ServiceState,
+    STATE_ACCEPTED,
+    STATE_REJECTED,
+    validate_ndjson,
+)
+from repro.core.architectures import ArchitectureSpec, named_architectures
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.core.deployment import Deployment
+from repro.core.scheduler import Decision, SizeAwareScheduler
+from repro.errors import ServiceError
+from repro.mapreduce.job import JobResult
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    REASON_DUPLICATE,
+)
+from repro.service.checkpoint import CheckpointStore
+from repro.service.models import JobRecord
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.service import ServiceInstruments
+from repro.telemetry.tracer import Tracer
+
+
+def _resolve_architecture(
+    architecture: Union[str, ArchitectureSpec]
+) -> Tuple[str, ArchitectureSpec]:
+    if isinstance(architecture, ArchitectureSpec):
+        return architecture.name, architecture
+    registry = named_architectures()
+    if architecture not in registry:
+        raise ServiceError(
+            f"unknown architecture {architecture!r} "
+            f"(choose from {sorted(registry)})"
+        )
+    return architecture, registry[architecture]
+
+
+class ReproService:
+    """An always-on deployment: streaming admission over one simulation.
+
+    Parameters
+    ----------
+    architecture:
+        A registry name (``"Hybrid"``, ``"THadoop"``, ...) or a full
+        :class:`ArchitectureSpec`.  Checkpoints store the *name*, so
+        only registry-named services can be restored from disk.
+    router:
+        Optional custom :class:`Router`.  With the default (Algorithm 1
+        on hybrids), admission can predict each job's member and apply
+        the per-member queue cap; custom routers fall back to the total
+        cap only.
+    register:
+        Deployment-wide dataset-registration policy (capacity limits).
+    policy:
+        Admission bounds; default unbounded.
+    checkpoint_path:
+        When set, the admission log checkpoints here automatically after
+        every accepted batch and every drain.
+    """
+
+    def __init__(
+        self,
+        architecture: Union[str, ArchitectureSpec] = "Hybrid",
+        *,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        router: Optional[Router] = None,
+        register: bool = False,
+        policy: Optional[AdmissionPolicy] = None,
+        checkpoint_path: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.architecture, self.spec = _resolve_architecture(architecture)
+        self.register = register
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.deployment = Deployment(
+            self.spec,
+            calibration=calibration,
+            router=router,
+            register_datasets=register,
+            tracer=tracer,
+            metrics=self.metrics,
+        )
+        self.instruments = ServiceInstruments(self.metrics, tracer)
+        self._custom_router = router is not None
+        self._scheduler = SizeAwareScheduler()
+        self._admission = AdmissionController(
+            self.policy, members=len(self.deployment.trackers)
+        )
+        self._records: Dict[str, JobRecord] = {}
+        self._order: List[str] = []
+        self._results_seen = 0
+        self._lock = threading.RLock()
+        self._store = (
+            CheckpointStore(checkpoint_path) if checkpoint_path else None
+        )
+
+    # -- admission --------------------------------------------------------
+
+    def _classify(self, submission: JobSubmission) -> Optional[int]:
+        """Member index admission charges the job against, or ``None``
+        when the placement cannot be predicted (custom router)."""
+        if self._custom_router:
+            return None
+        if len(self.deployment.trackers) == 1:
+            return 0
+        decision = self._scheduler.decide_job(submission.to_jobspec())
+        role = "up" if decision is Decision.SCALE_UP else "out"
+        return self.spec.role_index(role)
+
+    def submit(self, submission: JobSubmission) -> JobStatus:
+        """Admit one job, routing it live at its arrival time.
+
+        Accepted jobs join the admission log and are scheduled on the
+        deployment; rejected jobs get an explicit 429-style status with
+        a machine-readable reason and may be resubmitted later.
+        """
+        with self._lock:
+            return self._admit(submission, count=True, forced=False)
+
+    def _admit(
+        self, submission: JobSubmission, *, count: bool, forced: bool
+    ) -> JobStatus:
+        if submission.job_id in self._records:
+            if count:
+                self.instruments.rejected(submission.job_id, REASON_DUPLICATE)
+            return JobStatus(
+                job_id=submission.job_id,
+                state=STATE_REJECTED,
+                reason=REASON_DUPLICATE,
+            )
+        member = self._classify(submission)
+        if forced:
+            self._admission.force(member)
+        else:
+            admitted, reason = self._admission.admit(member)
+            if not admitted:
+                if count:
+                    self.instruments.rejected(submission.job_id, reason)
+                return JobStatus(
+                    job_id=submission.job_id,
+                    state=STATE_REJECTED,
+                    reason=reason,
+                )
+        record = JobRecord(submission, admitted_member=member)
+        self._records[submission.job_id] = record
+        self._order.append(submission.job_id)
+        job = submission.to_jobspec()
+        when = job.arrival_time
+        if when < self.deployment.sim.now:
+            # The stream outran the clock: late arrivals run "now".
+            when = self.deployment.sim.now
+            if count:
+                self.instruments.clamped(submission.job_id)
+        self.deployment.submit_at(job, when, register_dataset=self.register)
+        if count:
+            self.instruments.admitted(submission.job_id, member)
+        return JobStatus(job_id=submission.job_id, state=STATE_ACCEPTED)
+
+    def submit_ndjson(self, text: str) -> Tuple[List[JobStatus], NDJSONReport]:
+        """Admit a streamed NDJSON batch.
+
+        The batch is schema-checked first; a batch with any malformed
+        line is rejected whole (no partial admission), mirroring the
+        400-vs-429 split on the HTTP surface: 400 = you spoke the schema
+        wrong, 429 = the service is saturated.
+        """
+        with self._lock:
+            report = validate_ndjson(text)
+            if not report.ok:
+                return [], report
+            statuses = [
+                self._admit(s, count=True, forced=False)
+                for s in report.submissions
+            ]
+            self._autocheckpoint()
+            return statuses, report
+
+    # -- execution --------------------------------------------------------
+
+    def _sync_results(self) -> None:
+        """Fold newly completed deployment results into the job records
+        and credit the admission queues (called after any clock
+        advance; scanning the append-only results list keeps the
+        service a pure observer of the simulation)."""
+        results = self.deployment.results
+        while self._results_seen < len(results):
+            result = results[self._results_seen]
+            self._results_seen += 1
+            record = self._records.get(result.job_id)
+            if record is None or record.result is not None:
+                continue
+            record.result = result
+            self._admission.release(record.admitted_member)
+            self.instruments.finished(result.job_id, result.failed)
+
+    def advance_until(self, time: float) -> float:
+        """Advance the simulation clock to ``time`` and absorb any
+        results that completed on the way; returns the new clock."""
+        with self._lock:
+            now = self.deployment.advance_until(time)
+            self._sync_results()
+            return now
+
+    def drain(self) -> Dict[str, Any]:
+        """Run the simulation until every admitted job has completed,
+        checkpoint, and return a summary (counts and clock)."""
+        with self._lock:
+            self.deployment.run()
+            self._sync_results()
+            self._autocheckpoint()
+            finished = sum(1 for r in self._records.values() if r.finished)
+            failed = sum(
+                1
+                for r in self._records.values()
+                if r.result is not None and r.result.failed
+            )
+            return {
+                "accepted": len(self._order),
+                "finished": finished,
+                "failed": failed,
+                "pending": self.pending,
+                "clock": self.deployment.sim.now,
+            }
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Admitted jobs whose results have not landed yet."""
+        return self._admission.pending_total
+
+    @property
+    def results(self) -> List[JobResult]:
+        """All completed results, in completion order (the deployment's
+        own list — byte-identical to a batch ``run_trace``)."""
+        return self.deployment.results
+
+    def job_status(self, job_id: str) -> Optional[JobStatus]:
+        with self._lock:
+            record = self._records.get(job_id)
+            return record.status() if record is not None else None
+
+    def health(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "status": "ok",
+                "architecture": self.architecture,
+                "clock": self.deployment.sim.now,
+                "accepted": len(self._order),
+                "pending": self.pending,
+                "checkpoint": str(self._store.path) if self._store else None,
+            }
+
+    def metrics_dump(self) -> Dict[str, Any]:
+        """The ``GET /metrics`` payload: both planes in one document."""
+        with self._lock:
+            return {
+                "service": {
+                    "accepted": self.instruments.accepted_total,
+                    "rejected": self.instruments.rejected_total,
+                    "clamped": self.instruments.clamped_total,
+                    "finished": self.instruments.finished_total,
+                    "pending": float(self.pending),
+                    "clock": self.deployment.sim.now,
+                },
+                "faults": self.deployment.fault_summary(),
+                "metrics": self.metrics.dump(),
+            }
+
+    # -- durability -------------------------------------------------------
+
+    def state(self) -> ServiceState:
+        """The versioned snapshot (see :class:`ServiceState`)."""
+        with self._lock:
+            return ServiceState(
+                architecture=self.architecture,
+                register=self.register,
+                clock=self.deployment.sim.now,
+                accepted=[
+                    self._records[job_id].submission for job_id in self._order
+                ],
+                finished=[
+                    job_id
+                    for job_id in self._order
+                    if self._records[job_id].finished
+                ],
+                counters={
+                    "accepted": self.instruments.accepted_total,
+                    "rejected": self.instruments.rejected_total,
+                    "clamped": self.instruments.clamped_total,
+                },
+                max_pending_per_member=self.policy.max_pending_per_member,
+                max_total_pending=self.policy.max_total_pending,
+            )
+
+    def checkpoint(self) -> Optional[str]:
+        """Write a snapshot now; returns the path (None when the service
+        was built without a checkpoint file)."""
+        with self._lock:
+            if self._store is None:
+                return None
+            path = self._store.save(self.state())
+            self.instruments.checkpointed()
+            return str(path)
+
+    def _autocheckpoint(self) -> None:
+        if self._store is not None:
+            self._store.save(self.state())
+            self.instruments.checkpointed()
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint_path: str,
+        *,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        router: Optional[Router] = None,
+        policy: Optional[AdmissionPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "ReproService":
+        """Rebuild a service from its checkpoint by deterministic replay.
+
+        The admission log is re-admitted in order onto a fresh
+        deployment (bypassing the caps — these jobs were admitted once
+        already).  Draining the restored service then re-derives every
+        result byte-identically, including jobs that had already
+        finished before the crash: nothing is lost, nothing is counted
+        twice.  Admission counters are restored from the snapshot;
+        execution metrics regenerate during replay.
+        """
+        state = CheckpointStore(checkpoint_path).load()
+        if state is None:
+            raise ServiceError(f"no checkpoint at {checkpoint_path}")
+        if policy is None:
+            policy = AdmissionPolicy(
+                max_pending_per_member=state.max_pending_per_member,
+                max_total_pending=state.max_total_pending,
+            )
+        service = cls(
+            state.architecture,
+            calibration=calibration,
+            router=router,
+            register=state.register,
+            policy=policy,
+            checkpoint_path=checkpoint_path,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        for submission in state.accepted:
+            status = service._admit(submission, count=False, forced=True)
+            if not status.accepted:
+                raise ServiceError(
+                    f"checkpoint replay rejected {submission.job_id}: "
+                    f"{status.reason}"
+                )
+        for name, value in state.counters.items():
+            if value > 0:
+                service.metrics.counter(f"service.admission.{name}").inc(value)
+        return service
+
+
+class ServiceClient:
+    """Stdlib HTTP client for a running service (``repro submit``).
+
+    Every method returns the decoded response payload; HTTP error
+    statuses that still carry a service payload (400 schema errors,
+    429 backpressure) are surfaced as data, while transport failures
+    raise :class:`ServiceError`.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        content_type: str = "application/json",
+    ) -> Tuple[int, str]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": content_type} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8")
+        except (urllib.error.URLError, OSError, TimeoutError) as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _json(status: int, body: str) -> Dict[str, Any]:
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"service returned non-JSON (HTTP {status}): {body[:200]!r}"
+            ) from exc
+
+    def submit(self, submission: JobSubmission) -> JobStatus:
+        status, body = self._request(
+            "POST", "/jobs", json.dumps(submission.to_wire()).encode("utf-8")
+        )
+        return JobStatus.from_wire(self._json(status, body))
+
+    def submit_ndjson(self, text: str) -> List[JobStatus]:
+        """Stream a batch; raises :class:`ServiceError` on schema (400)
+        responses, returns per-job statuses otherwise (including
+        rejections — explicit backpressure)."""
+        status, body = self._request(
+            "POST", "/jobs", text.encode("utf-8"), "application/x-ndjson"
+        )
+        if status == 400:
+            raise ServiceError(f"batch rejected by schema check:\n{body}")
+        return [
+            JobStatus.from_wire(json.loads(line))
+            for line in body.splitlines()
+            if line.strip()
+        ]
+
+    def job_status(self, job_id: str) -> Optional[JobStatus]:
+        status, body = self._request("GET", f"/jobs/{job_id}")
+        if status == 404:
+            return None
+        return JobStatus.from_wire(self._json(status, body))
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._json(*self._request("GET", "/metrics"))
+
+    def health(self) -> Dict[str, Any]:
+        return self._json(*self._request("GET", "/healthz"))
+
+    def drain(self) -> Dict[str, Any]:
+        return self._json(*self._request("POST", "/drain"))
+
+    def advance(self, until: float) -> Dict[str, Any]:
+        return self._json(*self._request(
+            "POST", "/advance", json.dumps({"until": until}).encode("utf-8")
+        ))
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._json(*self._request("POST", "/shutdown"))
+
+
+__all__ = ["ReproService", "ServiceClient"]

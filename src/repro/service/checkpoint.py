@@ -1,0 +1,64 @@
+"""Atomic checkpoint persistence for the deployment daemon.
+
+A checkpoint is one JSON document — the versioned
+:class:`~repro.core.api.ServiceState` wire form — written atomically:
+serialise to a sibling temp file, fsync, then ``os.replace`` over the
+target.  A crash mid-write leaves either the previous snapshot or the
+new one, never a torn file; a malformed or version-skewed snapshot is a
+loud :class:`~repro.errors.ServiceError` at load time, never a silent
+partial restore.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.api import ServiceState
+from repro.errors import ServiceError
+
+
+class CheckpointStore:
+    """One checkpoint file with atomic save and validated load."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, state: ServiceState) -> Path:
+        """Atomically replace the snapshot with ``state``."""
+        payload = json.dumps(state.to_wire(), indent=1, sort_keys=True)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, payload.encode("utf-8"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, self.path)
+        return self.path
+
+    def load(self) -> Optional[ServiceState]:
+        """The stored snapshot, or ``None`` when no checkpoint exists.
+
+        Raises :class:`ServiceError` for unreadable, non-JSON, or
+        schema-invalid snapshots — restoring from a corrupt checkpoint
+        must fail loudly, not resurrect a half-empty service.
+        """
+        if not self.path.exists():
+            return None
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServiceError(
+                f"cannot read checkpoint {self.path}: {exc}"
+            ) from exc
+        return ServiceState.from_wire(payload)
+
+
+__all__ = ["CheckpointStore"]

@@ -1,0 +1,79 @@
+"""Service-internal job bookkeeping on top of the public wire models.
+
+The wire schemas themselves (:class:`~repro.core.api.JobSubmission`,
+:class:`~repro.core.api.JobStatus`, :class:`~repro.core.api.ServiceState`,
+:func:`~repro.core.api.validate_ndjson`) live in :mod:`repro.core.api` —
+the typed public facade — and are re-exported here for convenience.
+This module adds the *runtime* record the daemon keeps per admitted job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.api import (
+    JOB_STATES,
+    JobStatus,
+    JobSubmission,
+    NDJSONReport,
+    ServiceState,
+    STATE_ACCEPTED,
+    STATE_FAILED,
+    STATE_FINISHED,
+    STATE_REJECTED,
+    WIRE_VERSION,
+    result_to_wire,
+    validate_ndjson,
+)
+from repro.mapreduce.job import JobResult
+
+
+@dataclass
+class JobRecord:
+    """One admitted job: its submission, where admission expects it to
+    run (for queue accounting), and — once the simulation reaches it —
+    its result."""
+
+    submission: JobSubmission
+    #: Member index the admission controller charged the job against
+    #: (``None`` when only the total cap applies, e.g. custom routers).
+    admitted_member: Optional[int] = None
+    result: Optional[JobResult] = None
+
+    @property
+    def job_id(self) -> str:
+        return self.submission.job_id
+
+    @property
+    def finished(self) -> bool:
+        return self.result is not None
+
+    def status(self) -> JobStatus:
+        if self.result is None:
+            return JobStatus(job_id=self.job_id, state=STATE_ACCEPTED)
+        state = STATE_FAILED if self.result.failed else STATE_FINISHED
+        return JobStatus(
+            job_id=self.job_id,
+            state=state,
+            cluster=self.result.cluster,
+            reason=self.result.failure_reason,
+            result=result_to_wire(self.result),
+        )
+
+
+__all__ = [
+    "JOB_STATES",
+    "JobRecord",
+    "JobStatus",
+    "JobSubmission",
+    "NDJSONReport",
+    "ServiceState",
+    "STATE_ACCEPTED",
+    "STATE_FAILED",
+    "STATE_FINISHED",
+    "STATE_REJECTED",
+    "WIRE_VERSION",
+    "result_to_wire",
+    "validate_ndjson",
+]

@@ -143,6 +143,38 @@ class Simulation:
             self._running = False
         return self.now
 
+    def step(self) -> bool:
+        """Process the single next pending event.
+
+        Returns True when an event ran, False when the heap is idle
+        (cancelled placeholders are discarded without counting as work).
+        This is the incremental-admission primitive: a long-running
+        service interleaves ``step``/``run(until=...)`` with new
+        ``schedule_at`` calls, and the (time, seq) heap order guarantees
+        the interleaving cannot reorder events relative to scheduling
+        everything up front.
+        """
+        if self._running:
+            raise SimulationError("Simulation.step is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._processed += 1
+                if self._processed > self._max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self._max_events}; "
+                        "likely a runaway event chain"
+                    )
+                self.now = event.time
+                event.fn()
+                return True
+            return False
+        finally:
+            self._running = False
+
     @property
     def events_processed(self) -> int:
         """Number of events executed so far (skipped cancellations excluded)."""

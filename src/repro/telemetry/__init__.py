@@ -40,6 +40,7 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.service import ServiceInstruments
 from repro.telemetry.tracer import (
     PHASE_COMPLETE,
     PHASE_COUNTER,
@@ -57,6 +58,7 @@ __all__ = [
     "PHASE_COUNTER",
     "PHASE_INSTANT",
     "TraceEvent",
+    "ServiceInstruments",
     "Tracer",
     "chrome_trace_events",
     "chrome_trace_json",

@@ -1,0 +1,120 @@
+"""Service-plane instruments: per-endpoint counters and admission events.
+
+The deployment daemon (:mod:`repro.service`) observes two planes:
+
+* the *simulation* plane — jobs, tasks, storage — already covered by the
+  deployment's own :class:`~repro.telemetry.tracer.Tracer` /
+  :class:`~repro.telemetry.metrics.MetricsRegistry` instrumentation; and
+* the *service* plane — HTTP requests, admission decisions, checkpoint
+  writes — covered here.
+
+:class:`ServiceInstruments` wraps one registry (shared with the
+deployment, so ``GET /metrics`` returns both planes in one dump) and an
+optional tracer for admission/rejection instants on the simulation
+clock.  Like every observer in this package it never schedules events:
+an instrumented service run stays byte-identical to a bare one.
+
+Metric names (all under the ``service.`` prefix)::
+
+    service.http.requests                 total requests served
+    service.http.<METHOD> <route>         per-endpoint totals
+    service.http.status.<code>            per-status-code totals
+    service.admission.accepted            jobs admitted
+    service.admission.rejected            jobs rejected (backpressure)
+    service.admission.rejected.<reason>   per-reason rejections
+    service.admission.clamped             arrivals clamped to the clock
+    service.jobs.finished                 results recorded
+    service.jobs.failed                   failed results recorded
+    service.checkpoints                   snapshots written
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import Tracer
+
+
+class ServiceInstruments:
+    """Counters and instants for the service plane (names above)."""
+
+    def __init__(
+        self, registry: MetricsRegistry, tracer: Optional[Tracer] = None
+    ) -> None:
+        self.registry = registry
+        self.tracer = tracer
+
+    # -- HTTP plane -------------------------------------------------------
+
+    def observe_request(self, method: str, route: str, status: int) -> None:
+        """Record one served request against its normalised route
+        (``/jobs/<id>`` style, never raw ids — bounded cardinality)."""
+        self.registry.counter("service.http.requests").inc()
+        self.registry.counter(f"service.http.{method} {route}").inc()
+        self.registry.counter(f"service.http.status.{status}").inc()
+
+    # -- admission plane --------------------------------------------------
+
+    def admitted(self, job_id: str, member: Optional[int]) -> None:
+        self.registry.counter("service.admission.accepted").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "job_admitted",
+                "service",
+                track="service",
+                args={"job_id": job_id, "member": member},
+            )
+
+    def rejected(self, job_id: str, reason: str) -> None:
+        """Explicit backpressure: every rejection is counted twice (total
+        and per-reason) so a saturated service is observable, and traced
+        so the rejection instant lands on the simulation timeline."""
+        self.registry.counter("service.admission.rejected").inc()
+        self.registry.counter(f"service.admission.rejected.{reason}").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "job_rejected_admission",
+                "service",
+                track="service",
+                args={"job_id": job_id, "reason": reason},
+            )
+
+    def clamped(self, job_id: str) -> None:
+        self.registry.counter("service.admission.clamped").inc()
+
+    # -- results plane ----------------------------------------------------
+
+    def finished(self, job_id: str, failed: bool) -> None:
+        self.registry.counter("service.jobs.finished").inc()
+        if failed:
+            self.registry.counter("service.jobs.failed").inc()
+
+    def checkpointed(self) -> None:
+        self.registry.counter("service.checkpoints").inc()
+
+    # -- reading back -----------------------------------------------------
+
+    def _value(self, name: str) -> float:
+        instrument = self.registry.get(name)
+        value = getattr(instrument, "value", 0.0)
+        return float(value) if value else 0.0
+
+    @property
+    def accepted_total(self) -> float:
+        return self._value("service.admission.accepted")
+
+    @property
+    def rejected_total(self) -> float:
+        return self._value("service.admission.rejected")
+
+    @property
+    def clamped_total(self) -> float:
+        return self._value("service.admission.clamped")
+
+    @property
+    def finished_total(self) -> float:
+        return self._value("service.jobs.finished")
+
+
+__all__ = ["ServiceInstruments"]

@@ -71,10 +71,30 @@ class TestSweep:
 
     def test_parallel_sweep_reports_runner_stats(self, capsys):
         assert main(["sweep", "--app", "grep", "--sizes", "1GB,2GB",
-                     "--jobs", "2"]) == 0
+                     "--workers", "2"]) == 0
         out = capsys.readouterr().out
         assert "[runner]" in out
         assert "8 cells" in out
+
+    def test_hidden_jobs_alias_still_works(self, capsys):
+        # One release of grace for the old spelling (hidden from --help).
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["sweep", "--jobs", "3"])
+        assert args.workers == 3
+        assert "--jobs" not in build_parser().format_help()
+        assert main(["sweep", "--app", "grep", "--sizes", "1GB",
+                     "--jobs", "2"]) == 0
+        assert "[runner]" in capsys.readouterr().out
+
+    def test_workers_flag_is_uniform_across_grid_commands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for command in (["sweep"], ["crosspoints"], ["replay"],
+                        ["resilience"], ["figures"]):
+            args = parser.parse_args(command + ["--workers", "2"])
+            assert args.workers == 2, command
 
     def test_second_run_is_fully_cached(self, capsys):
         args = ["sweep", "--app", "grep", "--sizes", "1GB,2GB"]
@@ -210,6 +230,82 @@ class TestFigures:
 
         payload = json.loads((tmp_path / "fig7.json").read_text())
         assert "wordcount_cross_point" in payload["notes"]
+
+
+class TestServeAndSubmit:
+    """The daemon and its client, end to end through the CLI."""
+
+    def _start_daemon(self, tmp_path, extra=()):
+        import threading
+        import time
+
+        port_file = tmp_path / "port.txt"
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", "--port", "0",
+                   "--port-file", str(port_file),
+                   "--checkpoint", str(tmp_path / "state.json"),
+                   *extra],),
+            daemon=True,
+        )
+        thread.start()
+        for _ in range(200):
+            if port_file.exists() and port_file.read_text().strip():
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("daemon never wrote its port file")
+        url = f"http://127.0.0.1:{port_file.read_text().strip()}"
+        return thread, url
+
+    def test_trace_submit_drain_shutdown(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["trace", "--jobs", "15", "--out", str(trace_path)]) == 0
+        capsys.readouterr()
+
+        thread, url = self._start_daemon(tmp_path)
+        assert main(["submit", "--url", url, "--trace", str(trace_path),
+                     "--drain"]) == 0
+        out = capsys.readouterr().out
+        assert "15 accepted" in out
+        assert "drained: 15/15 finished" in out
+
+        assert main(["submit", "--url", url, "--shutdown"]) == 0
+        assert "shut down" in capsys.readouterr().out
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert (tmp_path / "state.json").exists()
+
+    def test_ndjson_file_submit(self, tmp_path, capsys):
+        import json
+
+        from repro.core.api import JobSubmission
+
+        batch = tmp_path / "jobs.ndjson"
+        batch.write_text("".join(
+            json.dumps(
+                JobSubmission(job_id=f"j{i}", input_bytes=2**30).to_wire()
+            ) + "\n"
+            for i in range(5)
+        ))
+        thread, url = self._start_daemon(tmp_path)
+        try:
+            assert main(["submit", "--url", url, "--file", str(batch),
+                         "--drain"]) == 0
+            out = capsys.readouterr().out
+            assert "5 accepted" in out and "0 rejected" in out
+        finally:
+            main(["submit", "--url", url, "--shutdown"])
+            thread.join(timeout=10)
+
+    def test_submit_without_action_errors(self, capsys):
+        assert main(["submit"]) == 1
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_submit_unreachable_daemon_fails_cleanly(self, capsys):
+        assert main(["submit", "--url", "http://127.0.0.1:9",
+                     "--drain"]) == 1
+        assert "error:" in capsys.readouterr().err
 
 
 class TestParser:

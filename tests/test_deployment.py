@@ -124,7 +124,7 @@ class TestRunJob:
 
 
 class TestRegisterDatasetPolicy:
-    """The unified dataset-registration policy (and its legacy shim)."""
+    """The unified dataset-registration policy (legacy shims removed)."""
 
     def test_deployment_wide_policy_applies_to_submit(self):
         deployment = Deployment(up_hdfs(), register_datasets=True)
@@ -142,19 +142,20 @@ class TestRegisterDatasetPolicy:
         assert not [w for w in recwarn.list
                     if issubclass(w.category, DeprecationWarning)]
 
-    def test_run_job_legacy_default_warns_but_registers(self):
+    def test_run_job_default_is_off_and_silent(self, recwarn):
+        # The legacy register-by-default shim completed its cycle: a bare
+        # run_job now follows the unified off-by-default and stays quiet.
         deployment = Deployment(up_hdfs())
-        with pytest.warns(DeprecationWarning, match="register_dataset"):
-            with pytest.raises(CapacityError):
-                deployment.run_job(WORDCOUNT.make_job("120GB"))
+        deployment.run_job(WORDCOUNT.make_job("120GB"))  # does not raise
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
 
-    def test_run_trace_deprecated_plural_alias(self):
+    def test_run_trace_plural_alias_removed(self):
         deployment = Deployment(up_hdfs())
-        with pytest.warns(DeprecationWarning, match="register_datasets"):
-            with pytest.raises(CapacityError):
-                deployment.run_trace(
-                    [trace_job("big", 120.0)], register_datasets=True
-                )
+        with pytest.raises(TypeError, match="register_datasets"):
+            deployment.run_trace(
+                [trace_job("big", 120.0)], register_datasets=True
+            )
 
     def test_submit_defaults_to_no_registration(self):
         deployment = Deployment(up_hdfs())

@@ -1,11 +1,13 @@
-"""Deprecation hygiene: shims stay loud, the repo itself stays quiet.
+"""Deprecation hygiene: completed cycles fail loudly, the repo stays quiet.
 
 Two invariants (see ``repro.compat``):
 
-* every legacy shim warns through :func:`repro.compat.warn_deprecated`,
-  so all messages carry the uniform sunset suffix; and
+* a removed legacy spelling raises ``TypeError`` — the
+  ``register_datasets=`` kwarg and the bare-default ``run_job`` warning
+  completed their deprecation cycle and are gone, so stale callers fail
+  loudly instead of silently changing behaviour; and
 * no in-repo caller — library entry points, CLI commands — triggers any
-  deprecation warning.  The shims exist for external users only.
+  deprecation warning.  ``warn_deprecated`` stays for future shims.
 """
 
 from __future__ import annotations
@@ -34,24 +36,29 @@ def no_deprecations():
         yield
 
 
-class TestShimsStillWarn:
-    """The shims must keep warning until they are removed."""
+class TestHelperStillUniform:
+    """Future shims must keep the uniform sunset suffix."""
 
     def test_helper_appends_sunset_suffix(self):
         with pytest.warns(DeprecationWarning) as caught:
             warn_deprecated("old_thing() is deprecated", stacklevel=2)
         assert str(caught[0].message).endswith(_SUNSET)
 
-    def test_run_job_bare_default_warns(self):
-        deployment = Deployment(up_ofs())
-        with pytest.warns(DeprecationWarning, match="register_dataset"):
-            deployment.run_job(GREP.make_job(1 * GB))
 
-    def test_run_trace_plural_alias_warns(self):
+class TestCompletedCyclesFailLoudly:
+    """Removed spellings raise TypeError, never warn-and-continue."""
+
+    def test_run_trace_plural_kwarg_is_gone(self):
         deployment = Deployment(up_ofs())
         trace = generate_fb2009(num_jobs=3, seed=7, duration=60.0)
-        with pytest.warns(DeprecationWarning, match="register_datasets"):
+        with pytest.raises(TypeError, match="register_datasets"):
             deployment.run_trace(trace.to_jobspecs(), register_datasets=False)
+
+    def test_run_job_bare_default_no_longer_warns(self):
+        deployment = Deployment(up_ofs())
+        with no_deprecations():
+            result = deployment.run_job(GREP.make_job(1 * GB))
+        assert result.execution_time > 0
 
 
 class TestRepoIsWarningClean:
@@ -79,5 +86,16 @@ class TestRepoIsWarningClean:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         with no_deprecations():
             assert main(["sweep", "--app", "grep", "--sizes", "1GB",
-                         "--jobs", "2"]) == 0
+                         "--workers", "2"]) == 0
         capsys.readouterr()
+
+    def test_service_admission_path(self, tmp_path):
+        from repro.core.api import JobSubmission
+        from repro.service import ReproService
+
+        with no_deprecations():
+            service = ReproService(
+                "Hybrid", checkpoint_path=str(tmp_path / "state.json")
+            )
+            service.submit(JobSubmission(job_id="j1", input_bytes=1 * GB))
+            service.drain()

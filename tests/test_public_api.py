@@ -1,4 +1,9 @@
-"""Tests for the package's public surface: exports, version, errors."""
+"""Tests for the package's public surface: exports, version, errors.
+
+``EXPECTED_EXPORTS`` is the frozen facade: adding or removing a name
+from ``repro.__all__`` must be a deliberate, reviewed change that edits
+this list in the same commit.
+"""
 
 import pytest
 
@@ -8,15 +13,62 @@ from repro.errors import (
     ConfigurationError,
     ReproError,
     SchedulingError,
+    ServiceError,
     SimulationError,
     TraceError,
 )
+
+#: The complete, curated public facade — keep sorted within each group.
+EXPECTED_EXPORTS = frozenset({
+    "__version__",
+    # apps
+    "AppProfile", "GREP", "TERASORT", "TESTDFSIO_WRITE", "WORDCOUNT",
+    "get_app",
+    # core model
+    "ArchitectureSpec", "Calibration", "CrossPoints", "DEFAULT_CALIBRATION",
+    "Decision", "Deployment", "InterpolatingScheduler", "LoadBalancingRouter",
+    "PAPER_CROSS_POINTS", "Router", "Scheduler", "SizeAwareScheduler",
+    "algorithm1_router", "build_deployment", "derive_cross_points",
+    "estimate_cross_point", "hybrid", "named_architectures", "out_hdfs",
+    "out_ofs", "rhadoop", "table1_architectures", "thadoop", "up_hdfs",
+    "up_ofs",
+    # service (always-on daemon; wire schemas live in repro.core.api)
+    "AdmissionPolicy", "JobStatus", "JobSubmission", "ReproService",
+    "ServiceClient", "ServiceState", "validate_ndjson",
+    # mapreduce
+    "HadoopConfig", "JobResult", "JobSpec",
+    # telemetry
+    "MetricsRegistry", "ServiceInstruments", "Tracer",
+    # faults
+    "FaultEvent", "FaultInjector", "FaultPlan", "crash_storm_plan",
+    "default_resilience_plan",
+    # runner
+    "CellSpec", "ExperimentSpec", "PoolRunner", "ResultCache",
+    "isolated_cell", "replay_cell", "sweep_experiment",
+    # workload
+    "Trace", "TraceJob", "generate_fb2009",
+    # units
+    "GB", "KB", "MB", "TB", "format_duration", "format_size", "parse_size",
+    # errors
+    "CapacityError", "ConfigurationError", "FaultError", "ReproError",
+    "RunnerError", "SchedulingError", "ServiceError", "SimulationError",
+    "TraceError",
+})
 
 
 class TestExports:
     def test_all_names_resolve(self):
         for name in repro.__all__:
             assert hasattr(repro, name), name
+
+    def test_facade_is_locked(self):
+        """repro.__all__ is exactly the curated surface — no drift."""
+        actual = set(repro.__all__)
+        assert actual - EXPECTED_EXPORTS == set(), "unreviewed additions"
+        assert EXPECTED_EXPORTS - actual == set(), "unreviewed removals"
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
 
     def test_version(self):
         assert repro.__version__ == "1.0.0"
@@ -26,17 +78,48 @@ class TestExports:
         assert callable(repro.Deployment)
         assert callable(repro.SizeAwareScheduler)
         assert callable(repro.generate_fb2009)
+        assert callable(repro.ReproService)
+        assert callable(repro.build_deployment)
 
     def test_units_are_numbers(self):
         assert repro.GB == 2**30
         assert repro.parse_size("1GB") == repro.GB
 
 
+class TestTypedFacadeModule:
+    """repro.core.api is the single home of the typed wire schemas."""
+
+    def test_wire_models_live_in_core_api(self):
+        from repro.core import api
+
+        for name in ("JobSubmission", "JobStatus", "ServiceState",
+                     "NDJSONReport", "validate_ndjson", "result_to_wire",
+                     "WIRE_VERSION", "Scheduler", "Router"):
+            assert hasattr(api, name), name
+
+    def test_service_reexports_are_the_same_objects(self):
+        import repro.service as service
+        from repro.core import api
+
+        assert service.JobSubmission is api.JobSubmission
+        assert service.JobStatus is api.JobStatus
+        assert service.ServiceState is api.ServiceState
+        assert service.validate_ndjson is api.validate_ndjson
+        assert repro.JobSubmission is api.JobSubmission
+
+    def test_protocols_are_runtime_checkable(self):
+        from repro.core.api import Router, Scheduler
+        from repro.core.scheduler import SizeAwareScheduler
+
+        assert isinstance(SizeAwareScheduler(), Scheduler)
+        assert not isinstance(object(), Router)
+
+
 class TestErrorHierarchy:
     @pytest.mark.parametrize(
         "exc",
         [ConfigurationError, CapacityError, SchedulingError,
-         SimulationError, TraceError],
+         ServiceError, SimulationError, TraceError],
     )
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -46,6 +129,15 @@ class TestErrorHierarchy:
     def test_base_not_builtin_alias(self):
         assert ReproError is not Exception
         assert issubclass(ReproError, Exception)
+
+
+class TestRemovedSpellingsFailLoudly:
+    def test_run_trace_register_datasets_kwarg_raises(self):
+        from repro import Deployment, up_ofs
+
+        deployment = Deployment(up_ofs())
+        with pytest.raises(TypeError, match="register_datasets"):
+            deployment.run_trace([], register_datasets=True)
 
 
 class TestQuickstartSnippet:
@@ -61,3 +153,13 @@ class TestQuickstartSnippet:
         result = deployment.run_job(WORDCOUNT.make_job("8GB"))
         assert result.cluster == "scale-up"
         assert result.execution_time > 0
+
+    def test_service_quickstart_works(self):
+        """The package docstring's service quickstart must stay executable."""
+        from repro import JobSubmission, ReproService
+
+        service = ReproService("Hybrid")
+        status = service.submit(JobSubmission(job_id="j1", input_bytes=2**30))
+        assert status.accepted
+        summary = service.drain()
+        assert summary["finished"] == 1

@@ -10,9 +10,14 @@ Times the same cell grid three ways —
 asserts all three produce byte-identical payloads, and archives the
 timings plus cache-hit statistics to ``BENCH_runner.json`` at the repo
 root.  No minimum speedup is asserted: cells are milliseconds-long
-analytic simulations and CI boxes may expose a single core, so the
-wall-clock ratio is reported, not enforced.  What *is* enforced is the
-subsystem's contract: same bytes, and zero simulations when warm.
+analytic simulations, so the wall-clock ratio is reported, not
+enforced.  What *is* enforced is the subsystem's contract: same bytes,
+and zero simulations when warm.
+
+On a box with fewer than two CPUs a "parallel speedup" would measure
+process-switching contention, not scaling, so the report marks the
+parallel timing as skipped (with the reason) and the test skips with
+the same note — the contract assertions still run first.
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ import json
 import os
 import time
 from pathlib import Path
+
+import pytest
 
 from repro.analysis.figures import FIG7_SIZES
 from repro.apps import GREP, WORDCOUNT
@@ -81,15 +88,15 @@ def test_runner_scaling(benchmark, artifact, tmp_path):
     assert warm_stats.simulated == 0
     assert warm_stats.cache_hits == len(cells)
 
+    cpus = os.cpu_count() or 1
     report = {
         "grid": "fig7-crosspoints",
         "cells": len(cells),
-        "workers": workers,
+        "pool_workers": workers,
+        "effective_parallelism": min(workers, cpus),
         "used_pool": parallel_stats.used_pool,
         "serial_seconds": round(serial_seconds, 4),
-        "parallel_seconds": round(parallel_seconds, 4),
         "warm_seconds": round(warm_seconds, 4),
-        "speedup": round(serial_seconds / parallel_seconds, 3),
         "warm_speedup": round(serial_seconds / warm_seconds, 3),
         "parallel_identical_to_serial": True,
         "cache": {
@@ -98,8 +105,19 @@ def test_runner_scaling(benchmark, artifact, tmp_path):
         },
         "env": {
             "REPRO_JOBS": os.environ.get("REPRO_JOBS", ""),
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpus,
         },
     }
+    single_core_note = (
+        f"parallel speedup not published: cpu_count={cpus} < 2, so "
+        f"{workers} workers would measure contention, not scaling"
+    )
+    if cpus >= 2:
+        report["parallel_seconds"] = round(parallel_seconds, 4)
+        report["speedup"] = round(serial_seconds / parallel_seconds, 3)
+    else:
+        report["parallel_timing"] = {"skipped": True, "note": single_core_note}
     REPORT.write_text(json.dumps(report, indent=1) + "\n")
     artifact("runner_scaling", json.dumps(report, indent=1))
+    if cpus < 2:
+        pytest.skip(single_core_note)

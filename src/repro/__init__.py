@@ -47,6 +47,8 @@ from repro.core import (
     CrossPoints,
     Decision,
     Deployment,
+    FastPathEngine,
+    FastPathPolicy,
     InterpolatingScheduler,
     LoadBalancingRouter,
     PAPER_CROSS_POINTS,
@@ -133,6 +135,8 @@ __all__ = [
     "derive_cross_points",
     "ArchitectureSpec",
     "Deployment",
+    "FastPathEngine",
+    "FastPathPolicy",
     "build_deployment",
     "up_ofs",
     "up_hdfs",

@@ -17,10 +17,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.cluster.cluster import Cluster
 from repro.core.architectures import ArchitectureSpec
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.errors import ConfigurationError
+from repro.mapreduce.config import HadoopConfig
 from repro.mapreduce.job import JobSpec
 from repro.mapreduce.jobtracker import decide_num_reducers
 from repro.mapreduce.spill import map_output_store_bytes, reduce_shuffle_store_bytes
@@ -45,16 +48,27 @@ def estimate(
     spec: ArchitectureSpec,
     job: JobSpec,
     calibration: Calibration = DEFAULT_CALIBRATION,
+    *,
+    config: Optional[HadoopConfig] = None,
+    cluster: Optional[Cluster] = None,
 ) -> AnalyticEstimate:
-    """Predict an isolated job's phases on a single-cluster architecture."""
+    """Predict an isolated job's phases on a single-cluster architecture.
+
+    ``config``/``cluster`` accept the precomputed results of
+    ``calibration.config_for`` / ``calibration.effective_cluster`` so
+    per-job callers (the analytic fast path, docs/KERNEL.md) skip
+    rebuilding them; passing them changes nothing but speed.
+    """
     if spec.is_hybrid:
         raise ConfigurationError(
             "analytic estimates cover single-cluster architectures; "
             "route hybrid jobs first"
         )
     member = spec.members[0]
-    config = calibration.config_for(member.role)
-    cluster = calibration.effective_cluster(member.cluster, member.role)
+    if config is None:
+        config = calibration.config_for(member.role)
+    if cluster is None:
+        cluster = calibration.effective_cluster(member.cluster, member.role)
     machine = cluster.machine
 
     num_maps = blocks_for(job.input_bytes, config.block_size)
@@ -159,9 +173,30 @@ def estimate(
     if job.map_writes_output:
         output_tail = 0.0
     else:
+        # Reducers (not map tasks) write the job output, so the write
+        # rate is set by *reducer* concurrency.  A lone reducer draining
+        # a large output gets a whole node's bandwidth, not a 1/per_node
+        # share of it.
         per_reduce_out = job.output_bytes / num_reducers
+        if job.output_bytes <= 0:
+            reduce_write_rate = float("inf")
+        elif spec.storage == "ofs":
+            reduce_write_rate = min(
+                calibration.ofs_stream_cap,
+                machine.nic_bandwidth / reducers_per_node,
+                aggregate / min(num_reducers, cluster.total_reduce_slots),
+            )
+        else:
+            reduce_disk = machine.disk.bandwidth / (
+                1.0 + calibration.disk_seek_penalty * (reducers_per_node - 1)
+            )
+            reduce_write_rate = reduce_disk / reducers_per_node / (
+                config.replication * max(out_cold, 1e-9)
+            ) * calibration.hdfs_write_buffer_factor
         output_tail = write_latency + (
-            per_reduce_out / write_rate if write_rate != float("inf") else 0.0
+            per_reduce_out / reduce_write_rate
+            if reduce_write_rate != float("inf")
+            else 0.0
         )
     reduce_phase = cpu_reduce + output_tail
 

@@ -31,6 +31,7 @@ from repro.core.architectures import (
 )
 from repro.core.advisor import Advice, advise_split, mixed_architecture
 from repro.core.deployment import Deployment, algorithm1_router, build_deployment
+from repro.core.fastpath import FastPathEngine, FastPathPolicy
 from repro.core.finegrained import InterpolatingScheduler, PAPER_ANCHORS
 from repro.core.loadbalance import LoadBalancingRouter
 
@@ -58,6 +59,8 @@ __all__ = [
     "table1_architectures",
     "named_architectures",
     "Deployment",
+    "FastPathEngine",
+    "FastPathPolicy",
     "LoadBalancingRouter",
     "InterpolatingScheduler",
     "PAPER_ANCHORS",

@@ -57,6 +57,7 @@ from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.fastpath import FastPathEngine, FastPathPolicy
     from repro.profiler.model import RunProfile
 
 
@@ -103,10 +104,22 @@ class Deployment:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         fault_plan: Optional[FaultPlan] = None,
+        kernel: Optional[str] = None,
+        fast_path: Optional["FastPathPolicy"] = None,
+        max_events: Optional[int] = None,
     ) -> None:
         self.spec = spec
         self.calibration = calibration
-        self.sim = Simulation()
+        #: Event-queue kernel ("heap"/"calendar"/None = $REPRO_KERNEL).
+        #: Pure speed knob — results are byte-identical either way
+        #: (docs/KERNEL.md), so it never participates in cache keys.
+        #: ``max_events`` lifts the engine's runaway-chain safety valve
+        #: for replays that legitimately exceed it (a 1M-job trace is
+        #: ~160M events); ``None`` keeps the engine default.
+        if max_events is not None:
+            self.sim = Simulation(max_events=max_events, kernel=kernel)
+        else:
+            self.sim = Simulation(kernel=kernel)
         self.sim.attach_telemetry(tracer, metrics)
         self.tracer = tracer
         self.metrics = metrics
@@ -188,6 +201,22 @@ class Deployment:
         self.injector: Optional[FaultInjector] = None
         if fault_plan is not None and not fault_plan.is_empty:
             self.injector = FaultInjector(self, fault_plan)
+
+        #: Analytic fast path (docs/KERNEL.md): None = every job fully
+        #: simulated, the historical behaviour.
+        self.fast_path: Optional["FastPathEngine"] = None
+        self.fast_path_jobs = 0
+        if fast_path is not None:
+            if self.injector is not None:
+                raise ConfigurationError(
+                    "the analytic fast path assumes fault-free runs; "
+                    "drop fast_path= or the fault plan"
+                )
+            from repro.core.fastpath import FastPathEngine
+
+            self.fast_path = FastPathEngine(
+                spec, self.trackers, calibration, fast_path
+            )
 
     # -- conveniences -----------------------------------------------------
 
@@ -288,6 +317,11 @@ class Deployment:
             if on_complete is not None:
                 on_complete(result)
 
+        if self.fast_path is not None and self.fast_path.try_submit(
+            index, job, done
+        ):
+            self.fast_path_jobs += 1
+            return index
         self.trackers[index].submit(job, done)
         return index
 

@@ -1,0 +1,212 @@
+"""Analytic fast path: complete eligible jobs by closed form, not events.
+
+Roughly 40% of the FB-2009 trace is jobs under 1 MB — a single map, a
+single reducer, a couple hundred simulated events each.  For those jobs
+the wave-arithmetic estimator (:mod:`repro.analysis.analytic`) predicts
+the same phase durations the event cascade would produce, so replaying
+them event-by-event buys nothing.  The fast path routes eligible jobs
+through the closed forms and hands the resulting timeline to
+:meth:`~repro.mapreduce.jobtracker.JobTracker.submit_analytic`, which
+schedules exactly one completion event.
+
+Two policy tiers (docs/KERNEL.md has the full eligibility rules):
+
+* :meth:`FastPathPolicy.small_jobs` — the conservative default: only
+  sub-``max_input_bytes`` single-map-wave jobs on an *idle* tracker,
+  where the estimator's isolated-job assumption holds exactly.
+* :meth:`FastPathPolicy.full_analytic` — every job, with queueing
+  behind earlier jobs approximated by a fluid FIFO backlog (per-member
+  ``map_free_at`` / ``reduce_free_at`` drain clocks).  This is the
+  million-job-replay mode: one event per job, tolerance-validated
+  against full simulation (``benchmarks/bench_trace_scale.py``), not
+  byte-identical to it.
+
+The fast path is strictly opt-in (``Deployment(..., fast_path=...)``).
+Runs built without it execute the exact event sequence they always did.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.architectures import ArchitectureSpec, ClusterRole
+from repro.core.calibration import Calibration
+from repro.mapreduce.job import JobResult, JobSpec
+from repro.mapreduce.jobtracker import JobTracker, decide_num_reducers
+from repro.units import MB, blocks_for
+
+
+@dataclass(frozen=True)
+class FastPathPolicy:
+    """When a job may skip full simulation.
+
+    Parameters
+    ----------
+    max_input_bytes:
+        Jobs with larger inputs always simulate in full.
+    single_wave_only:
+        Require the job's maps to fit in one wave (``num_maps <= the
+        cluster's map slots``); multi-wave jobs interleave with other
+        jobs in ways the isolated-job closed form cannot see.
+    require_idle:
+        Only take a job when its tracker has no active jobs, so the
+        estimator's isolated-job assumption holds exactly.
+    model_queueing:
+        Approximate FIFO queueing behind earlier jobs with a fluid
+        backlog instead of requiring idleness (the full-analytic tier).
+    """
+
+    max_input_bytes: float = float(MB)
+    single_wave_only: bool = True
+    require_idle: bool = True
+    model_queueing: bool = False
+
+    @classmethod
+    def small_jobs(cls, max_input_bytes: float = float(MB)) -> "FastPathPolicy":
+        """The conservative tier: isolated sub-``max_input_bytes`` jobs."""
+        return cls(max_input_bytes=max_input_bytes)
+
+    @classmethod
+    def full_analytic(cls) -> "FastPathPolicy":
+        """The million-job tier: every job analytic, fluid queueing."""
+        return cls(
+            max_input_bytes=math.inf,
+            single_wave_only=False,
+            require_idle=False,
+            model_queueing=True,
+        )
+
+
+class FastPathEngine:
+    """Per-deployment fast-path state: one lane per member cluster.
+
+    Built by :class:`~repro.core.deployment.Deployment` when a policy is
+    passed; ``try_submit`` either completes the job analytically (True)
+    or declines it back to full simulation (False).
+    """
+
+    def __init__(
+        self,
+        spec: ArchitectureSpec,
+        trackers: Sequence[JobTracker],
+        calibration: Calibration,
+        policy: FastPathPolicy,
+    ) -> None:
+        # Lazy import: repro.analysis imports repro.core at package
+        # import time; binding the estimator here (after both packages
+        # exist) avoids the cycle without per-job import cost.
+        from repro.analysis.analytic import estimate
+
+        self._estimate = estimate
+        self.policy = policy
+        self.calibration = calibration
+        self._trackers = list(trackers)
+        #: Per-member single-cluster view of the architecture — what the
+        #: estimator prices (it refuses hybrids; routing already
+        #: happened by the time the fast path sees a job).
+        self._member_specs: List[ArchitectureSpec] = []
+        self._member_slots: List[Tuple[int, int]] = []
+        for member, tracker in zip(spec.members, self._trackers):
+            single = ArchitectureSpec(
+                name=f"{spec.name}/{member.cluster.name}",
+                members=(ClusterRole(member.cluster, member.role),),
+                storage=spec.storage,
+            )
+            self._member_specs.append(single)
+            self._member_slots.append(
+                (tracker.cluster.total_map_slots, tracker.cluster.total_reduce_slots)
+            )
+        # Precomputed estimator inputs (identical to what it would
+        # derive per call — see estimate()'s config/cluster parameters).
+        self._member_configs = [t.config for t in self._trackers]
+        self._member_clusters = [t.cluster for t in self._trackers]
+        #: Fluid FIFO backlog clocks (absolute sim times at which each
+        #: member's map / reduce capacity drains), full-analytic tier.
+        self._map_free_at = [0.0] * len(self._trackers)
+        self._reduce_free_at = [0.0] * len(self._trackers)
+        #: Jobs completed analytically.
+        self.jobs_taken = 0
+
+    # -- eligibility ------------------------------------------------------
+
+    def eligible(self, index: int, job: JobSpec) -> bool:
+        """Whether the policy lets ``job`` skip simulation on member
+        ``index`` *right now* (idleness is a property of the moment)."""
+        policy = self.policy
+        if job.input_bytes > policy.max_input_bytes:
+            return False
+        tracker = self._trackers[index]
+        map_slots, _ = self._member_slots[index]
+        if policy.single_wave_only:
+            config = self._member_configs[index]
+            if blocks_for(job.input_bytes, config.block_size) > map_slots:
+                return False
+        if policy.require_idle and tracker.active_jobs > 0:
+            return False
+        return True
+
+    # -- submission -------------------------------------------------------
+
+    def try_submit(
+        self,
+        index: int,
+        job: JobSpec,
+        on_complete: Optional[Callable[[JobResult], None]] = None,
+    ) -> bool:
+        """Complete ``job`` analytically on member ``index`` if the
+        policy allows; returns False to mean "simulate it in full"."""
+        if not self.eligible(index, job):
+            return False
+        tracker = self._trackers[index]
+        est = self._estimate(
+            self._member_specs[index],
+            job,
+            self.calibration,
+            config=self._member_configs[index],
+            cluster=self._member_clusters[index],
+        )
+        map_phase = est.map_phase
+        shuffle_phase = est.shuffle_phase
+        queue_wait = 0.0
+        if self.policy.model_queueing:
+            map_slots, reduce_slots = self._member_slots[index]
+            config = self._member_configs[index]
+            num_maps = blocks_for(job.input_bytes, config.block_size)
+            now = tracker.sim.now
+            earliest = now + est.setup
+            start = max(earliest, self._map_free_at[index])
+            queue_wait = start - earliest
+            # Fluid drain: the job's map work is num_maps map-task-times
+            # of slot-seconds, served by the whole slot pool.
+            waves = math.ceil(num_maps / map_slots)
+            map_task = map_phase / waves if waves else 0.0
+            self._map_free_at[index] = start + num_maps * map_task / map_slots
+            # Reduce capacity gates the shuffle tail the same way; the
+            # wait shows up inside the shuffle phase, as it does in real
+            # Hadoop's copy tail.
+            last_map_end = start + map_phase
+            reduce_start = max(last_map_end, self._reduce_free_at[index])
+            shuffle_phase = (reduce_start - last_map_end) + est.shuffle_phase
+            num_reducers = decide_num_reducers(
+                job, reduce_slots, config.reducer_target_bytes
+            )
+            reduce_work = est.shuffle_phase + est.reduce_phase
+            self._reduce_free_at[index] = (
+                reduce_start + num_reducers * reduce_work / reduce_slots
+            )
+        tracker.submit_analytic(
+            job,
+            setup=est.setup,
+            map_phase=map_phase,
+            shuffle_phase=shuffle_phase,
+            reduce_phase=est.reduce_phase,
+            queue_wait=queue_wait,
+            on_complete=on_complete,
+        )
+        self.jobs_taken += 1
+        return True
+
+
+__all__ = ["FastPathPolicy", "FastPathEngine"]

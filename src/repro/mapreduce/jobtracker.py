@@ -193,11 +193,45 @@ class JobTracker:
         self.name = name or cluster.name
         self._free_map = [cluster.slots.map_slots] * cluster.count
         self._free_reduce = [cluster.slots.reduce_slots] * cluster.count
+        # Running totals of the two lists above, maintained at every
+        # slot take/release so the hot accounting path never has to
+        # ``sum()`` a per-node list (O(nodes) -> O(1) per event).
+        self._free_map_total = cluster.slots.map_slots * cluster.count
+        self._free_reduce_total = cluster.slots.reduce_slots * cluster.count
+        self._total_map_slots = cluster.total_map_slots
+        self._total_reduce_slots = cluster.total_reduce_slots
+        # Metric names are f-string-built from the tracker name; interned
+        # once here so per-task telemetry paths don't rebuild them.
+        metric = f"{self.name}.%s".__mod__
+        self._m_jobs_submitted = metric("jobs_submitted")
+        self._m_map_tasks_finished = metric("map_tasks_finished")
+        self._m_map_task_seconds = metric("map_task_seconds")
+        self._m_reduce_tasks_finished = metric("reduce_tasks_finished")
+        self._m_reduce_task_seconds = metric("reduce_task_seconds")
+        self._m_jobs_completed = metric("jobs_completed")
+        self._m_job_seconds = metric("job_seconds")
+        self._m_job_queue_seconds = metric("job_queue_seconds")
+        self._m_map_slot_utilization = metric("map_slot_utilization")
+        self._m_speculative_launches = metric("speculative_launches")
+        self._m_shuffle_bytes = metric("shuffle_bytes")
+        self._m_shuffle_copy_seconds = metric("shuffle_copy_seconds")
+        self._m_task_attempt_failures = metric("task_attempt_failures")
+        self._m_node_crashes = metric("node_crashes")
+        self._m_maps_reexecuted = metric("maps_reexecuted")
+        self._m_nodes_blacklisted = metric("nodes_blacklisted")
+        self._m_jobs_failed = metric("jobs_failed")
         self._map_queue = make_queue(config.scheduler_policy)
         self._reduce_queue = make_queue(config.scheduler_policy)
         self.results: List[JobResult] = []
         self._active_jobs = 0
-        self._active_states: List[_JobState] = []
+        # Keyed by id(state): a dict preserves insertion order exactly
+        # like the list-with-remove it replaces (so straggler scans and
+        # crash re-execution iterate identically) while making removal
+        # O(1) instead of O(active jobs).
+        self._active_states: dict[int, _JobState] = {}
+        #: Jobs completed via the analytic fast path (see
+        #: :meth:`submit_analytic`); zero in full-simulation runs.
+        self.analytic_jobs = 0
         #: Backup map copies launched (speculative execution statistics).
         self.speculative_launches = 0
         #: Optional explicit block placement (None = perfect locality).
@@ -249,7 +283,7 @@ class JobTracker:
         """Submit a job now; it queues behind earlier jobs' pending tasks."""
         num_maps = blocks_for(spec.input_bytes, self.config.block_size)
         num_reducers = decide_num_reducers(
-            spec, self.cluster.total_reduce_slots, self.config.reducer_target_bytes
+            spec, self._total_reduce_slots, self.config.reducer_target_bytes
         )
         result = JobResult(
             job_id=spec.job_id,
@@ -276,16 +310,76 @@ class JobTracker:
             )
         metrics = self.sim.metrics
         if metrics is not None:
-            metrics.counter(f"{self.name}.jobs_submitted").inc()
+            metrics.counter(self._m_jobs_submitted).inc()
         if self.block_map is not None:
             self.block_map.place_dataset(spec.job_id, num_maps)
         self._active_jobs += 1
-        self._active_states.append(state)
+        self._active_states[id(state)] = state
         self._committed_map_tasks += num_maps
         setup = self.config.job_setup_overhead + self.storage.per_job_overhead
         self.sim.schedule(setup, lambda: self._enqueue_maps(state))
         if self.config.speculative_execution:
             self._arm_speculation_tick()
+
+    def submit_analytic(
+        self,
+        spec: JobSpec,
+        setup: float,
+        map_phase: float,
+        shuffle_phase: float,
+        reduce_phase: float,
+        queue_wait: float = 0.0,
+        on_complete: Optional[JobCallback] = None,
+    ) -> None:
+        """Complete a job from closed-form phase durations — the analytic
+        fast path (docs/KERNEL.md) — instead of simulating its tasks.
+
+        A single completion event replaces the job's entire task cascade.
+        Job counters and the backlog proxy stay honest (routers still see
+        the committed work), but per-task telemetry and slot-utilization
+        integrals naturally exclude fast-path jobs.  ``queue_wait`` is
+        the caller's estimate of time spent queued behind earlier jobs
+        (zero on an idle cluster); the result timeline mirrors the
+        simulated one: setup, wait, map phase, shuffle tail, reduce.
+        """
+        num_maps = blocks_for(spec.input_bytes, self.config.block_size)
+        result = JobResult(
+            job_id=spec.job_id,
+            app=spec.app,
+            cluster=self.name,
+            input_bytes=spec.input_bytes,
+            shuffle_bytes=spec.shuffle_bytes,
+            submit_time=self.sim.now,
+        )
+        start = self.sim.now + setup + queue_wait
+        result.first_map_start = start
+        result.last_map_end = start + map_phase
+        result.last_shuffle_end = result.last_map_end + shuffle_phase
+        self._active_jobs += 1
+        self._committed_map_tasks += num_maps
+        self.analytic_jobs += 1
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(self._m_jobs_submitted).inc()
+
+        def complete() -> None:
+            result.end_time = self.sim.now
+            self._active_jobs -= 1
+            self._committed_map_tasks -= num_maps
+            self.results.append(result)
+            done_metrics = self.sim.metrics
+            if done_metrics is not None:
+                done_metrics.counter(self._m_jobs_completed).inc()
+                done_metrics.histogram(self._m_job_seconds).observe(
+                    result.execution_time
+                )
+                done_metrics.histogram(self._m_job_queue_seconds).observe(
+                    result.queue_delay
+                )
+            if on_complete is not None:
+                on_complete(result)
+
+        self.sim.schedule_at(result.last_shuffle_end + reduce_phase, complete)
 
     def _enqueue_maps(self, state: _JobState) -> None:
         state.maps_enqueued_at = self.sim.now
@@ -311,7 +405,7 @@ class JobTracker:
 
     @property
     def total_free_map_slots(self) -> int:
-        return sum(self._free_map)
+        return self._free_map_total
 
     def outstanding_work(self) -> float:
         """Backlog proxy: committed-but-incomplete map tasks per map slot.
@@ -319,7 +413,7 @@ class JobTracker:
         Roughly "how many task waves are already promised to this
         cluster" — what the load-balancing router compares.
         """
-        return self._committed_map_tasks / max(1, self.cluster.total_map_slots)
+        return self._committed_map_tasks / max(1, self._total_map_slots)
 
     # -- health ------------------------------------------------------------
 
@@ -347,8 +441,8 @@ class JobTracker:
         now = self.sim.now
         dt = now - self._last_accounting
         if dt > 0:
-            busy_map = self.cluster.total_map_slots - sum(self._free_map)
-            busy_reduce = self.cluster.total_reduce_slots - sum(self._free_reduce)
+            busy_map = self._total_map_slots - self._free_map_total
+            busy_reduce = self._total_reduce_slots - self._free_reduce_total
             self._map_busy_integral += busy_map * dt
             self._reduce_busy_integral += busy_reduce * dt
         self._last_accounting = now
@@ -358,9 +452,7 @@ class JobTracker:
         self._account()
         if self.sim.now <= 0:
             return 0.0
-        return self._map_busy_integral / (
-            self.sim.now * self.cluster.total_map_slots
-        )
+        return self._map_busy_integral / (self.sim.now * self._total_map_slots)
 
     def reduce_slot_utilization(self) -> float:
         """Mean fraction of reduce slots busy (holding reducers count)."""
@@ -368,7 +460,7 @@ class JobTracker:
         if self.sim.now <= 0:
             return 0.0
         return self._reduce_busy_integral / (
-            self.sim.now * self.cluster.total_reduce_slots
+            self.sim.now * self._total_reduce_slots
         )
 
     # -- slot dispatch ------------------------------------------------------
@@ -417,9 +509,9 @@ class JobTracker:
             {
                 "queued_maps": len(self._map_queue),
                 "queued_reduces": len(self._reduce_queue),
-                "busy_map_slots": self.cluster.total_map_slots - sum(self._free_map),
+                "busy_map_slots": self._total_map_slots - self._free_map_total,
                 "busy_reduce_slots": (
-                    self.cluster.total_reduce_slots - sum(self._free_reduce)
+                    self._total_reduce_slots - self._free_reduce_total
                 ),
             },
             track=self.name,
@@ -443,6 +535,7 @@ class JobTracker:
                 continue
             node = self._pick_map_node(state, idx)
             self._free_map[node.index] -= 1
+            self._free_map_total -= 1
             self._start_map(state, idx, node)
         if self.config.speculative_execution:
             self._dispatch_speculative_maps()
@@ -454,7 +547,7 @@ class JobTracker:
         now = self.sim.now
         worst: Optional[tuple[_JobState, int]] = None
         worst_ratio = self.config.speculative_slack
-        for state in self._active_states:
+        for state in self._active_states.values():
             average = state.average_map_duration()
             if average is None or average <= 0:
                 continue
@@ -510,6 +603,7 @@ class JobTracker:
             state.map_duplicated.add(idx)
             self.speculative_launches += 1
             self._free_map[node.index] -= 1
+            self._free_map_total -= 1
             self._start_map(state, idx, node, speculative=True)
 
     def _dispatch_reduces(self) -> None:
@@ -527,6 +621,7 @@ class JobTracker:
                 self._reduce_queue.task_finished(state)
                 continue
             self._free_reduce[node.index] -= 1
+            self._free_reduce_total -= 1
             self._start_reduce(state, idx, node)
 
     # -- map task lifecycle -------------------------------------------------
@@ -602,12 +697,13 @@ class JobTracker:
                 )
             metrics = self.sim.metrics
             if metrics is not None:
-                metrics.counter(f"{self.name}.map_tasks_finished").inc()
-                metrics.histogram(f"{self.name}.map_task_seconds").observe(
+                metrics.counter(self._m_map_tasks_finished).inc()
+                metrics.histogram(self._m_map_task_seconds).observe(
                     self.sim.now - task_start
                 )
             node.task_finished()
             self._free_map[node.index] += 1
+            self._free_map_total += 1
             if not speculative:
                 # Exactly one queue pop per task index; report it back
                 # whether this copy won or lost.
@@ -770,18 +866,19 @@ class JobTracker:
                     args=args,
                 )
             if metrics is not None:
-                metrics.counter(f"{self.name}.reduce_tasks_finished").inc()
-                metrics.histogram(f"{self.name}.reduce_task_seconds").observe(
+                metrics.counter(self._m_reduce_tasks_finished).inc()
+                metrics.histogram(self._m_reduce_task_seconds).observe(
                     self.sim.now - task_start
                 )
             node.task_finished()
             self._free_reduce[node.index] += 1
+            self._free_reduce_total += 1
             self._reduce_queue.task_finished(state)
             state.reduces_done += 1
             if state.reduces_done == state.num_reducers:
                 result.end_time = self.sim.now
                 self._active_jobs -= 1
-                self._active_states.remove(state)
+                del self._active_states[id(state)]
                 if self.block_map is not None:
                     self.block_map.remove_dataset(state.spec.job_id)
                 self.results.append(result)
@@ -803,17 +900,17 @@ class JobTracker:
                         },
                     )
                 if metrics is not None:
-                    metrics.counter(f"{self.name}.jobs_completed").inc()
-                    metrics.histogram(f"{self.name}.job_seconds").observe(
+                    metrics.counter(self._m_jobs_completed).inc()
+                    metrics.histogram(self._m_job_seconds).observe(
                         result.execution_time
                     )
-                    metrics.histogram(f"{self.name}.job_queue_seconds").observe(
+                    metrics.histogram(self._m_job_queue_seconds).observe(
                         result.queue_delay
                     )
-                    metrics.gauge(f"{self.name}.map_slot_utilization").set(
+                    metrics.gauge(self._m_map_slot_utilization).set(
                         self.map_slot_utilization()
                     )
-                    metrics.gauge(f"{self.name}.speculative_launches").set(
+                    metrics.gauge(self._m_speculative_launches).set(
                         self.speculative_launches
                     )
                 if state.on_complete is not None:
@@ -879,8 +976,8 @@ class JobTracker:
                 )
                 metrics = self.sim.metrics
                 if metrics is not None:
-                    metrics.counter(f"{self.name}.shuffle_bytes").inc(store_bytes)
-                    metrics.histogram(f"{self.name}.shuffle_copy_seconds").observe(
+                    metrics.counter(self._m_shuffle_bytes).inc(store_bytes)
+                    metrics.histogram(self._m_shuffle_copy_seconds).observe(
                         self.sim.now - copy_start
                     )
                 copied()
@@ -927,6 +1024,8 @@ class JobTracker:
             )
         self._live_attempts[index] = []
         node.crash()
+        self._free_map_total -= self._free_map[index]
+        self._free_reduce_total -= self._free_reduce[index]
         self._free_map[index] = 0
         self._free_reduce[index] = 0
         if not self.storage.intermediate_survives_node_loss:
@@ -941,7 +1040,7 @@ class JobTracker:
             )
         metrics = self.sim.metrics
         if metrics is not None:
-            metrics.counter(f"{self.name}.node_crashes").inc()
+            metrics.counter(self._m_node_crashes).inc()
         # Requeued tasks may fit on surviving nodes right away.
         self._dispatch_maps()
         self._dispatch_reduces()
@@ -951,7 +1050,7 @@ class JobTracker:
         ``index`` — the cost asymmetry between node-local shuffle stores
         (HDFS clusters) and a shared remote store (OFS clusters), where
         ``intermediate_survives_node_loss`` makes this a no-op."""
-        for state in self._active_states:
+        for state in self._active_states.values():
             if state.reduces_copied >= state.num_reducers:
                 # Every reducer already copied; outputs no longer needed.
                 continue
@@ -970,7 +1069,7 @@ class JobTracker:
             if lost:
                 metrics = self.sim.metrics
                 if metrics is not None:
-                    metrics.counter(f"{self.name}.maps_reexecuted").inc(len(lost))
+                    metrics.counter(self._m_maps_reexecuted).inc(len(lost))
 
     def recover_node(self, index: int) -> None:
         """The node rejoins (fresh and empty) and its blacklist record,
@@ -979,6 +1078,10 @@ class JobTracker:
         self._account()
         if not node.alive:
             node.recover()
+            self._free_map_total += self.cluster.slots.map_slots - self._free_map[index]
+            self._free_reduce_total += (
+                self.cluster.slots.reduce_slots - self._free_reduce[index]
+            )
             self._free_map[index] = self.cluster.slots.map_slots
             self._free_reduce[index] = self.cluster.slots.reduce_slots
         self._node_failures[index] = 0
@@ -1046,14 +1149,16 @@ class JobTracker:
         self.task_attempt_failures += 1
         metrics = self.sim.metrics
         if metrics is not None:
-            metrics.counter(f"{self.name}.task_attempt_failures").inc()
+            metrics.counter(self._m_task_attempt_failures).inc()
         is_map = attempt.kind == "map"
         if release_slot:
             node.task_finished()
             if is_map:
                 self._free_map[node.index] += 1
+                self._free_map_total += 1
             else:
                 self._free_reduce[node.index] += 1
+                self._free_reduce_total += 1
         # Queue accounting: every popped entry gets exactly one
         # task_finished, whether the attempt finished or died.
         if is_map:
@@ -1114,7 +1219,7 @@ class JobTracker:
                 )
             metrics = self.sim.metrics
             if metrics is not None:
-                metrics.counter(f"{self.name}.nodes_blacklisted").inc()
+                metrics.counter(self._m_nodes_blacklisted).inc()
 
     def _fail_job(self, state: _JobState, reason: str) -> None:
         """Declare a job failed (a task exhausted its attempts).  The
@@ -1129,7 +1234,7 @@ class JobTracker:
         result.end_time = self.sim.now
         self.jobs_failed += 1
         self._active_jobs -= 1
-        self._active_states.remove(state)
+        del self._active_states[id(state)]
         self._committed_map_tasks -= state.num_maps - state.maps_done
         if self.block_map is not None:
             self.block_map.remove_dataset(state.spec.job_id)
@@ -1157,7 +1262,7 @@ class JobTracker:
             )
         metrics = self.sim.metrics
         if metrics is not None:
-            metrics.counter(f"{self.name}.jobs_failed").inc()
+            metrics.counter(self._m_jobs_failed).inc()
         if state.on_complete is not None:
             state.on_complete(result)
 
@@ -1166,7 +1271,7 @@ class JobTracker:
         (evacuation: the job will be resubmitted elsewhere)."""
         state.failed = True  # dispatch loops drop its queue entries
         self._active_jobs -= 1
-        self._active_states.remove(state)
+        del self._active_states[id(state)]
         self._committed_map_tasks -= state.num_maps - state.maps_done
         if self.block_map is not None:
             self.block_map.remove_dataset(state.spec.job_id)
@@ -1190,7 +1295,7 @@ class JobTracker:
         *original* completion callbacks, so storage registered at first
         submission is still released exactly once."""
         evacuated: List[tuple[JobSpec, Optional[JobCallback]]] = []
-        for state in list(self._active_states):
+        for state in list(self._active_states.values()):
             evacuated.append((state.spec, state.on_complete))
             self._cancel_job(state)
         return evacuated
@@ -1199,7 +1304,7 @@ class JobTracker:
         """Fail every job still active (e.g. stranded on a cluster that
         never recovered).  Returns the number of jobs failed."""
         count = 0
-        for state in list(self._active_states):
+        for state in list(self._active_states.values()):
             self._fail_job(state, reason)
             count += 1
         return count

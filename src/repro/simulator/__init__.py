@@ -1,12 +1,22 @@
 """Discrete-event simulation engine.
 
 A minimal, deterministic event-driven core used by the Hadoop execution
-model: a clock + event heap (:mod:`repro.simulator.engine`) and the two
+model: a clock + pluggable event queue (:mod:`repro.simulator.engine`,
+with heap and calendar-queue kernels — see docs/KERNEL.md) and the two
 resource primitives every result in the paper hinges on — FIFO slot pools
 and processor-sharing bandwidth (:mod:`repro.simulator.resources`).
 """
 
-from repro.simulator.engine import Simulation
+from repro.simulator.calqueue import CalendarQueue
+from repro.simulator.engine import KERNEL_ENV, KERNELS, Simulation, resolve_kernel
 from repro.simulator.resources import FairShareResource, SlotPool
 
-__all__ = ["Simulation", "SlotPool", "FairShareResource"]
+__all__ = [
+    "Simulation",
+    "SlotPool",
+    "FairShareResource",
+    "CalendarQueue",
+    "KERNELS",
+    "KERNEL_ENV",
+    "resolve_kernel",
+]

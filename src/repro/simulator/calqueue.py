@@ -1,0 +1,194 @@
+"""Calendar-queue event structure (Brown 1988) for the simulation kernel.
+
+A calendar queue hashes events into ``nbuckets`` "days" of ``width``
+seconds; dequeue walks the calendar forward from the current day.  When
+the width matches the inter-event spacing, both enqueue and dequeue are
+amortised O(1) — versus the binary heap's O(log n) — which is what a
+million-job replay needs once hundreds of thousands of arrival events
+are resident at once.
+
+Determinism contract (docs/KERNEL.md): the queue yields events in
+exactly the total order ``(time, seq)``.  Ties (equal ``time``) always
+hash to the same bucket, each bucket is kept sorted by the same
+``(time, seq)`` key the heap kernel uses, and the dequeue scan decides
+"does this event belong to the current day" with the *identical integer
+expression* (``int(time / width)``) used to place it — never with
+accumulated float arithmetic, which could disagree with the hash at a
+bucket boundary and reorder events.  The result: the calendar and heap
+kernels produce byte-identical pop sequences, pinned by
+``tests/test_kernel_equivalence.py``.
+
+Cancellation matches the heap kernel's lazy semantics: a cancelled
+event stays resident (and counted) until it reaches the front, where
+the simulation loop discards it.  Resizes therefore carry cancelled
+events along instead of purging them, keeping ``pending_events``
+identical between kernels at every step.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import nsmallest
+from typing import Generic, List, Optional, Protocol, Tuple, TypeVar
+
+
+class SchedulableEvent(Protocol):
+    """What the queue needs from an event: the heap kernel's ordering."""
+
+    time: float
+    seq: int
+
+    def __lt__(self, other: object) -> bool: ...
+
+
+E = TypeVar("E", bound=SchedulableEvent)
+
+
+class CalendarQueue(Generic[E]):
+    """A priority queue over ``(time, seq)``-ordered events.
+
+    The public surface mirrors what :class:`~repro.simulator.engine.
+    Simulation` needs: ``push``, ``peek``, ``pop`` and ``len``.
+    """
+
+    #: Smallest calendar ever used; also the initial size.
+    MIN_BUCKETS = 4
+    #: Resize when resident events exceed ``2 x nbuckets`` (grow) or drop
+    #: below ``nbuckets / 2`` (shrink) — Brown's load-factor bounds.
+    GROW_FACTOR = 2
+    #: Events sampled from the front of the queue to estimate the
+    #: average inter-event gap when picking a new bucket width.
+    WIDTH_SAMPLE = 25
+    #: Floor on the bucket width.  Sub-nanosecond event spacing is far
+    #: below the model's resolution, and a vanishing width would push
+    #: ``time / width`` toward float overflow.
+    MIN_WIDTH = 1e-9
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._calendar(width=1.0, nbuckets=self.MIN_BUCKETS, start=0.0)
+        #: Cached (bucket_index, day) of the head event, set by ``peek``
+        #: and consumed by ``pop``; any ``push`` invalidates it.
+        self._head_pos: Optional[Tuple[int, int]] = None
+
+    def _calendar(self, width: float, nbuckets: int, start: float) -> None:
+        """(Re)build an empty calendar positioned at ``start``."""
+        self._width = width
+        self._nbuckets = nbuckets
+        self._buckets: List[List[E]] = [
+            [] for _ in range(nbuckets)
+        ]
+        self._day = int(start / width)
+        self._last_time = start
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- enqueue ----------------------------------------------------------
+
+    def push(self, event: E) -> None:
+        """Insert an event (sorted within its bucket by ``(time, seq)``)."""
+        insort(self._buckets[int(event.time / self._width) % self._nbuckets], event)
+        self._count += 1
+        self._head_pos = None
+        if self._count > self.GROW_FACTOR * self._nbuckets:
+            self._resize(self._nbuckets * 2)
+
+    # -- dequeue ----------------------------------------------------------
+
+    def _locate_head(self) -> Tuple[int, int]:
+        """Find (bucket, day) of the globally minimal event.
+
+        Walks at most one full year from the current day (the common
+        case finds the event in the very first bucket); if the calendar
+        is sparse — every resident event lives days beyond the next year
+        — falls back to a direct scan of all bucket heads and jumps the
+        calendar there.  Membership of an event in a day reuses the hash
+        expression ``int(time / width)``, so it can never disagree with
+        the bucket the event was pushed into.
+        """
+        width = self._width
+        day = self._day
+        index = day % self._nbuckets
+        for _ in range(self._nbuckets):
+            bucket = self._buckets[index]
+            if bucket and int(bucket[0].time / width) <= day:
+                return index, day
+            day += 1
+            index += 1
+            if index == self._nbuckets:
+                index = 0
+        # Sparse: nothing within the next year.  Direct search.
+        best_index = -1
+        best: Optional[E] = None
+        for i, bucket in enumerate(self._buckets):
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+                best_index = i
+        assert best is not None, "locate called on an empty queue"
+        return best_index, int(best.time / width)
+
+    def peek(self) -> E:
+        """The next event in ``(time, seq)`` order, without removing it."""
+        if self._count == 0:
+            raise IndexError("peek from an empty CalendarQueue")
+        if self._head_pos is None:
+            self._head_pos = self._locate_head()
+        return self._buckets[self._head_pos[0]][0]
+
+    def pop(self) -> E:
+        """Remove and return the next event in ``(time, seq)`` order."""
+        if self._count == 0:
+            raise IndexError("pop from an empty CalendarQueue")
+        if self._head_pos is None:
+            self._head_pos = self._locate_head()
+        index, day = self._head_pos
+        self._head_pos = None
+        event = self._buckets[index].pop(0)
+        self._day = day
+        self._last_time = event.time
+        self._count -= 1
+        if (
+            self._nbuckets > self.MIN_BUCKETS
+            and self._count < self._nbuckets // self.GROW_FACTOR
+        ):
+            self._resize(self._nbuckets // 2)
+        return event
+
+    # -- resizing ---------------------------------------------------------
+
+    def _ideal_width(self, events: List[E]) -> float:
+        """Bucket width from the average gap of the soonest events.
+
+        Brown's heuristic: sample the front of the queue (where the
+        action is) and size a bucket to hold ~3 events' worth of time,
+        so a dequeue rarely crosses more than a bucket or two.  All-tie
+        samples (every event at one instant) keep the current width —
+        any width handles ties, since equal times share a bucket.
+        """
+        sample = nsmallest(self.WIDTH_SAMPLE, events)
+        if len(sample) < 2:
+            return self._width
+        span = sample[-1].time - sample[0].time
+        if span <= 0.0:
+            return self._width
+        return max(3.0 * span / (len(sample) - 1), self.MIN_WIDTH)
+
+    def _resize(self, nbuckets: int) -> None:
+        """Rebuild with ``nbuckets`` buckets and a freshly estimated
+        width, repositioned at the last dequeued time."""
+        events = [event for bucket in self._buckets for event in bucket]
+        width = self._ideal_width(events)
+        self._calendar(
+            width=width, nbuckets=max(nbuckets, self.MIN_BUCKETS),
+            start=self._last_time,
+        )
+        self._head_pos = None
+        for event in events:
+            insort(
+                self._buckets[int(event.time / self._width) % self._nbuckets],
+                event,
+            )
+
+
+__all__ = ["CalendarQueue", "SchedulableEvent"]

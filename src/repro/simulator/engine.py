@@ -1,29 +1,64 @@
 """Deterministic discrete-event simulation loop.
 
-The engine is intentionally tiny: a binary heap of ``(time, seq, callback)``
-entries and a clock.  Everything else (slots, bandwidth sharing, tasks,
-jobs) is built on top as ordinary Python objects that schedule callbacks.
+The engine is intentionally tiny: an event queue of ``(time, seq,
+callback)`` entries and a clock.  Everything else (slots, bandwidth
+sharing, tasks, jobs) is built on top as ordinary Python objects that
+schedule callbacks.
+
+Two interchangeable event structures (*kernels*) sit behind the same
+``schedule``/``cancel`` API — see docs/KERNEL.md:
+
+* ``"heap"`` — a binary heap (:mod:`heapq`), the reference
+  implementation;
+* ``"calendar"`` — a calendar queue
+  (:class:`~repro.simulator.calqueue.CalendarQueue`), amortised O(1)
+  enqueue/dequeue for large resident event counts.
 
 Determinism: events at equal times fire in scheduling order (the ``seq``
 tie-breaker), so two runs with the same inputs produce byte-identical
-results.  This is what lets the calibration tests pin exact cross points.
+results — *whichever kernel runs them*.  Both kernels yield the exact
+total order ``(time, seq)``; their equivalence is pinned by
+``tests/test_kernel_equivalence.py``, which is what lets the
+calibration tests pin exact cross points regardless of kernel choice.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, Optional
+import os
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Union
 
 from repro.errors import SimulationError
+from repro.simulator.calqueue import CalendarQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.metrics import MetricsRegistry
     from repro.telemetry.tracer import Tracer
 
+#: Supported event-queue kernels.
+KERNELS = ("heap", "calendar")
+
+#: Environment variable consulted when ``Simulation(kernel=None)``.
+KERNEL_ENV = "REPRO_KERNEL"
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """The kernel to use: an explicit choice, else ``$REPRO_KERNEL``,
+    else the reference heap.  Unknown names raise
+    :class:`~repro.errors.SimulationError` (the env var too — a typo
+    silently falling back to the heap would defeat a benchmark)."""
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV, "") or "heap"
+    if kernel not in KERNELS:
+        raise SimulationError(
+            f"unknown simulation kernel {kernel!r}; choose from {KERNELS}"
+        )
+    return kernel
+
 
 class _Event:
-    """A scheduled callback.  ``cancelled`` events stay in the heap but are
-    skipped when popped — O(1) cancellation without heap surgery."""
+    """A scheduled callback.  ``cancelled`` events stay in the queue but
+    are skipped when popped — O(1) cancellation without queue surgery."""
 
     __slots__ = ("time", "seq", "fn", "cancelled")
 
@@ -41,6 +76,27 @@ class _Event:
         self.cancelled = True
 
 
+class _HeapQueue:
+    """The reference kernel: a binary heap ordered by ``(time, seq)``."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[_Event] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, event: _Event) -> None:
+        heapq.heappush(self._heap, event)
+
+    def peek(self) -> _Event:
+        return self._heap[0]
+
+    def pop(self) -> _Event:
+        return heapq.heappop(self._heap)
+
+
 class Simulation:
     """Event loop with a monotonically advancing clock.
 
@@ -50,11 +106,22 @@ class Simulation:
         Safety valve against runaway models.  The full FB-2009 replay is a
         few hundred thousand task events, so the default leaves ample head
         room while still catching accidental infinite event chains.
+    kernel:
+        Event-queue implementation: ``"heap"`` (reference) or
+        ``"calendar"`` (fast at scale).  ``None`` reads ``$REPRO_KERNEL``
+        and falls back to the heap.  Results are byte-identical either
+        way (docs/KERNEL.md), so the choice is purely about speed.
     """
 
-    def __init__(self, max_events: int = 50_000_000) -> None:
+    def __init__(
+        self, max_events: int = 50_000_000, kernel: Optional[str] = None
+    ) -> None:
         self.now: float = 0.0
-        self._heap: list[_Event] = []
+        #: The resolved kernel name ("heap" or "calendar").
+        self.kernel = resolve_kernel(kernel)
+        self._queue: Union[CalendarQueue[_Event], _HeapQueue] = (
+            CalendarQueue() if self.kernel == "calendar" else _HeapQueue()
+        )
         self._seq = 0
         self._processed = 0
         self._max_events = max_events
@@ -101,7 +168,7 @@ class Simulation:
             )
         event = _Event(time, self._seq, fn)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        self._queue.push(event)
         return event
 
     def call_soon(self, fn: Callable[[], Any]) -> _Event:
@@ -111,7 +178,7 @@ class Simulation:
     # -- execution ------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
-        """Process events until the heap is empty (or ``until`` is reached).
+        """Process events until the queue is empty (or ``until`` is reached).
 
         Returns the final clock value.  Calling ``run`` again after adding
         more events resumes from the current clock.
@@ -119,13 +186,14 @@ class Simulation:
         if self._running:
             raise SimulationError("Simulation.run is not reentrant")
         self._running = True
+        queue = self._queue
         try:
-            while self._heap:
-                event = self._heap[0]
+            while len(queue):
+                event = queue.peek()
                 if until is not None and event.time > until:
                     self.now = until
                     break
-                heapq.heappop(self._heap)
+                queue.pop()
                 if event.cancelled:
                     continue
                 self._processed += 1
@@ -146,20 +214,21 @@ class Simulation:
     def step(self) -> bool:
         """Process the single next pending event.
 
-        Returns True when an event ran, False when the heap is idle
+        Returns True when an event ran, False when the queue is idle
         (cancelled placeholders are discarded without counting as work).
         This is the incremental-admission primitive: a long-running
         service interleaves ``step``/``run(until=...)`` with new
-        ``schedule_at`` calls, and the (time, seq) heap order guarantees
+        ``schedule_at`` calls, and the (time, seq) event order guarantees
         the interleaving cannot reorder events relative to scheduling
         everything up front.
         """
         if self._running:
             raise SimulationError("Simulation.step is not reentrant")
         self._running = True
+        queue = self._queue
         try:
-            while self._heap:
-                event = heapq.heappop(self._heap)
+            while len(queue):
+                event = queue.pop()
                 if event.cancelled:
                     continue
                 self._processed += 1
@@ -182,5 +251,5 @@ class Simulation:
 
     @property
     def pending_events(self) -> int:
-        """Events still in the heap, including cancelled placeholders."""
-        return len(self._heap)
+        """Events still queued, including cancelled placeholders."""
+        return len(self._queue)

@@ -1,12 +1,16 @@
-"""Tests for the closed-form execution-time estimator."""
+"""Tests for the closed-form execution-time estimator and the analytic
+fast path built on top of it (docs/KERNEL.md)."""
 
 import pytest
 
 from repro.analysis.analytic import AnalyticEstimate, estimate
 from repro.apps import GREP, TESTDFSIO_WRITE, WORDCOUNT
+from repro.core import Deployment, FastPathPolicy
 from repro.core.architectures import hybrid, out_ofs, up_hdfs, up_ofs
 from repro.errors import ConfigurationError
-from repro.units import GB
+from repro.faults import default_resilience_plan
+from repro.units import GB, MB
+from repro.workload.fb2009 import DAY, generate_fb2009
 
 
 class TestEstimate:
@@ -61,3 +65,88 @@ class TestEstimate:
     def test_hdfs_architectures_supported(self):
         result = estimate(up_hdfs(), GREP.make_job(4 * GB))
         assert result.execution_time > 0
+
+
+def _fb2009_jobspecs(num_jobs: int, seed: int = 2009):
+    trace = generate_fb2009(
+        num_jobs=num_jobs, duration=DAY * num_jobs / 6000.0, seed=seed
+    ).shrink(5.0)
+    return trace.to_jobspecs()
+
+
+class TestFastPathCrossValidation:
+    """The analytic fast path must agree with full simulation on the
+    jobs it takes — and must *never* take jobs outside its policy."""
+
+    def test_eligible_small_jobs_within_tolerance(self):
+        """Conservative tier, isolated sub-MB FB-2009 jobs: each job the
+        fast path takes must land within 25% of the fully-simulated
+        execution time (measured worst case: 9.5%)."""
+        small = [j for j in _fb2009_jobspecs(80) if j.input_bytes <= MB][:12]
+        assert len(small) >= 8  # ~40% of FB-2009 is sub-MB; the slice holds
+        for job in small:
+            fast = Deployment(out_ofs(), fast_path=FastPathPolicy.small_jobs())
+            got = fast.run_job(job)
+            assert fast.fast_path_jobs == 1, "policy should take this job"
+            assert fast.trackers[0].analytic_jobs == 1
+            want = Deployment(out_ofs()).run_job(job)
+            assert got.execution_time == pytest.approx(
+                want.execution_time, rel=0.25
+            )
+
+    def test_ineligible_large_job_never_takes_fast_path(self):
+        """A multi-wave 8 GB job under the conservative policy must be
+        simulated in full — and byte-identically to a deployment built
+        without any fast path at all."""
+        job = WORDCOUNT.make_job(8 * GB)
+        fast = Deployment(out_ofs(), fast_path=FastPathPolicy.small_jobs())
+        got = fast.run_job(job)
+        assert fast.fast_path_jobs == 0
+        assert fast.trackers[0].analytic_jobs == 0
+        want = Deployment(out_ofs()).run_job(job)
+        assert got.execution_time == want.execution_time  # exact, not approx
+
+    def test_busy_tracker_declines_conservative_tier(self):
+        """require_idle: a second small job arriving while the first is
+        still active falls back to full simulation."""
+        small = [j for j in _fb2009_jobspecs(80) if j.input_bytes <= MB][:2]
+        dep = Deployment(out_ofs(), fast_path=FastPathPolicy.small_jobs())
+        for job in small:
+            dep.submit(job)  # same instant: tracker busy for the second
+        dep.run()
+        assert dep.fast_path_jobs == 1
+        assert dep.trackers[0].analytic_jobs == 1
+
+    def test_full_analytic_replay_within_tolerance(self):
+        """Million-job tier on the paper's hybrid: every job goes
+        analytic, and the replay-level aggregates stay within tolerance
+        of full simulation (measured: makespan ~0.0%, median ~4%)."""
+        jobs = _fb2009_jobspecs(150)
+        base = Deployment(hybrid()).run_trace(jobs, register_dataset=False)
+        fast_dep = Deployment(hybrid(), fast_path=FastPathPolicy.full_analytic())
+        fast = fast_dep.run_trace(jobs, register_dataset=False)
+        assert fast_dep.fast_path_jobs == len(jobs)
+        span = lambda rs: max(r.end_time for r in rs) - min(
+            r.submit_time for r in rs
+        )
+        assert span(fast) == pytest.approx(span(base), rel=0.05)
+        errs = sorted(
+            abs(f.execution_time - b.execution_time) / b.execution_time
+            for b, f in zip(
+                sorted(base, key=lambda r: r.submit_time),
+                sorted(fast, key=lambda r: r.submit_time),
+            )
+            if b.execution_time > 0
+        )
+        assert errs[len(errs) // 2] < 0.15  # median per-job error
+
+    def test_fast_path_refuses_fault_plans(self):
+        """The analytic forms assume fault-free runs; combining the fast
+        path with a fault plan must fail loudly at construction."""
+        plan = default_resilience_plan(duration=100.0, seed=7)
+        with pytest.raises(ConfigurationError):
+            Deployment(
+                out_ofs(),
+                fast_path=FastPathPolicy.small_jobs(),
+                fault_plan=plan,
+            )

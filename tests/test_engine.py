@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulator import Simulation
+from repro.simulator import KERNELS, Simulation, resolve_kernel
 
 
 class TestScheduling:
@@ -148,3 +148,91 @@ class TestSafety:
         sim.run()
         assert sim.events_processed == 1
         assert sim.pending_events == 0
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+class TestSimultaneousEvents:
+    """Tie-break contract: equal times fire in scheduling (seq) order,
+    on every kernel, even when the queue head gets cancelled."""
+
+    def test_same_timestamp_fires_in_seq_order(self, kernel):
+        sim = Simulation(kernel=kernel)
+        fired = []
+        for tag in "abcde":
+            sim.schedule_at(3.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == list("abcde")
+
+    def test_cancel_head_of_simultaneous_group(self, kernel):
+        """Cancelling the queue head (lowest seq of a same-time group)
+        must not disturb the rest of the group's order."""
+        sim = Simulation(kernel=kernel)
+        fired = []
+        head = sim.schedule_at(1.0, lambda: fired.append("head"))
+        for tag in "abc":
+            sim.schedule_at(1.0, lambda t=tag: fired.append(t))
+        sim.schedule_at(0.5, lambda: fired.append("early"))
+        head.cancel()
+        sim.run()
+        assert fired == ["early", "a", "b", "c"]
+        assert sim.now == 1.0
+
+    def test_cancel_head_mid_run_from_earlier_event(self, kernel):
+        """A callback cancelling the next pending head: the cancelled
+        event is skipped, its same-time peers still fire in order."""
+        sim = Simulation(kernel=kernel)
+        fired = []
+        victim = sim.schedule_at(2.0, lambda: fired.append("victim"))
+        sim.schedule_at(2.0, lambda: fired.append("peer"))
+        sim.schedule_at(1.0, victim.cancel)
+        sim.run()
+        assert fired == ["peer"]
+
+    def test_cancelled_head_counts_as_pending_until_popped(self, kernel):
+        sim = Simulation(kernel=kernel)
+        event = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(1.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+        assert sim.events_processed == 1
+
+    def test_reentrant_same_time_scheduling_keeps_order(self, kernel):
+        """call_soon from a callback lands after already-pending
+        same-time events (higher seq), on both kernels."""
+        sim = Simulation(kernel=kernel)
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.call_soon(lambda: fired.append("nested"))
+
+        sim.schedule_at(1.0, first)
+        sim.schedule_at(1.0, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second", "nested"]
+
+
+class TestKernelSelection:
+    def test_default_is_heap(self):
+        assert Simulation().kernel == "heap"
+
+    def test_explicit_kernel(self):
+        assert Simulation(kernel="calendar").kernel == "calendar"
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "calendar")
+        assert Simulation().kernel == "calendar"
+        assert resolve_kernel() == "calendar"
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "calendar")
+        assert Simulation(kernel="heap").kernel == "heap"
+
+    def test_unknown_kernel_rejected(self, monkeypatch):
+        with pytest.raises(SimulationError):
+            Simulation(kernel="fibonacci")
+        monkeypatch.setenv("REPRO_KERNEL", "calender")  # typo must not
+        with pytest.raises(SimulationError):  # silently mean "heap"
+            Simulation()

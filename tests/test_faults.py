@@ -224,7 +224,7 @@ class TestTrackerFaults:
         # Long shuffle: maps finish well before reducers copy them.
         tracker.submit(make_job(input_gb=1.0, shuffle_ratio=2.0), done.append)
         def crash_after_first_wave():
-            if any(tracker._active_states[0].map_done_flags):
+            if any(next(iter(tracker._active_states.values())).map_done_flags):
                 tracker.crash_node(0)
             else:
                 sim.schedule_at(sim.now + 0.5, crash_after_first_wave)
@@ -239,7 +239,7 @@ class TestTrackerFaults:
         done = []
         tracker.submit(make_job(input_gb=1.0, shuffle_ratio=2.0), done.append)
         def crash_after_first_wave():
-            if any(tracker._active_states[0].map_done_flags):
+            if any(next(iter(tracker._active_states.values())).map_done_flags):
                 tracker.crash_node(0)
             else:
                 sim.schedule_at(sim.now + 0.5, crash_after_first_wave)

@@ -1,0 +1,256 @@
+"""Differential tests pinning calendar-queue == heap kernel byte-identity.
+
+The calendar queue (docs/KERNEL.md) only lands because these tests hold:
+
+* property-style differential runs — randomized schedules with inserts,
+  cancellations (including the queue head), same-time ties and
+  re-entrant scheduling from callbacks must produce the identical pop
+  order, final clock and counters on both kernels, across ≥50 seeds;
+* grid pins — every existing experiment family (fig5/fig6 isolated
+  ladders, fig9 DFSIO, the fig10 Section V replay trio, a fault-plan
+  resilience replay) produces a canonically identical payload under
+  either kernel;
+* calendar-queue unit edge cases — resize carrying lazily-cancelled
+  events, the sparse-calendar direct-search fallback, all-tie widths.
+
+Byte-identity (not approximate equality) is the contract: it is what
+lets the kernel stay out of the runner's cache keys.
+"""
+
+import random
+
+import pytest
+
+from repro.core.architectures import (
+    hybrid,
+    out_hdfs,
+    out_ofs,
+    rhadoop,
+    thadoop,
+    up_hdfs,
+    up_ofs,
+)
+from repro.apps import GREP, TESTDFSIO_WRITE, WORDCOUNT
+from repro.faults import default_resilience_plan
+from repro.runner.spec import canonical_json, isolated_cell, replay_cell
+from repro.runner.work import execute_cell
+from repro.simulator import CalendarQueue, KERNELS, Simulation
+from repro.units import GB
+
+
+# -- property-style differential workloads ---------------------------------
+
+
+def run_random_workload(kernel: str, seed: int):
+    """One randomized schedule/cancel/tie workload on a chosen kernel.
+
+    Returns everything observable: the pop order with timestamps, the
+    final clock, and both counters.  The harness consumes its RNG inside
+    callbacks too, so any ordering divergence between kernels derails
+    the streams and shows up loudly.
+    """
+    sim = Simulation(kernel=kernel)
+    rng = random.Random(seed)
+    order = []
+    handles = []
+
+    def make(tag):
+        def fn():
+            order.append((tag, round(sim.now, 12)))
+            roll = rng.random()
+            if roll < 0.25:
+                # Re-entrant: schedule more work from inside a callback,
+                # sometimes at the *current* instant (a same-time tie).
+                delay = rng.choice([0.0, 0.0, rng.random() * 7.0])
+                handles.append(sim.schedule(delay, make(f"{tag}+")))
+            elif roll < 0.40 and handles:
+                # Cancel a random pending handle — often the head.
+                rng.choice(handles).cancel()
+        return fn
+
+    for i in range(250):
+        # Mix continuous times with small integers to force collisions.
+        time = rng.choice(
+            [rng.random() * 100.0, float(rng.randrange(12)), 64.0 + i % 3]
+        )
+        handles.append(sim.schedule_at(time, make(str(i))))
+    for _ in range(40):
+        rng.choice(handles).cancel()
+    # Exercise run(until), incremental admission, then drain with step().
+    sim.run(until=30.0)
+    handles.append(sim.schedule_at(55.0, make("late")))
+    sim.run(until=70.0)
+    while sim.step():
+        pass
+    return order, sim.now, sim.events_processed, sim.pending_events
+
+
+@pytest.mark.parametrize("seed", range(60))
+def test_differential_random_schedules(seed):
+    assert run_random_workload("heap", seed) == run_random_workload(
+        "calendar", seed
+    )
+
+
+def test_kernels_cover_both_implementations():
+    assert set(KERNELS) == {"heap", "calendar"}
+
+
+# -- calendar-queue unit edge cases ----------------------------------------
+
+
+class _Item:
+    __slots__ = ("time", "seq", "cancelled")
+
+    def __init__(self, time, seq):
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class TestCalendarQueue:
+    def test_empty_peek_and_pop_raise(self):
+        queue = CalendarQueue()
+        with pytest.raises(IndexError):
+            queue.peek()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_pop_order_matches_sorted(self):
+        rng = random.Random(99)
+        items = [
+            _Item(rng.choice([rng.random() * 50, float(rng.randrange(5))]), i)
+            for i in range(500)
+        ]
+        queue = CalendarQueue()
+        for item in items:
+            queue.push(item)
+        popped = [queue.pop() for _ in range(len(items))]
+        assert popped == sorted(items)
+        assert len(queue) == 0
+
+    def test_interleaved_push_pop_stays_sorted(self):
+        rng = random.Random(5)
+        queue = CalendarQueue()
+        seq = 0
+        last = (float("-inf"), -1)
+        floor = 0.0  # pushes never go behind the last pop (engine contract)
+        for _ in range(2000):
+            if queue and rng.random() < 0.45:
+                item = queue.pop()
+                key = (item.time, item.seq)
+                assert key > last
+                last = key
+                floor = item.time
+            else:
+                queue.push(_Item(floor + rng.random() * 20.0, seq))
+                seq += 1
+        while queue:
+            item = queue.pop()
+            key = (item.time, item.seq)
+            assert key > last
+            last = key
+
+    def test_resize_carries_cancelled_events(self):
+        """Lazy cancellation: cancelled events stay resident (and
+        counted) through grow/shrink resizes until actually popped."""
+        queue = CalendarQueue()
+        items = [_Item(float(i), i) for i in range(64)]  # forces growth
+        for item in items:
+            queue.push(item)
+        for item in items[:10]:
+            item.cancelled = True
+        assert len(queue) == 64
+        popped = [queue.pop() for _ in range(64)]  # forces shrinks too
+        assert popped == items
+        assert [p.cancelled for p in popped[:10]] == [True] * 10
+
+    def test_sparse_calendar_direct_search(self):
+        """Events far beyond the next calendar year are still found in
+        the right order (the direct-search fallback + day jump)."""
+        queue = CalendarQueue()
+        # Establish a tiny width via a dense burst, then drain it.
+        for i in range(40):
+            queue.push(_Item(i * 0.001, i))
+        for _ in range(40):
+            queue.pop()
+        # Now only huge-gap events remain: the year scan from the
+        # current day cannot reach them.
+        far = [_Item(1e6 + i * 1e5, 100 + i) for i in range(5)]
+        for item in reversed(far):
+            queue.push(item)
+        assert [queue.pop() for _ in range(5)] == far
+
+    def test_all_ties_single_instant(self):
+        """An all-tie population (zero time span) must keep working —
+        the width estimator has no gap to measure."""
+        queue = CalendarQueue()
+        items = [_Item(7.0, i) for i in range(100)]
+        for item in items:
+            queue.push(item)
+        assert [queue.pop() for _ in range(100)] == items
+
+    def test_peek_is_stable_and_nondestructive(self):
+        queue = CalendarQueue()
+        items = [_Item(float(i % 3), i) for i in range(30)]
+        for item in items:
+            queue.push(item)
+        assert queue.peek() is items[0]
+        assert queue.peek() is items[0]
+        assert len(queue) == 30
+        assert queue.pop() is items[0]
+
+
+# -- grid byte-identity pins -----------------------------------------------
+
+
+def _payload(cell, kernel, monkeypatch) -> str:
+    monkeypatch.setenv("REPRO_KERNEL", kernel)
+    return canonical_json(execute_cell(cell))
+
+
+def _assert_kernel_identical(cell, monkeypatch):
+    assert _payload(cell, "heap", monkeypatch) == _payload(
+        cell, "calendar", monkeypatch
+    )
+
+
+class TestGridByteIdentity:
+    """Every experiment family must serialise identically under either
+    kernel.  ``execute_cell`` is the runner's uncached execution path,
+    so each side genuinely re-simulates."""
+
+    @pytest.mark.parametrize(
+        "arch_fn", [up_ofs, up_hdfs, out_ofs, out_hdfs], ids=lambda f: f.__name__
+    )
+    def test_fig5_wordcount_cells(self, arch_fn, monkeypatch):
+        _assert_kernel_identical(
+            isolated_cell(arch_fn(), WORDCOUNT, 2 * GB), monkeypatch
+        )
+
+    def test_fig6_grep_cell(self, monkeypatch):
+        _assert_kernel_identical(
+            isolated_cell(out_ofs(), GREP, 8 * GB), monkeypatch
+        )
+
+    def test_fig9_dfsio_cell(self, monkeypatch):
+        _assert_kernel_identical(
+            isolated_cell(out_hdfs(), TESTDFSIO_WRITE, 4 * GB), monkeypatch
+        )
+
+    @pytest.mark.parametrize(
+        "arch_fn", [hybrid, thadoop, rhadoop], ids=lambda f: f.__name__
+    )
+    def test_fig10_replay_trio(self, arch_fn, monkeypatch):
+        _assert_kernel_identical(
+            replay_cell(arch_fn(), num_jobs=60), monkeypatch
+        )
+
+    def test_resilience_replay_with_fault_plan(self, monkeypatch):
+        plan = default_resilience_plan(duration=60 * 14.4 / 5.0, seed=13)
+        _assert_kernel_identical(
+            replay_cell(out_ofs(), num_jobs=30, fault_plan=plan), monkeypatch
+        )

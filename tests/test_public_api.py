@@ -26,7 +26,8 @@ EXPECTED_EXPORTS = frozenset({
     "get_app",
     # core model
     "ArchitectureSpec", "Calibration", "CrossPoints", "DEFAULT_CALIBRATION",
-    "Decision", "Deployment", "InterpolatingScheduler", "LoadBalancingRouter",
+    "Decision", "Deployment", "FastPathEngine", "FastPathPolicy",
+    "InterpolatingScheduler", "LoadBalancingRouter",
     "PAPER_CROSS_POINTS", "Router", "Scheduler", "SizeAwareScheduler",
     "algorithm1_router", "build_deployment", "derive_cross_points",
     "estimate_cross_point", "hybrid", "named_architectures", "out_hdfs",

@@ -1,0 +1,146 @@
+"""Online-tuning bench: the head-to-head behind docs/TUNE.md.
+
+Runs :func:`repro.tune.evaluate.evaluate_policies` at full scale — the
+default shifting mix (shuffle-heavy then input-heavy, 20 jobs each)
+replayed on a drifted Hybrid deployment under every routing policy —
+and archives the regret/accuracy numbers EXPERIMENTS.md quotes:
+
+* cumulative regret vs the oracle for static Algorithm 1, the
+  recalibrated adaptive router, and the contextual bandit;
+* the calibrator's MAPE trajectory (training + holdout, before/after
+  each publish) and the parameter vector it converged to;
+* wall-clock and runner cell statistics (the search is content-
+  addressed, so a warm-cache re-run is dramatically cheaper).
+
+Acceptance bars, asserted on every run:
+
+* the recalibrated policy's cumulative regret is strictly lower than
+  static Algorithm 1's (the ISSUE's head-to-head criterion);
+* the final published calibration's holdout MAPE improves on the
+  uncalibrated base.
+
+Usage::
+
+    python benchmarks/bench_tune.py
+    python benchmarks/bench_tune.py --jobs-per-phase 10 --budget 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.runner.pool import PoolRunner
+from repro.tune.evaluate import DEFAULT_PHASES, MixPhase, evaluate_policies
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPORT = REPO_ROOT / "BENCH_TUNE.json"
+
+SEED = 0
+
+
+def scaled_phases(jobs_per_phase: int | None):
+    if jobs_per_phase is None:
+        return DEFAULT_PHASES
+    return tuple(
+        MixPhase(p.name, p.apps, jobs_per_phase, p.min_gb, p.max_gb,
+                 p.interarrival)
+        for p in DEFAULT_PHASES
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs-per-phase", type=int, default=None,
+        help="override jobs per workload phase (default: the paper-scale 20)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=max(2, (os.cpu_count() or 2) // 2),
+        help="runner processes for the calibration/oracle fan-outs",
+    )
+    parser.add_argument(
+        "--publish-period", type=float, default=1800.0,
+        help="seconds of simulated time between calibration publishes",
+    )
+    parser.add_argument(
+        "--budget", type=float, default=None,
+        help="assert total wall-clock (seconds) stays under this",
+    )
+    parser.add_argument(
+        "--report", default=str(REPORT),
+        help=f"output path (default: {REPORT})",
+    )
+    args = parser.parse_args(argv)
+
+    runner = PoolRunner(max_workers=args.workers)
+    t0 = time.perf_counter()
+    evaluation = evaluate_policies(
+        phases=scaled_phases(args.jobs_per_phase),
+        runner=runner,
+        seed=SEED,
+        publish_period=args.publish_period,
+    )
+    wall = time.perf_counter() - t0
+
+    static = evaluation.outcome("static")
+    recal = evaluation.outcome("recalibrated")
+    bandit = evaluation.outcome("bandit")
+    for outcome in (static, recal, bandit):
+        print(
+            f"{outcome.policy:<13} total {outcome.total_runtime:9.1f}s  "
+            f"cumulative regret {outcome.cumulative_regret:8.1f}s",
+            flush=True,
+        )
+    print(f"{'oracle':<13} total {evaluation.oracle_total_runtime:9.1f}s")
+
+    assert recal.cumulative_regret < static.cumulative_regret, (
+        f"recalibrated routing must beat static Algorithm 1: "
+        f"{recal.cumulative_regret:.1f}s vs {static.cumulative_regret:.1f}s"
+    )
+    last = recal.updates[-1]
+    assert last["holdout_mape_after"] < last["holdout_mape_before"], (
+        f"calibration must improve holdout MAPE: "
+        f"{last['holdout_mape_after']:.3f} vs {last['holdout_mape_before']:.3f}"
+    )
+    print(
+        f"holdout MAPE {last['holdout_mape_before']:.3f} -> "
+        f"{last['holdout_mape_after']:.3f} over {len(recal.updates)} "
+        f"publish(es); chosen {last['chosen']}",
+        flush=True,
+    )
+
+    report = {
+        "bench": {
+            "seed": SEED,
+            "workers": args.workers,
+            "publish_period": args.publish_period,
+            "wall_seconds": round(wall, 2),
+            "runner": runner.lifetime_stats.as_dict(),
+        },
+        "evaluation": evaluation.to_dict(),
+        "env": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+    Path(args.report).write_text(json.dumps(report, indent=1) + "\n")
+    print(f"report -> {args.report}  (total {wall:.1f}s)", flush=True)
+
+    if args.budget is not None and wall > args.budget:
+        print(
+            f"FAIL: wall-clock {wall:.1f}s exceeded budget {args.budget:.0f}s",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

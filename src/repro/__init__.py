@@ -88,6 +88,15 @@ from repro.errors import (
     TraceError,
 )
 from repro.service import AdmissionPolicy, ReproService, ServiceClient
+from repro.tune import (
+    AdaptiveRouter,
+    BanditRouter,
+    ObservationWindow,
+    OnlineCalibrator,
+    ParamRange,
+    Tuner,
+    evaluate_policies,
+)
 from repro.faults import (
     FaultEvent,
     FaultInjector,
@@ -155,6 +164,14 @@ __all__ = [
     "ServiceClient",
     "ServiceState",
     "validate_ndjson",
+    # tune (online calibration + learned routing; see docs/TUNE.md)
+    "AdaptiveRouter",
+    "BanditRouter",
+    "ObservationWindow",
+    "OnlineCalibrator",
+    "ParamRange",
+    "Tuner",
+    "evaluate_policies",
     # mapreduce
     "HadoopConfig",
     "JobSpec",

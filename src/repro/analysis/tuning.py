@@ -1,0 +1,133 @@
+"""Render the online-tuning head-to-head (:mod:`repro.tune.evaluate`).
+
+Three views of one :class:`~repro.tune.evaluate.EvaluationReport`:
+
+* the policy table — total/mean runtime, cumulative regret vs the
+  oracle, and how each policy split traffic between the members;
+* the calibration trajectory — training and holdout MAPE before/after
+  every publish point (the "does online calibration actually converge"
+  table);
+* the cumulative-regret chart — one curve per policy over job arrivals,
+  which is where "learned beats static after the mix shifts" is visible.
+
+Plain text throughout, like the rest of :mod:`repro.analysis`: the
+deliverable is diffable data, not pixels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.asciichart import render_chart
+from repro.analysis.report import render_table
+from repro.tune.evaluate import EvaluationReport
+
+
+def tuning_policy_table(report: EvaluationReport) -> str:
+    """One row per policy, against the shared oracle reference."""
+    rows: List[List[object]] = []
+    for outcome in report.outcomes:
+        members = outcome.routing["members"]
+        routed = "/".join(
+            str(sum(counts.values())) for counts in members.values()
+        )
+        rows.append(
+            [
+                outcome.policy,
+                outcome.total_runtime,
+                outcome.mean_runtime,
+                outcome.cumulative_regret,
+                routed,
+            ]
+        )
+    rows.append(
+        ["oracle", report.oracle_total_runtime,
+         report.oracle_total_runtime / max(report.jobs, 1), 0.0, "-"]
+    )
+    member_names = "/".join(
+        report.outcomes[0].routing["members"] if report.outcomes else []
+    )
+    return render_table(
+        ["policy", "total s", "mean s", "cum regret s", f"jobs {member_names}"],
+        rows,
+        title=f"Routing policies vs oracle ({report.jobs} jobs, seed {report.seed})",
+    )
+
+
+def calibration_table(report: EvaluationReport) -> Optional[str]:
+    """MAPE before/after each publish of the recalibrated policy, or
+    ``None`` when the report has no recalibrated run."""
+    try:
+        outcome = report.outcome("recalibrated")
+    except KeyError:
+        return None
+    if not outcome.updates:
+        return None
+    rows = [
+        [
+            u["version"],
+            u["window_size"],
+            u["candidates_evaluated"],
+            u["mape_before"],
+            u["mape_after"],
+            u["holdout_mape_before"],
+            u["holdout_mape_after"],
+        ]
+        for u in outcome.updates
+    ]
+    return render_table(
+        ["v", "window", "cands", "train pre", "train post",
+         "holdout pre", "holdout post"],
+        rows,
+        title="Calibration publishes (MAPE vs base calibration)",
+    )
+
+
+def regret_chart(
+    report: EvaluationReport,
+    *,
+    width: int = 72,
+    height: int = 14,
+    policies: Optional[Sequence[str]] = None,
+) -> str:
+    """Cumulative regret (seconds vs oracle) over job arrivals."""
+    selected = list(policies) if policies is not None else [
+        o.policy for o in report.outcomes
+    ]
+    series: Dict[str, Sequence[Optional[float]]] = {}
+    for name in selected:
+        series[name] = list(report.outcome(name).regret_curve)
+    x_values = [float(i + 1) for i in range(report.jobs)]
+    return render_chart(
+        x_values,
+        series,
+        width=width,
+        height=height,
+        log_x=False,
+        reference_y=0.0,
+        title="Cumulative regret vs oracle (s) over job arrivals",
+        x_formatter=lambda x: f"{x:.0f}",
+    )
+
+
+def render_tuning(report: EvaluationReport) -> str:
+    """The full text report: tables + regret chart."""
+    sections = [tuning_policy_table(report)]
+    calibration = calibration_table(report)
+    if calibration is not None:
+        sections.append(calibration)
+    sections.append(regret_chart(report))
+    phases = ", ".join(
+        f"{p['name']} ({p['jobs']} jobs, {p['min_gb']:.0f}-{p['max_gb']:.0f} GB)"
+        for p in report.phases
+    )
+    sections.append(f"workload: {phases}")
+    return "\n\n".join(sections)
+
+
+__all__ = [
+    "calibration_table",
+    "regret_chart",
+    "render_tuning",
+    "tuning_policy_table",
+]

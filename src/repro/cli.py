@@ -29,6 +29,10 @@ Commands map one-to-one onto the paper's artifacts:
   and checkpoint/restore (see docs/SERVICE.md).
 * ``submit``       — client for a running daemon: stream an NDJSON file
   or a saved trace, optionally drain and shut the daemon down.
+* ``tune``         — the online-tuning head-to-head: static Algorithm 1
+  vs recalibrated vs bandit routing on a shifting workload mix over a
+  drifted substrate (see docs/TUNE.md); ``--calibration FILE`` loads a
+  saved calibration (also accepted by ``run`` and ``advise``).
 
 Shared flags are hoisted into parent parsers so every subcommand spells
 them the same way: ``--trace-out FILE`` records a Chrome trace of a run
@@ -75,7 +79,7 @@ from repro.core.architectures import (
     named_architectures,
     table1_architectures,
 )
-from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.deployment import Deployment
 from repro.core.scheduler import PAPER_CROSS_POINTS
 from repro.errors import CapacityError, ReproError
@@ -165,6 +169,24 @@ def _telemetry_options(
     return parent
 
 
+def _calibration_options() -> argparse.ArgumentParser:
+    """Parent parser with the shared ``--calibration FILE`` flag."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--calibration", metavar="FILE",
+        help="load a saved calibration JSON (Calibration.save/load; "
+             "strict schema) instead of the built-in constants",
+    )
+    return parent
+
+
+def _load_calibration(args: argparse.Namespace) -> Calibration:
+    """The calibration a command asked for (``--calibration`` or default)."""
+    if getattr(args, "calibration", None):
+        return Calibration.load(args.calibration)
+    return DEFAULT_CALIBRATION
+
+
 def _make_runner(workers: int, no_cache: bool) -> PoolRunner:
     """The experiment runner a command asked for (see repro.runner)."""
     cache = None if no_cache else ResultCache()
@@ -199,7 +221,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else None
     fault_plan = FaultPlan.load(args.faults) if args.faults else None
     deployment = Deployment(
-        archs[args.arch], register_datasets=True, tracer=tracer,
+        archs[args.arch], calibration=_load_calibration(args),
+        register_datasets=True, tracer=tracer,
         fault_plan=fault_plan,
     )
     job = app.make_job(parse_size(args.size))
@@ -352,7 +375,8 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         num_jobs=args.jobs, seed=args.seed, duration=DAY * args.jobs / 6000
     ).shrink(5.0)
     advice = advise_split(
-        trace.to_jobspecs(), budget=args.budget, objective=args.objective
+        trace.to_jobspecs(), budget=args.budget, objective=args.objective,
+        calibration=_load_calibration(args), workers=args.workers,
     )
     rows = [
         [o.name, o.mean, o.p50, o.p99, o.max, o.makespan]
@@ -369,6 +393,37 @@ def _cmd_advise(args: argparse.Namespace) -> int:
         )
     )
     print(f"\nrecommended ({args.objective}): {advice.best.name}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.analysis.tuning import render_tuning
+    from repro.runner.spec import canonical_json
+    from repro.tune import DEFAULT_PHASES, MixPhase, evaluate_policies
+
+    runner = _make_runner(args.workers, args.no_cache)
+    phases = tuple(
+        MixPhase(p.name, p.apps, args.jobs_per_phase or p.jobs,
+                 p.min_gb, p.max_gb, p.interarrival)
+        for p in DEFAULT_PHASES
+    )
+    report = evaluate_policies(
+        phases=phases,
+        base=_load_calibration(args),
+        policies=tuple(args.policies.split(",")),
+        runner=runner,
+        seed=args.seed,
+        publish_period=args.publish_period,
+        min_observations=args.min_observations,
+        bandit_strategy=args.strategy,
+    )
+    print(render_tuning(report))
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(canonical_json(report.to_dict()) + "\n")
+        print(f"\nreport JSON written to {args.out}")
+    _print_runner_stats(runner)
     return 0
 
 
@@ -698,7 +753,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser(
         "run", help="run one job on one architecture",
-        parents=[_telemetry_options(faults=True)],
+        parents=[_telemetry_options(faults=True), _calibration_options()],
     )
     run.add_argument("--app", default="wordcount", choices=sorted(APP_REGISTRY))
     run.add_argument("--size", default="8GB", help='input size, e.g. "32GB"')
@@ -799,13 +854,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     advise = sub.add_parser(
         "advise", help="recommend a scale-up/out budget split for a workload",
-        parents=[_seed_options(2009)],
+        parents=[_seed_options(2009), _calibration_options()],
     )
     advise.add_argument("--budget", type=float, default=24.0,
                         help="budget in scale-out-node price units")
     advise.add_argument("--jobs", type=int, default=200)
     advise.add_argument("--objective", default="mean",
                         choices=("mean", "p50", "p99", "max", "makespan"))
+    advise.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for the candidate mixes "
+                             "(default 1 = serial; advice is identical)")
+
+    tune = sub.add_parser(
+        "tune",
+        help="online calibration + learned routing vs static Algorithm 1 "
+             "(docs/TUNE.md)",
+        parents=[_seed_options(0), _runner_options(), _calibration_options()],
+    )
+    tune.add_argument("--policies", default="static,recalibrated,bandit",
+                      help="comma list of policies to evaluate "
+                           "(default static,recalibrated,bandit)")
+    tune.add_argument("--jobs-per-phase", type=int, metavar="N",
+                      help="override the jobs in each workload phase")
+    tune.add_argument("--publish-period", type=float, default=1800.0,
+                      help="simulation seconds between calibration "
+                           "publish points (default 1800)")
+    tune.add_argument("--min-observations", type=int, default=8,
+                      help="window size required before the first publish "
+                           "(default 8)")
+    tune.add_argument("--strategy", default="epsilon",
+                      choices=("epsilon", "ucb"),
+                      help="bandit exploration strategy (default epsilon)")
+    tune.add_argument("--out", metavar="FILE",
+                      help="also write the full report JSON here")
 
     timeline = sub.add_parser(
         "timeline", help="Gantt view of a small hybrid replay",
@@ -880,6 +961,7 @@ _COMMANDS = {
     "resilience": _cmd_resilience,
     "timeline": _cmd_timeline,
     "advise": _cmd_advise,
+    "tune": _cmd_tune,
     "verify": _cmd_verify,
     "figures": _cmd_figures,
     "trace-export": _cmd_trace_export,

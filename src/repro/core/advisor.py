@@ -103,17 +103,46 @@ def equal_cost_splits(budget: float) -> List[tuple[int, int]]:
     return splits
 
 
+def _evaluate_split(
+    split: tuple[int, int],
+    jobs: Sequence[JobSpec],
+    calibration: Calibration,
+) -> SplitOutcome:
+    """Replay the workload on one mix (module-level so worker processes
+    can pickle it)."""
+    up_count, out_count = split
+    spec = mixed_architecture(up_count, out_count)
+    deployment = Deployment(spec, calibration=calibration)
+    results = deployment.run_trace(jobs)
+    times = np.array([r.execution_time for r in results])
+    return SplitOutcome(
+        up_count=up_count,
+        out_count=out_count,
+        mean=float(times.mean()),
+        p50=float(np.percentile(times, 50)),
+        p99=float(np.percentile(times, 99)),
+        max=float(times.max()),
+        makespan=float(max(r.end_time for r in results)),
+    )
+
+
 def advise_split(
     jobs: Sequence[JobSpec],
     budget: float = 24.0,
     objective: str = "mean",
     calibration: Calibration = DEFAULT_CALIBRATION,
     candidates: Optional[Sequence[tuple[int, int]]] = None,
+    *,
+    workers: int = 1,
 ) -> Advice:
     """Replay ``jobs`` on every equal-cost mix and recommend the best.
 
     ``objective`` selects what "best" means: mean/median/p99/max job
-    execution time, or workload makespan.
+    execution time, or workload makespan.  ``workers > 1`` fans the
+    candidate mixes out over processes; each candidate's replay is an
+    independent deterministic simulation and outcomes are collected in
+    candidate order, so the advice is identical to a serial run (pinned
+    by ``tests/test_advisor.py``).
     """
     if objective not in OBJECTIVES:
         raise ConfigurationError(
@@ -121,26 +150,26 @@ def advise_split(
         )
     if not jobs:
         raise ConfigurationError("need at least one job to advise on")
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1: {workers}")
     splits = list(candidates) if candidates is not None else equal_cost_splits(budget)
     if not splits:
         raise ConfigurationError("no candidate splits to evaluate")
 
-    outcomes = []
-    for up_count, out_count in splits:
-        spec = mixed_architecture(up_count, out_count)
-        deployment = Deployment(spec, calibration=calibration)
-        results = deployment.run_trace(jobs)
-        times = np.array([r.execution_time for r in results])
-        outcomes.append(
-            SplitOutcome(
-                up_count=up_count,
-                out_count=out_count,
-                mean=float(times.mean()),
-                p50=float(np.percentile(times, 50)),
-                p99=float(np.percentile(times, 99)),
-                max=float(times.max()),
-                makespan=float(max(r.end_time for r in results)),
+    jobs = list(jobs)
+    if workers > 1 and len(splits) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(workers, len(splits))) as pool:
+            outcomes = list(
+                pool.map(
+                    _evaluate_split,
+                    splits,
+                    [jobs] * len(splits),
+                    [calibration] * len(splits),
+                )
             )
-        )
+    else:
+        outcomes = [_evaluate_split(split, jobs, calibration) for split in splits]
     best = min(outcomes, key=lambda o: o.metric(objective))
     return Advice(objective=objective, outcomes=outcomes, best=best)

@@ -21,14 +21,24 @@ jobs, as in Fig. 10) but not claimed; orderings and cross points are.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Any
+import json
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Dict
 
 from repro.cluster import specs
 from repro.cluster.cluster import Cluster
 from repro.errors import ConfigurationError
 from repro.mapreduce.config import HadoopConfig
 from repro.units import GB, MB, TB
+
+#: Version tag of the calibration JSON document (``to_json``).  Bump on
+#: any change to the serialised structure; ``from_json`` rejects
+#: documents from other versions rather than guessing.
+CALIBRATION_SCHEMA = 1
+
+#: The ``kind`` discriminator carried by every calibration document.
+CALIBRATION_KIND = "repro-calibration"
 
 
 @dataclass(frozen=True)
@@ -209,6 +219,105 @@ class Calibration:
     def with_options(self, **changes: Any) -> "Calibration":
         """Copy with fields replaced (calibration search / ablations)."""
         return replace(self, **changes)
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The calibration as a versioned, JSON-able document."""
+        return {
+            "kind": CALIBRATION_KIND,
+            "schema": CALIBRATION_SCHEMA,
+            "fields": {f.name: getattr(self, f.name) for f in fields(self)},
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Strict JSON form; round-trips through :meth:`from_json`."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "Calibration":
+        """Parse a document produced by :meth:`to_dict` — strictly.
+
+        Unknown field names, a wrong ``kind``, a wrong ``schema``
+        version, and mistyped values are all rejected with a
+        :class:`~repro.errors.ConfigurationError` (a silently-dropped
+        typo in a published calibration would corrupt every downstream
+        routing decision).  Fields absent from the document keep their
+        defaults, so documents written by older code still load.
+        """
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"calibration document must be an object, got {type(data).__name__}"
+            )
+        if data.get("kind") != CALIBRATION_KIND:
+            raise ConfigurationError(
+                f"not a calibration document (kind={data.get('kind')!r}, "
+                f"want {CALIBRATION_KIND!r})"
+            )
+        if data.get("schema") != CALIBRATION_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported calibration schema {data.get('schema')!r} "
+                f"(this code reads schema {CALIBRATION_SCHEMA})"
+            )
+        values = data.get("fields")
+        if not isinstance(values, dict):
+            raise ConfigurationError("calibration document needs a 'fields' object")
+        known = {f.name: f for f in fields(cls)}
+        unknown = sorted(set(values) - set(known))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown calibration field(s): {', '.join(unknown)}"
+            )
+        kwargs: Dict[str, Any] = {}
+        for name, value in values.items():
+            default = known[name].default
+            if isinstance(default, bool):
+                if not isinstance(value, bool):
+                    raise ConfigurationError(
+                        f"calibration field {name!r} must be a boolean, "
+                        f"got {value!r}"
+                    )
+            elif isinstance(default, int) and not isinstance(default, bool):
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ConfigurationError(
+                        f"calibration field {name!r} must be an integer, "
+                        f"got {value!r}"
+                    )
+            elif isinstance(default, float):
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ConfigurationError(
+                        f"calibration field {name!r} must be a number, "
+                        f"got {value!r}"
+                    )
+                value = float(value)
+            elif isinstance(default, str):
+                if not isinstance(value, str):
+                    raise ConfigurationError(
+                        f"calibration field {name!r} must be a string, "
+                        f"got {value!r}"
+                    )
+            kwargs[name] = value
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Calibration":
+        """Parse :meth:`to_json` output (same strictness as :meth:`from_dict`)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"calibration is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the JSON document to ``path`` (pretty-printed)."""
+        target = Path(path)
+        target.write_text(self.to_json(indent=1) + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Calibration":
+        """Read a calibration published with :meth:`save` (``--calibration``)."""
+        return cls.from_json(Path(path).read_text())
 
 
 #: The frozen calibration validated by tests/test_paper_fidelity.py.

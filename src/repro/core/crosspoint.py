@@ -13,6 +13,7 @@ their systems and develop the hybrid architecture".
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,6 +23,104 @@ from repro.errors import ConfigurationError
 
 #: measure(app_name, input_bytes) -> (scale_up_seconds, scale_out_seconds)
 MeasureFn = Callable[[str, float], Tuple[float, float]]
+
+#: Threshold multiplier encoding total dominance when a curve never
+#: crosses and the fallback is explicitly disabled: far enough outside
+#: any measured range that the band effectively routes one way only.
+_DOMINANCE_FACTOR = 2.0**20
+
+
+@dataclass(frozen=True)
+class CrossBand:
+    """The full outcome of reading one ratio curve (one Fig. 7/8 panel).
+
+    ``cross`` is the interpolated crossing size, or ``None`` when the
+    curve never crosses 1.0 inside the measured range — an *open-ended*
+    band where ``dominant`` names the cluster that wins at every
+    measured size the curve ends on.  ``crossings`` counts downward
+    crossings: more than one means the curve is non-monotone (noisy)
+    and the reported cross is the last one, after which scale-out stays
+    ahead for good.
+    """
+
+    cross: Optional[float]
+    dominant: Optional[str]
+    crossings: int
+    lo: float
+    hi: float
+
+    @property
+    def open_ended(self) -> bool:
+        return self.cross is None
+
+    @property
+    def monotone(self) -> bool:
+        return self.crossings <= 1
+
+    def describe(self) -> str:
+        if self.cross is not None:
+            return f"cross at {self.cross:.3g}B ({self.crossings} crossing(s))"
+        return (
+            f"no crossing in [{self.lo:.3g}B, {self.hi:.3g}B]: "
+            f"{self.dominant} dominates"
+        )
+
+
+def cross_point_band(
+    sizes: Sequence[float],
+    up_times: Sequence[float],
+    out_times: Sequence[float],
+) -> CrossBand:
+    """Read a ratio curve into an explicit :class:`CrossBand`.
+
+    Unlike :func:`estimate_cross_point` this never loses information:
+    a curve that never crosses yields an open-ended band naming the
+    dominant cluster instead of a bare ``None``, and the crossing count
+    exposes non-monotone (noisy) curves to the caller.
+    """
+    sizes_arr = _validated_sizes(sizes)
+    ratio = normalized_ratio(up_times, out_times)
+    if ratio.shape != sizes_arr.shape:
+        raise ConfigurationError("sizes and times must align")
+    above = ratio > 1.0
+    crossings = np.flatnonzero(above[:-1] & ~above[1:])
+    lo, hi = float(sizes_arr[0]), float(sizes_arr[-1])
+    if crossings.size == 0:
+        # Open-ended: whichever side the curve ends on wins at the
+        # large sizes a router would extrapolate into.
+        dominant = "scale-up" if above[-1] else "scale-out"
+        return CrossBand(
+            cross=None, dominant=dominant, crossings=0, lo=lo, hi=hi
+        )
+    i = int(crossings[-1])
+    # Interpolate log(size) at ratio == 1 between points i and i+1.
+    r0, r1 = ratio[i], ratio[i + 1]
+    if r0 == r1:  # flat segment touching 1.0
+        cross = float(sizes_arr[i])
+    else:
+        t = (1.0 - r0) / (r1 - r0)
+        log_size = np.log(sizes_arr[i]) + t * (
+            np.log(sizes_arr[i + 1]) - np.log(sizes_arr[i])
+        )
+        cross = float(np.exp(log_size))
+    return CrossBand(
+        cross=cross,
+        dominant=None,
+        crossings=int(crossings.size),
+        lo=lo,
+        hi=hi,
+    )
+
+
+def _validated_sizes(sizes: Sequence[float]) -> np.ndarray:
+    sizes_arr = np.asarray(sizes, dtype=float)
+    if sizes_arr.ndim != 1 or sizes_arr.size < 2:
+        raise ConfigurationError("need at least two measured sizes")
+    if np.any(sizes_arr <= 0):
+        raise ConfigurationError("input sizes must be positive")
+    if np.any(np.diff(sizes_arr) <= 0):
+        raise ConfigurationError("sizes must be strictly increasing")
+    return sizes_arr
 
 
 def normalized_ratio(
@@ -46,38 +145,34 @@ def estimate_cross_point(
     sizes: Sequence[float],
     up_times: Sequence[float],
     out_times: Sequence[float],
+    *,
+    strict: bool = False,
 ) -> Optional[float]:
     """Input size at which the normalized ratio crosses 1.0 from above.
 
     Interpolates linearly in *log input size* between the bracketing
     measurements (the paper's sweeps are geometric in size).  Returns
     ``None`` if the curve never crosses — one cluster dominates at every
-    measured size.  Noisy curves may cross several times; we return the
-    last crossing, after which scale-out stays ahead for good.
+    measured size — or, with ``strict=True``, raises a
+    :class:`~repro.errors.ConfigurationError` naming the dominant
+    cluster and the measured range instead of leaving the caller to
+    extrapolate silently.  Noisy curves may cross several times; we
+    return the last crossing, after which scale-out stays ahead for
+    good (:func:`cross_point_band` exposes the crossing count).
     """
-    sizes_arr = np.asarray(sizes, dtype=float)
-    if sizes_arr.ndim != 1 or sizes_arr.size < 2:
-        raise ConfigurationError("need at least two measured sizes")
-    if np.any(sizes_arr <= 0):
-        raise ConfigurationError("input sizes must be positive")
-    if np.any(np.diff(sizes_arr) <= 0):
-        raise ConfigurationError("sizes must be strictly increasing")
-    ratio = normalized_ratio(up_times, out_times)
-    if ratio.shape != sizes_arr.shape:
-        raise ConfigurationError("sizes and times must align")
+    band = cross_point_band(sizes, up_times, out_times)
+    if band.open_ended and strict:
+        raise ConfigurationError(
+            f"ratio curve never crosses 1.0 inside the measured range "
+            f"[{band.lo:.3g}B, {band.hi:.3g}B]: {band.dominant} dominates "
+            f"everywhere; widen the size sweep or pass strict=False"
+        )
+    return band.cross
 
-    above = ratio > 1.0
-    crossings = np.flatnonzero(above[:-1] & ~above[1:])
-    if crossings.size == 0:
-        return None
-    i = int(crossings[-1])
-    # Interpolate log(size) at ratio == 1 between points i and i+1.
-    r0, r1 = ratio[i], ratio[i + 1]
-    if r0 == r1:  # flat segment touching 1.0
-        return float(sizes_arr[i])
-    t = (1.0 - r0) / (r1 - r0)
-    log_size = np.log(sizes_arr[i]) + t * (np.log(sizes_arr[i + 1]) - np.log(sizes_arr[i]))
-    return float(np.exp(log_size))
+
+#: Sentinel distinguishing "fallback not given" (paper thresholds) from
+#: an explicit ``fallback=None`` (disabled: encode dominance instead).
+_PAPER_FALLBACK = CrossPoints()
 
 
 def derive_cross_points(
@@ -88,7 +183,8 @@ def derive_cross_points(
     low_ratio_app: str = "testdfsio-write",
     ratio_high: float = 1.0,
     ratio_low: float = 0.4,
-    fallback: Optional[CrossPoints] = None,
+    fallback: Optional[CrossPoints] = _PAPER_FALLBACK,
+    strict: bool = False,
 ) -> CrossPoints:
     """Run the paper's calibration method end to end.
 
@@ -96,14 +192,19 @@ def derive_cross_points(
     returns (scale-up, scale-out) execution times; any runner works — the
     bundled simulator, or a wrapper around a real pair of clusters.
 
-    If an application never crosses within ``sizes``, the corresponding
-    band falls back to ``fallback`` (the paper's thresholds by default) —
-    with a dominance direction encoded as an extreme threshold when the
-    fallback is explicitly disabled.
+    When an application's curve never crosses within ``sizes``:
+
+    * ``strict=True`` raises :class:`~repro.errors.ConfigurationError`
+      naming the band, the app, and the dominant cluster;
+    * otherwise the band falls back to ``fallback`` (the paper's
+      thresholds unless you pass your own);
+    * with the fallback explicitly disabled (``fallback=None``) the
+      dominance direction is encoded as an extreme threshold — far
+      above the measured range when scale-up dominates (everything in
+      the band routes up), far below it when scale-out does.
     """
-    fallback = fallback or CrossPoints()
     results = {}
-    for band, app in (
+    for band_name, app in (
         ("high", high_ratio_app),
         ("mid", mid_ratio_app),
         ("low", low_ratio_app),
@@ -114,11 +215,28 @@ def derive_cross_points(
             t_up, t_out = measure(app, size)
             up_times.append(t_up)
             out_times.append(t_out)
-        results[band] = estimate_cross_point(sizes, up_times, out_times)
+        band = cross_point_band(sizes, up_times, out_times)
+        if band.open_ended:
+            if strict:
+                raise ConfigurationError(
+                    f"{band_name}-ratio band ({app}): {band.describe()}; "
+                    f"widen the size sweep, provide a fallback, or pass "
+                    f"strict=False"
+                )
+            if fallback is not None:
+                results[band_name] = getattr(
+                    fallback, f"{band_name}_ratio_cross"
+                )
+            elif band.dominant == "scale-up":
+                results[band_name] = band.hi * _DOMINANCE_FACTOR
+            else:
+                results[band_name] = band.lo / _DOMINANCE_FACTOR
+        else:
+            results[band_name] = band.cross
     return CrossPoints(
-        high_ratio_cross=results["high"] or fallback.high_ratio_cross,
-        mid_ratio_cross=results["mid"] or fallback.mid_ratio_cross,
-        low_ratio_cross=results["low"] or fallback.low_ratio_cross,
+        high_ratio_cross=results["high"],
+        mid_ratio_cross=results["mid"],
+        low_ratio_cross=results["low"],
         ratio_high=ratio_high,
         ratio_low=ratio_low,
     )

@@ -59,6 +59,14 @@ from repro.telemetry.tracer import Tracer
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.fastpath import FastPathEngine, FastPathPolicy
     from repro.profiler.model import RunProfile
+    from repro.tune.tuner import Tuner
+
+#: Reasons a job landed on a member (keys of the per-member routing
+#: counters; see :meth:`Deployment.routing_summary`).
+ROUTE_PRIMARY = "primary"        # the router's own size-band decision
+ROUTE_FALLBACK = "fallback"      # routed member down -> least-loaded survivor
+ROUTE_EVACUATION = "evacuation"  # requeued off a crashed member mid-flight
+ROUTE_REASONS = (ROUTE_PRIMARY, ROUTE_FALLBACK, ROUTE_EVACUATION)
 
 
 def algorithm1_router(scheduler: Optional[Scheduler] = None) -> Router:
@@ -107,6 +115,7 @@ class Deployment:
         kernel: Optional[str] = None,
         fast_path: Optional["FastPathPolicy"] = None,
         max_events: Optional[int] = None,
+        tuner: Optional["Tuner"] = None,
     ) -> None:
         self.spec = spec
         self.calibration = calibration
@@ -193,6 +202,15 @@ class Deployment:
         self.jobs_rerouted = 0
         self.jobs_requeued = 0
         self.jobs_rejected = 0
+        #: Per-member routing-decision counters: why each submission
+        #: landed where it did (see :data:`ROUTE_REASONS`).  Together
+        #: with ``jobs_rejected`` they account for every submission:
+        #: sum(primary) + sum(fallback) + rejected == jobs submitted
+        #: (evacuations re-place already-counted jobs and are tallied
+        #: separately).  Pinned by tests/test_tune.py.
+        self.route_counts: List[dict] = [
+            {reason: 0 for reason in ROUTE_REASONS} for _ in self.trackers
+        ]
         #: Fault schedule, armed on the fresh clock *before* any job is
         #: submitted so fault events precede same-time job events.  An
         #: empty (or absent) plan arms nothing: healthy runs stay
@@ -217,6 +235,13 @@ class Deployment:
             self.fast_path = FastPathEngine(
                 spec, self.trackers, calibration, fast_path
             )
+
+        #: Online tuner hook (:mod:`repro.tune`): observes completions,
+        #: recalibrates on the *simulation clock* (so checkpoint replay
+        #: reproduces every publish point), and may swap ``self.router``.
+        self.tuner = tuner
+        if tuner is not None:
+            tuner.attach(self)
 
     # -- conveniences -----------------------------------------------------
 
@@ -270,10 +295,12 @@ class Deployment:
         index = self.router(job, self)
         if not 0 <= index < len(self.trackers):
             raise SchedulingError(f"router returned invalid member index {index}")
+        route_reason = ROUTE_PRIMARY
         if not self.trackers[index].is_operational():
             fallback = self._operational_member()
             if fallback is None:
                 return self._reject(job, on_complete)
+            route_reason = ROUTE_FALLBACK
             self.jobs_rerouted += 1
             if self.sim.tracer is not None:
                 self.sim.tracer.instant(
@@ -305,6 +332,7 @@ class Deployment:
             metrics.counter(
                 f"router.to.{self.trackers[index].name}"
             ).inc()
+        self.route_counts[index][route_reason] += 1
         storage = self.storages[index]
         footprint = self.job_footprint(job)
         if register:
@@ -314,6 +342,8 @@ class Deployment:
             if register:
                 storage.release_dataset(footprint)
             self.results.append(result)
+            if self.tuner is not None and not result.failed:
+                self.tuner.observe(self, job, result, index)
             if on_complete is not None:
                 on_complete(result)
 
@@ -499,6 +529,7 @@ class Deployment:
                 self.results.append(result)
             return
         self.jobs_requeued += 1
+        self.route_counts[target][ROUTE_EVACUATION] += 1
         if self.sim.tracer is not None:
             self.sim.tracer.instant(
                 "job_requeued",
@@ -516,6 +547,22 @@ class Deployment:
         for tracker in self.trackers:
             count += tracker.abort_active_jobs(reason)
         return count
+
+    def routing_summary(self) -> dict:
+        """Per-member routing-decision counters plus rejections.
+
+        ``{"members": {cluster_name: {reason: count}}, "rejected": n}``;
+        primary + fallback counts plus rejections account for every
+        submission exactly once (evacuations re-place jobs already
+        counted at first submission).
+        """
+        return {
+            "members": {
+                tracker.name: dict(counts)
+                for tracker, counts in zip(self.trackers, self.route_counts)
+            },
+            "rejected": self.jobs_rejected,
+        }
 
     def fault_summary(self) -> dict:
         """Aggregate fault/retry/degradation counters for reporting.
@@ -548,6 +595,7 @@ class Deployment:
             "jobs_rejected": self.jobs_rejected,
             "storage_data_loss": data_loss,
             "rereplication_bytes": rereplication,
+            "routing_decisions": self.routing_summary(),
         }
 
 

@@ -43,11 +43,11 @@ CACHE_SCHEMA = 1
 
 #: Stand-in for the simulator's code version.  Bump the date-tag whenever
 #: a model change alters simulation results; every cached result keyed
-#: under the old salt then misses and is recomputed.  (2026.08d: the
-#: register-by-default ``run_job`` shim completed its deprecation cycle
-#: — bare isolated cells now follow the unified off-by-default policy —
-#: and the service wire payloads joined the model surface.)
-CODE_SALT = f"repro-cells-v{CACHE_SCHEMA}-2026.08d"
+#: under the old salt then misses and is recomputed.  (2026.08e: the
+#: online-tuning subsystem (repro.tune) landed — calibrator prediction
+#: cells and cross-point re-derivation now hash candidate calibrations
+#: into cache keys, so stale pre-tune entries must not be reused.)
+CODE_SALT = f"repro-cells-v{CACHE_SCHEMA}-2026.08e"
 
 #: Cell kinds understood by :mod:`repro.runner.work`.
 KIND_ISOLATED = "isolated"

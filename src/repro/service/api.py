@@ -31,7 +31,7 @@ import json
 import threading
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
 
 from repro.core.api import (
     JobStatus,
@@ -59,6 +59,9 @@ from repro.service.models import JobRecord
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.service import ServiceInstruments
 from repro.telemetry.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tune.tuner import Tuner
 
 
 def _resolve_architecture(
@@ -96,6 +99,11 @@ class ReproService:
     checkpoint_path:
         When set, the admission log checkpoints here automatically after
         every accepted batch and every drain.
+    tuner:
+        Optional :class:`~repro.tune.tuner.Tuner` (online calibration /
+        learned routing).  Tuners are single-use: pass a *fresh* one to
+        :meth:`restore` and replay re-derives its learned state along
+        with everything else.
     """
 
     def __init__(
@@ -109,6 +117,7 @@ class ReproService:
         checkpoint_path: Optional[str] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tuner: Optional["Tuner"] = None,
     ) -> None:
         self.architecture, self.spec = _resolve_architecture(architecture)
         self.register = register
@@ -121,9 +130,15 @@ class ReproService:
             register_datasets=register,
             tracer=tracer,
             metrics=self.metrics,
+            tuner=tuner,
+        )
+        # A tuner may install its learned router; either way the
+        # deployment routes per-job, so admission classifies like any
+        # custom-router service (total cap only).
+        self._custom_router = router is not None or (
+            tuner is not None and tuner.router is not None
         )
         self.instruments = ServiceInstruments(self.metrics, tracer)
-        self._custom_router = router is not None
         self._scheduler = SizeAwareScheduler()
         self._admission = AdmissionController(
             self.policy, members=len(self.deployment.trackers)
@@ -306,6 +321,12 @@ class ReproService:
                     "clock": self.deployment.sim.now,
                 },
                 "faults": self.deployment.fault_summary(),
+                "routing": self.deployment.routing_summary(),
+                "tuning": (
+                    self.deployment.tuner.summary()
+                    if self.deployment.tuner is not None
+                    else None
+                ),
                 "metrics": self.metrics.dump(),
             }
 
@@ -360,6 +381,7 @@ class ReproService:
         policy: Optional[AdmissionPolicy] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tuner: Optional["Tuner"] = None,
     ) -> "ReproService":
         """Rebuild a service from its checkpoint by deterministic replay.
 
@@ -370,6 +392,12 @@ class ReproService:
         finished before the crash: nothing is lost, nothing is counted
         twice.  Admission counters are restored from the snapshot;
         execution metrics regenerate during replay.
+
+        A tuned service restores the same way: pass a *fresh* ``tuner``
+        configured identically to the original and the replay re-drives
+        every observation, publish point and router update on the
+        simulation clock, converging to the same learned state
+        (pinned by ``tests/test_tune.py``).
         """
         state = CheckpointStore(checkpoint_path).load()
         if state is None:
@@ -388,6 +416,7 @@ class ReproService:
             checkpoint_path=checkpoint_path,
             tracer=tracer,
             metrics=metrics,
+            tuner=tuner,
         )
         for submission in state.accepted:
             status = service._admit(submission, count=False, forced=True)

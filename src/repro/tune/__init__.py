@@ -1,0 +1,76 @@
+"""repro.tune — online calibration and learned routing.
+
+The paper's Algorithm 1 routes with cross points measured *once*,
+offline, on one hardware generation.  This package closes the loop at
+run time instead:
+
+* :mod:`repro.tune.window` — sliding window of observed completions
+  with a deterministic train/holdout split;
+* :mod:`repro.tune.calibrator` — seeded coordinate/grid search that
+  re-fits the free :class:`~repro.core.calibration.Calibration`
+  constants to the window (minimum MAPE), publishing versioned updates;
+* :mod:`repro.tune.router` — learned routing policies: Algorithm 1
+  with cross points re-derived from the live model
+  (:class:`AdaptiveRouter`) and a model-free contextual bandit
+  (:class:`BanditRouter`);
+* :mod:`repro.tune.tuner` — the deployment hook that wires the three
+  together on the simulation clock (checkpoint/replay safe);
+* :mod:`repro.tune.evaluate` — the head-to-head: static Algorithm 1 vs
+  recalibrated vs bandit vs oracle on a shifting workload mix over a
+  drifted substrate, scored by cumulative regret.
+
+See docs/TUNE.md for the design and EXPERIMENTS.md for results.
+"""
+
+from repro.tune.calibrator import (
+    CalibrationUpdate,
+    OnlineCalibrator,
+    ParamRange,
+    profile_for_job,
+)
+from repro.tune.evaluate import (
+    DEFAULT_PHASES,
+    EvaluationReport,
+    FixedRouter,
+    MixPhase,
+    POLICIES,
+    PolicyOutcome,
+    default_search_params,
+    drifted_truth,
+    evaluate_policies,
+    make_trace,
+    oracle_assignment,
+)
+from repro.tune.router import (
+    AdaptiveRouter,
+    BanditRouter,
+    DEFAULT_DERIVE_SIZES,
+    simulated_cross_points,
+)
+from repro.tune.tuner import Tuner
+from repro.tune.window import Observation, ObservationWindow
+
+__all__ = [
+    "AdaptiveRouter",
+    "BanditRouter",
+    "CalibrationUpdate",
+    "DEFAULT_DERIVE_SIZES",
+    "DEFAULT_PHASES",
+    "EvaluationReport",
+    "FixedRouter",
+    "MixPhase",
+    "Observation",
+    "ObservationWindow",
+    "OnlineCalibrator",
+    "POLICIES",
+    "ParamRange",
+    "PolicyOutcome",
+    "Tuner",
+    "default_search_params",
+    "drifted_truth",
+    "evaluate_policies",
+    "make_trace",
+    "oracle_assignment",
+    "profile_for_job",
+    "simulated_cross_points",
+]

@@ -1,0 +1,304 @@
+"""Online calibrator: fit the free model constants to observed jobs.
+
+The loop (after the opendt calibrator, SNIPPETS.md #3): accumulate a
+sliding :class:`~repro.tune.window.ObservationWindow` of completed jobs,
+then search the free :class:`~repro.core.calibration.Calibration`
+parameters for the vector that minimises MAPE between *predicted* and
+*measured* runtimes over the window, and publish the winner as a
+versioned :class:`CalibrationUpdate`.
+
+Predictions are real simulations, not a surrogate: each observation is
+replayed as an isolated :class:`~repro.runner.spec.CellSpec` on a
+single-member architecture matching the member it actually ran on,
+under the candidate calibration.  The cells fan out through
+:class:`~repro.runner.pool.PoolRunner` and are content-addressed, so a
+window re-evaluated under the same candidate (coordinate descent
+revisits its incumbent constantly) is a warm-cache no-op.
+
+Determinism: the search is a seeded grid/coordinate descent — candidate
+order is fixed, ties break toward the earlier candidate, and the
+incumbent value always competes (training MAPE never increases).  Same
+window + same search space + same seed => byte-identical published
+calibration, pinned by ``tests/test_tune.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.base import AppProfile
+from repro.core.architectures import ArchitectureSpec
+from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+from repro.runner.pool import PoolRunner, raise_on_failure
+from repro.runner.spec import CellSpec, isolated_cell
+from repro.runner.work import decode_result
+from repro.tune.window import Observation, ObservationWindow
+from repro.units import MB
+
+
+@dataclass(frozen=True)
+class ParamRange:
+    """One free calibration parameter and the grid searched over it."""
+
+    name: str
+    low: float
+    high: float
+    points: int = 5
+    log: bool = False
+
+    def __post_init__(self) -> None:
+        if not hasattr(DEFAULT_CALIBRATION, self.name):
+            raise ConfigurationError(
+                f"unknown calibration parameter {self.name!r}"
+            )
+        if not self.low < self.high:
+            raise ConfigurationError(
+                f"need low < high for {self.name}: {self.low}, {self.high}"
+            )
+        if self.points < 2:
+            raise ConfigurationError(f"need >= 2 grid points: {self.points}")
+        if self.log and self.low <= 0:
+            raise ConfigurationError("log grids need a positive lower bound")
+
+    def values(self) -> Tuple[float, ...]:
+        """The candidate values, in fixed (ascending) order."""
+        if self.log:
+            grid = np.geomspace(self.low, self.high, self.points)
+        else:
+            grid = np.linspace(self.low, self.high, self.points)
+        return tuple(float(v) for v in grid)
+
+
+@dataclass(frozen=True)
+class CalibrationUpdate:
+    """One published recalibration (versioned, monotonically numbered)."""
+
+    version: int
+    calibration: Calibration
+    mape_before: float
+    mape_after: float
+    holdout_mape_before: float
+    holdout_mape_after: float
+    window_size: int
+    candidates_evaluated: int
+    #: The winning free-parameter values, for reporting.
+    chosen: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "mape_before": self.mape_before,
+            "mape_after": self.mape_after,
+            "holdout_mape_before": self.holdout_mape_before,
+            "holdout_mape_after": self.holdout_mape_after,
+            "window_size": self.window_size,
+            "candidates_evaluated": self.candidates_evaluated,
+            "chosen": dict(self.chosen),
+            "calibration": self.calibration.to_dict(),
+        }
+
+
+def profile_for_job(job: JobSpec) -> AppProfile:
+    """Synthesise the app profile a job implies (ratios + CPU costs).
+
+    The window stores :class:`JobSpec` instances, which carry everything
+    a prediction needs; reconstructing an :class:`AppProfile` lets the
+    standard isolated-cell machinery (and its cache) do the replay.
+    """
+    input_bytes = max(job.input_bytes, 1.0)
+    return AppProfile(
+        name=job.app,
+        shuffle_ratio=job.shuffle_bytes / input_bytes,
+        output_ratio=job.output_bytes / input_bytes,
+        map_cpu_per_mb=job.map_cpu_per_byte * MB,
+        reduce_cpu_per_mb=job.reduce_cpu_per_byte * MB,
+        input_read_fraction=job.input_read_fraction,
+        map_writes_output=job.map_writes_output,
+        num_reducers=job.num_reducers_hint,
+        shuffle_intensive=job.shuffle_input_ratio >= 0.4,
+    )
+
+
+class OnlineCalibrator:
+    """Seeded parallel coordinate/grid search over calibration space.
+
+    Parameters
+    ----------
+    spec:
+        The deployment's architecture; predictions replay each
+        observation on a single-member slice matching the member the
+        job actually ran on.
+    params:
+        The free parameters and their grids.  One parameter makes this
+        a plain grid search; several make it coordinate descent
+        (``rounds`` passes over the parameter list).
+    base:
+        The starting calibration (also the "uncalibrated" baseline that
+        MAPE improvements are reported against).
+    runner:
+        Cell fan-out; defaults to a serial, uncached runner.  Pass a
+        cached :class:`PoolRunner` to parallelise the search and make
+        repeated windows warm-cache.
+    seed:
+        Jitter-stream seed for prediction cells (deterministic).
+    """
+
+    def __init__(
+        self,
+        spec: ArchitectureSpec,
+        params: Sequence[ParamRange],
+        base: Calibration = DEFAULT_CALIBRATION,
+        *,
+        runner: Optional[PoolRunner] = None,
+        seed: int = 0,
+        rounds: int = 1,
+    ) -> None:
+        if not params:
+            raise ConfigurationError("need at least one ParamRange to search")
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate search parameters: {names}")
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1: {rounds}")
+        self.spec = spec
+        self.params = tuple(params)
+        self.base = base
+        self.runner = runner if runner is not None else PoolRunner(max_workers=1)
+        self.seed = seed
+        self.rounds = rounds
+        #: Latest published calibration (starts at the base).
+        self.current = base
+        self.version = 0
+        self._member_archs: Dict[str, ArchitectureSpec] = {}
+
+    # -- prediction --------------------------------------------------------
+
+    def _arch_for_role(self, role: str) -> ArchitectureSpec:
+        """A single-member architecture for one role of the deployment."""
+        cached = self._member_archs.get(role)
+        if cached is None:
+            member = self.spec.members[self.spec.role_index(role)]
+            cached = ArchitectureSpec(
+                name=f"{self.spec.name}:{role}",
+                members=(member,),
+                storage=self.spec.storage,
+            )
+            self._member_archs[role] = cached
+        return cached
+
+    def _cell(self, observation: Observation, calibration: Calibration) -> CellSpec:
+        return isolated_cell(
+            self._arch_for_role(observation.role),
+            profile_for_job(observation.job),
+            observation.job.input_bytes,
+            calibration=calibration,
+            seed=self.seed,
+            register_dataset=False,
+        )
+
+    def _mapes(
+        self,
+        candidates: Sequence[Calibration],
+        observations: Sequence[Observation],
+    ) -> List[float]:
+        """MAPE of each candidate over ``observations`` — one runner
+        fan-out for the whole (candidate x observation) grid."""
+        cells = [
+            self._cell(observation, candidate)
+            for candidate in candidates
+            for observation in observations
+        ]
+        outcomes = self.runner.run_cells(cells)
+        raise_on_failure(outcomes)
+        mapes = []
+        for i, _ in enumerate(candidates):
+            errors = []
+            for j, observation in enumerate(observations):
+                payload = outcomes[i * len(observations) + j].payload
+                result = decode_result(payload) if payload else None
+                if result is None:  # infeasible hole: no prediction
+                    continue
+                errors.append(
+                    abs(result.execution_time - observation.runtime)
+                    / observation.runtime
+                )
+            mapes.append(float(np.mean(errors)) if errors else float("inf"))
+        return mapes
+
+    def mape(
+        self, calibration: Calibration, observations: Sequence[Observation]
+    ) -> float:
+        """Mean absolute percentage error of one calibration's
+        predictions against measured runtimes."""
+        if not observations:
+            return float("nan")
+        return self._mapes([calibration], observations)[0]
+
+    # -- the search --------------------------------------------------------
+
+    def calibrate(self, window: ObservationWindow) -> CalibrationUpdate:
+        """Search the grid against the window and publish the winner.
+
+        Coordinate descent over ``params`` (``rounds`` passes); the
+        incumbent value always competes, so training MAPE is monotone
+        non-increasing.  Publishes (and returns) a versioned update;
+        ``self.current`` becomes the new calibration.
+        """
+        training = window.training
+        if not training:
+            raise ConfigurationError("cannot calibrate on an empty window")
+        holdout = window.holdout
+
+        chosen: Dict[str, float] = {
+            p.name: float(getattr(self.base, p.name)) for p in self.params
+        }
+        evaluated = 0
+        mape_before = self.mape(self.base, training)
+        best_mape = mape_before
+        for _ in range(self.rounds):
+            for param in self.params:
+                incumbent = chosen[param.name]
+                values: List[float] = [incumbent]
+                for v in param.values():
+                    if v not in values:
+                        values.append(v)
+                candidates = [
+                    self.base.with_options(**{**chosen, param.name: v})
+                    for v in values
+                ]
+                mapes = self._mapes(candidates, training)
+                evaluated += len(candidates)
+                # Deterministic argmin: first candidate wins ties, and
+                # the incumbent is first — only strict improvements move.
+                best_index = int(np.argmin(mapes))
+                chosen[param.name] = values[best_index]
+                best_mape = mapes[best_index]
+
+        calibrated = self.base.with_options(**chosen)
+        update = CalibrationUpdate(
+            version=self.version + 1,
+            calibration=calibrated,
+            mape_before=mape_before,
+            mape_after=best_mape,
+            holdout_mape_before=self.mape(self.base, holdout),
+            holdout_mape_after=self.mape(calibrated, holdout),
+            window_size=len(window),
+            candidates_evaluated=evaluated,
+            chosen=dict(chosen),
+        )
+        self.current = calibrated
+        self.version = update.version
+        return update
+
+
+__all__ = [
+    "CalibrationUpdate",
+    "OnlineCalibrator",
+    "ParamRange",
+    "profile_for_job",
+]

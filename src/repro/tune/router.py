@@ -1,0 +1,259 @@
+"""Learned routing policies (both conform to the ``Router`` protocol).
+
+:class:`AdaptiveRouter` is Algorithm 1 with *learned* thresholds: it
+keeps a :class:`~repro.core.scheduler.SizeAwareScheduler` whose
+:class:`~repro.core.scheduler.CrossPoints` are re-derived from the live
+calibrated model at every publish point — the paper's Figs. 7/8 method
+(:func:`~repro.core.crosspoint.derive_cross_points`, log-size
+interpolation), run on simulated measurements under the *current*
+calibration instead of one offline hardware study.
+
+:class:`BanditRouter` drops the model entirely and learns from per-job
+regret: a contextual epsilon-greedy / UCB bandit over the members,
+where the context is the job's (shuffle-ratio band, log2-size bucket)
+and the cost is observed seconds per GB of input.  Seeded and
+deterministic: same seed + same observation order => same decisions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps import get_app
+from repro.core.architectures import ArchitectureSpec
+from repro.core.calibration import Calibration
+from repro.core.crosspoint import derive_cross_points
+from repro.core.scheduler import CrossPoints, Decision, SizeAwareScheduler
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+from repro.runner.pool import PoolRunner, raise_on_failure
+from repro.runner.spec import isolated_cell
+from repro.runner.work import decode_result
+from repro.units import GB, MB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deployment import Deployment
+
+#: Size ladder for re-deriving cross points from the calibrated model
+#: (geometric, straddling the paper's 10/16/32 GB thresholds).
+DEFAULT_DERIVE_SIZES: Tuple[float, ...] = tuple(
+    s * GB for s in (2, 4, 8, 16, 24, 32, 48, 64)
+)
+
+#: Band representatives, as in the paper's measurement study.
+BAND_APPS = ("wordcount", "grep", "testdfsio-write")
+
+
+def simulated_cross_points(
+    spec: ArchitectureSpec,
+    calibration: Calibration,
+    sizes: Sequence[float] = DEFAULT_DERIVE_SIZES,
+    *,
+    runner: Optional[PoolRunner] = None,
+    seed: int = 0,
+    fallback: Optional[CrossPoints] = None,
+) -> CrossPoints:
+    """Derive cross points for ``spec`` under ``calibration`` by
+    simulation — the Figs. 7/8 method on the live model.
+
+    One runner fan-out measures every (band app, size) on single-member
+    up/out slices of the architecture; the cells are content-addressed,
+    so re-deriving under an unchanged calibration is a warm-cache no-op.
+    A band whose curve never crosses inside ``sizes`` falls back to
+    ``fallback`` (the previous thresholds, typically).
+    """
+    if not spec.is_hybrid:
+        raise ConfigurationError(
+            f"cross points need both an up and an out member: {spec.name!r}"
+        )
+    runner = runner if runner is not None else PoolRunner(max_workers=1)
+    slices = {
+        role: ArchitectureSpec(
+            name=f"{spec.name}:{role}",
+            members=(spec.members[spec.role_index(role)],),
+            storage=spec.storage,
+        )
+        for role in ("up", "out")
+    }
+    grid = [
+        (app, float(size), role)
+        for app in BAND_APPS
+        for size in sizes
+        for role in ("up", "out")
+    ]
+    cells = [
+        isolated_cell(
+            slices[role],
+            get_app(app),
+            size,
+            calibration=calibration,
+            seed=seed,
+            register_dataset=False,
+        )
+        for app, size, role in grid
+    ]
+    outcomes = runner.run_cells(cells)
+    raise_on_failure(outcomes)
+    table: Dict[Tuple[str, float], Dict[str, float]] = {}
+    for (app, size, role), outcome in zip(grid, outcomes):
+        result = decode_result(outcome.payload) if outcome.payload else None
+        if result is None:
+            raise ConfigurationError(
+                f"cross-point measurement infeasible: {app}@{size:.0f}B ({role})"
+            )
+        table.setdefault((app, size), {})[role] = result.execution_time
+
+    def measure(app: str, size: float) -> Tuple[float, float]:
+        times = table[(app, float(size))]
+        return times["up"], times["out"]
+
+    return derive_cross_points(measure, list(sizes), fallback=fallback)
+
+
+class AdaptiveRouter:
+    """Algorithm 1 with cross points re-derived from the live model."""
+
+    def __init__(
+        self,
+        cross_points: CrossPoints = CrossPoints(),
+        *,
+        derive_sizes: Sequence[float] = DEFAULT_DERIVE_SIZES,
+        runner: Optional[PoolRunner] = None,
+        seed: int = 0,
+    ) -> None:
+        self.scheduler = SizeAwareScheduler(cross_points)
+        self.derive_sizes = tuple(derive_sizes)
+        self.runner = runner
+        self.seed = seed
+        #: (calibration version, thresholds) at every recalibration.
+        self.history: List[Tuple[int, CrossPoints]] = [(0, cross_points)]
+        self.decisions = 0
+
+    @property
+    def cross_points(self) -> CrossPoints:
+        return self.scheduler.cross_points
+
+    def recalibrate(
+        self,
+        spec: ArchitectureSpec,
+        calibration: Calibration,
+        version: int = 0,
+    ) -> CrossPoints:
+        """Swap in thresholds derived from ``calibration``; a band with
+        no crossing keeps its previous threshold."""
+        updated = simulated_cross_points(
+            spec,
+            calibration,
+            self.derive_sizes,
+            runner=self.runner,
+            seed=self.seed,
+            fallback=self.scheduler.cross_points,
+        )
+        self.scheduler = SizeAwareScheduler(updated)
+        self.history.append((version, updated))
+        return updated
+
+    def __call__(self, job: JobSpec, deployment: "Deployment") -> int:
+        self.decisions += 1
+        decision = self.scheduler.decide_job(job)
+        role = "up" if decision is Decision.SCALE_UP else "out"
+        return deployment.spec.role_index(role)
+
+
+class BanditRouter:
+    """Contextual epsilon-greedy / UCB bandit over the member clusters.
+
+    Context buckets: shuffle-ratio band (the paper's <0.4 / 0.4..1 / >1
+    split) crossed with the job's log2 input-size bucket.  The reward
+    signal is *cost* — observed seconds per GB of input — so arms with
+    lower mean cost are exploited.  Unpulled arms are explored first
+    (lowest index first: deterministic).  ``strategy="epsilon"`` then
+    explores uniformly with probability ``epsilon`` (seeded RNG);
+    ``strategy="ucb"`` subtracts a confidence bonus from each arm's
+    mean cost and exploits the lower bound.
+    """
+
+    STRATEGIES = ("epsilon", "ucb")
+
+    def __init__(
+        self,
+        *,
+        strategy: str = "epsilon",
+        epsilon: float = 0.1,
+        ucb_c: float = 0.5,
+        seed: int = 0,
+        ratio_low: float = 0.4,
+        ratio_high: float = 1.0,
+    ) -> None:
+        if strategy not in self.STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {self.STRATEGIES}: {strategy!r}"
+            )
+        if not 0 <= epsilon <= 1:
+            raise ConfigurationError(f"epsilon must be in [0, 1]: {epsilon}")
+        self.strategy = strategy
+        self.epsilon = epsilon
+        self.ucb_c = ucb_c
+        self.seed = seed
+        self.ratio_low = ratio_low
+        self.ratio_high = ratio_high
+        self.rng = np.random.default_rng(seed)
+        #: context -> arm -> (pulls, mean cost)
+        self._stats: Dict[Tuple[str, int], Dict[int, Tuple[int, float]]] = {}
+        self.decisions = 0
+        self.explored = 0
+
+    def context(self, job: JobSpec) -> Tuple[str, int]:
+        ratio = job.shuffle_input_ratio
+        if ratio > self.ratio_high:
+            band = "high"
+        elif ratio >= self.ratio_low:
+            band = "mid"
+        else:
+            band = "low"
+        bucket = int(math.floor(math.log2(max(job.input_bytes, MB) / MB)))
+        return band, bucket
+
+    def observe(self, job: JobSpec, member: int, runtime: float) -> None:
+        """Credit an arm with one observed job cost."""
+        if runtime <= 0:
+            return
+        cost = runtime / (max(job.input_bytes, MB) / GB)
+        arms = self._stats.setdefault(self.context(job), {})
+        pulls, mean = arms.get(member, (0, 0.0))
+        pulls += 1
+        arms[member] = (pulls, mean + (cost - mean) / pulls)
+
+    def _pick(self, arms: Dict[int, Tuple[int, float]], n_members: int) -> int:
+        unpulled = [a for a in range(n_members) if a not in arms]
+        if unpulled:
+            return unpulled[0]
+        if self.strategy == "epsilon":
+            if self.rng.random() < self.epsilon:
+                self.explored += 1
+                return int(self.rng.integers(n_members))
+            return min(range(n_members), key=lambda a: (arms[a][1], a))
+        total = sum(pulls for pulls, _ in arms.values())
+        bonus = math.log(max(total, 2))
+
+        def lower_bound(arm: int) -> float:
+            pulls, mean = arms[arm]
+            return mean - self.ucb_c * mean * math.sqrt(bonus / pulls)
+
+        return min(range(n_members), key=lambda a: (lower_bound(a), a))
+
+    def __call__(self, job: JobSpec, deployment: "Deployment") -> int:
+        self.decisions += 1
+        arms = self._stats.setdefault(self.context(job), {})
+        return self._pick(arms, len(deployment.trackers))
+
+
+__all__ = [
+    "AdaptiveRouter",
+    "BanditRouter",
+    "DEFAULT_DERIVE_SIZES",
+    "simulated_cross_points",
+]

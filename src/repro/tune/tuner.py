@@ -1,0 +1,219 @@
+"""The deployment hook: close the observe -> calibrate -> route loop.
+
+A :class:`Tuner` is handed to ``Deployment(tuner=...)`` (or
+``ReproService(tuner=...)``).  It then:
+
+* receives every non-failed completion (the deployment calls
+  :meth:`observe` from the job's completion callback) and feeds it into
+  the sliding :class:`~repro.tune.window.ObservationWindow` — and into
+  the router too, when the router learns online (the bandit);
+* schedules *publish points* on the simulation clock — the next
+  multiple of ``publish_period`` after an observation lands — at which
+  the :class:`~repro.tune.calibrator.OnlineCalibrator` re-fits the
+  model against the window and the router re-derives its thresholds
+  from the freshly calibrated model.
+
+Determinism and checkpoint safety
+---------------------------------
+
+Publish points are simulation *events*, never wall-clock: they are
+scheduled from completion events and fire in (time, seq) order like
+everything else.  The window contents at a publish point are therefore
+a pure function of the admitted workload, which makes the whole loop
+replay-deterministic — restoring a checkpointed service with a fresh,
+identically-configured ``Tuner`` replays admissions through the same
+completions, the same publish points, the same calibrations, and the
+same routing evolution (pinned by ``tests/test_tune.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.core.api import Router
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobResult, JobSpec
+from repro.tune.calibrator import CalibrationUpdate, OnlineCalibrator
+from repro.tune.window import ObservationWindow
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deployment import Deployment
+
+
+class Tuner:
+    """Online tuning policy for one deployment.
+
+    Parameters
+    ----------
+    router:
+        The learned policy to install on attach (replacing the
+        deployment's default).  ``None`` keeps the deployment's router
+        and only calibrates (useful for MAPE tracking).
+    calibrator:
+        Re-fits the model at publish points; ``None`` disables
+        recalibration (a bare bandit tuner needs none).
+    window:
+        Observation window; a default 64-job window when omitted.
+    publish_period:
+        Simulation seconds between publish points.
+    min_observations:
+        Publish points fire only once the window holds at least this
+        many observations.
+    max_publishes:
+        Optional cap on recalibrations (bounds search cost on long runs).
+    """
+
+    def __init__(
+        self,
+        *,
+        router: Optional[Router] = None,
+        calibrator: Optional[OnlineCalibrator] = None,
+        window: Optional[ObservationWindow] = None,
+        publish_period: float = 600.0,
+        min_observations: int = 8,
+        max_publishes: Optional[int] = None,
+    ) -> None:
+        if publish_period <= 0:
+            raise ConfigurationError(
+                f"publish_period must be positive: {publish_period}"
+            )
+        if min_observations < 1:
+            raise ConfigurationError(
+                f"min_observations must be >= 1: {min_observations}"
+            )
+        self.router = router
+        self.calibrator = calibrator
+        self.window = window if window is not None else ObservationWindow()
+        self.publish_period = publish_period
+        self.min_observations = min_observations
+        self.max_publishes = max_publishes
+        #: Every published recalibration, in publish order.
+        self.updates: List[CalibrationUpdate] = []
+        self.observations = 0
+        self._deployment: Optional["Deployment"] = None
+        self._publish_scheduled = False
+        self._observed_at_publish = -1
+
+    # -- deployment wiring -------------------------------------------------
+
+    def attach(self, deployment: "Deployment") -> None:
+        """Called by ``Deployment.__init__``; installs the learned router."""
+        if self._deployment is not None:
+            raise ConfigurationError(
+                "a Tuner is single-use: it carries learned state tied to "
+                "one deployment's event stream; build a fresh Tuner per "
+                "deployment (checkpoint restore replays into a fresh one)"
+            )
+        self._deployment = deployment
+        if self.router is not None:
+            deployment.router = self.router
+
+    def observe(
+        self,
+        deployment: "Deployment",
+        job: JobSpec,
+        result: JobResult,
+        member: int,
+    ) -> None:
+        """Feed one completion into the window (and the learning router).
+
+        The measured runtime is the job's end-to-end execution time on
+        the shared deployment; under light load it approximates the
+        isolated runtime the calibrator predicts (queueing inflates it
+        — see docs/TUNE.md for the limits of that approximation).
+        """
+        role = deployment.spec.members[member].role
+        runtime = result.execution_time
+        if runtime <= 0:
+            return
+        self.observations += 1
+        self.window.add(job, member, role, runtime)
+        observe = getattr(self.router, "observe", None)
+        if observe is not None:
+            observe(job, member, runtime)
+        self._schedule_publish(deployment)
+
+    # -- publish points ----------------------------------------------------
+
+    def _schedule_publish(self, deployment: "Deployment") -> None:
+        """Arm the next publish point (the next period boundary) unless
+        one is already pending.  Scheduling only from observations keeps
+        the event loop drainable: no completions, no further events."""
+        if self.calibrator is None or self._publish_scheduled:
+            return
+        if (
+            self.max_publishes is not None
+            and len(self.updates) >= self.max_publishes
+        ):
+            return
+        now = deployment.sim.now
+        next_time = (math.floor(now / self.publish_period) + 1) * self.publish_period
+        self._publish_scheduled = True
+        deployment.sim.schedule_at(
+            next_time, lambda: self._publish_event(deployment)
+        )
+
+    def _publish_event(self, deployment: "Deployment") -> None:
+        self._publish_scheduled = False
+        self.publish(deployment)
+
+    def publish(self, deployment: "Deployment") -> Optional[CalibrationUpdate]:
+        """Recalibrate against the window and re-derive the router's
+        thresholds.  Skips (returns None) when the window is too small
+        or holds nothing new since the last publish."""
+        if self.calibrator is None:
+            return None
+        if len(self.window) < self.min_observations:
+            return None
+        if self.window.total_observed == self._observed_at_publish:
+            return None
+        if (
+            self.max_publishes is not None
+            and len(self.updates) >= self.max_publishes
+        ):
+            return None
+        self._observed_at_publish = self.window.total_observed
+        update = self.calibrator.calibrate(self.window)
+        self.updates.append(update)
+        recalibrate = getattr(self.router, "recalibrate", None)
+        if recalibrate is not None:
+            recalibrate(deployment.spec, update.calibration, update.version)
+        tracer = deployment.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "calibration_published",
+                "scheduler",
+                track="tuner",
+                args={
+                    "version": update.version,
+                    "mape_before": update.mape_before,
+                    "mape_after": update.mape_after,
+                    "window": update.window_size,
+                },
+            )
+        return update
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def calibration_version(self) -> int:
+        return self.updates[-1].version if self.updates else 0
+
+    def summary(self) -> dict:
+        """Compact counters for ``/metrics`` and reports."""
+        return {
+            "observations": self.observations,
+            "window": len(self.window),
+            "publishes": len(self.updates),
+            "calibration_version": self.calibration_version,
+            "mape_before_first": (
+                self.updates[0].mape_before if self.updates else None
+            ),
+            "mape_after_last": (
+                self.updates[-1].mape_after if self.updates else None
+            ),
+        }
+
+
+__all__ = ["Tuner"]

@@ -1,0 +1,95 @@
+"""The sliding window of observed jobs the calibrator fits against.
+
+Every completed (non-failed) job contributes one :class:`Observation`:
+the job's spec, the member it actually ran on, and the runtime the
+deployment measured for it.  The window is bounded (oldest observations
+fall off) so the calibrator tracks the *current* workload and substrate,
+not the full history — which is the point of online calibration: when
+the mix shifts, the window shifts with it.
+
+Holdout policy: every ``holdout_every``-th observation (counted over the
+window's lifetime, so the split is deterministic and independent of
+window evictions) is reserved for honest MAPE reporting — the search
+never sees it.  Both splits live in the same deque and age out together.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List
+
+from repro.errors import ConfigurationError
+from repro.mapreduce.job import JobSpec
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One completed job: what ran, where, and how long it took."""
+
+    job: JobSpec
+    member: int
+    role: str
+    runtime: float
+    #: Lifetime sequence number (assigned by the window; drives the
+    #: deterministic holdout split).
+    ordinal: int = 0
+
+    def __post_init__(self) -> None:
+        if self.runtime <= 0:
+            raise ConfigurationError(
+                f"observed runtime must be positive: {self.runtime}"
+            )
+
+
+class ObservationWindow:
+    """Bounded sliding window with a deterministic train/holdout split."""
+
+    def __init__(self, capacity: int = 64, holdout_every: int = 4) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1: {capacity}")
+        if holdout_every < 2:
+            raise ConfigurationError(
+                f"holdout_every must be >= 2 (1 would hold out everything): "
+                f"{holdout_every}"
+            )
+        self.capacity = capacity
+        self.holdout_every = holdout_every
+        self._observations: Deque[Observation] = deque(maxlen=capacity)
+        self.total_observed = 0
+
+    def add(self, job: JobSpec, member: int, role: str, runtime: float) -> Observation:
+        """Record one completed job; returns the stored observation."""
+        observation = Observation(
+            job=job,
+            member=member,
+            role=role,
+            runtime=runtime,
+            ordinal=self.total_observed,
+        )
+        self._observations.append(observation)
+        self.total_observed += 1
+        return observation
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    @property
+    def observations(self) -> List[Observation]:
+        return list(self._observations)
+
+    def _is_holdout(self, observation: Observation) -> bool:
+        return observation.ordinal % self.holdout_every == self.holdout_every - 1
+
+    @property
+    def training(self) -> List[Observation]:
+        """The observations the calibration search may fit against."""
+        return [o for o in self._observations if not self._is_holdout(o)]
+
+    @property
+    def holdout(self) -> List[Observation]:
+        """Held-out observations for honest MAPE reporting."""
+        return [o for o in self._observations if self._is_holdout(o)]
+
+
+__all__ = ["Observation", "ObservationWindow"]

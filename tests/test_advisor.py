@@ -116,3 +116,40 @@ class TestAdviseSplit:
         advice = advise_split(mixed_jobs, candidates=[(2, 12)])
         with pytest.raises(ConfigurationError):
             advice.outcomes[0].metric("latency")
+
+    def test_workers_validated(self, mixed_jobs):
+        with pytest.raises(ConfigurationError):
+            advise_split(mixed_jobs, candidates=[(2, 12)], workers=0)
+
+
+class TestParallelAdviceDeterminism:
+    """advise_split(workers > 1) must give byte-identical advice to the
+    serial path: same outcomes in candidate order, same recommendation
+    (the pin mirroring tests/test_runner_determinism.py)."""
+
+    CANDIDATES = [(0, 24), (1, 18), (2, 12), (4, 0)]
+
+    @pytest.fixture(scope="class")
+    def jobs(self):
+        jobs = []
+        t = 0.0
+        for i in range(20):
+            size = 30.0 if i % 5 == 0 else 2.0
+            jobs.append(trace_job(f"p{i}", size, ratio=0.8, arrival=t))
+            t += 30.0
+        return jobs
+
+    def test_serial_equals_parallel(self, jobs):
+        serial = advise_split(jobs, candidates=self.CANDIDATES, workers=1)
+        parallel = advise_split(jobs, candidates=self.CANDIDATES, workers=3)
+        assert [o.__dict__ for o in serial.outcomes] == [
+            o.__dict__ for o in parallel.outcomes
+        ]
+        assert serial.best.name == parallel.best.name
+
+    def test_parallel_repeatable(self, jobs):
+        first = advise_split(jobs, candidates=self.CANDIDATES, workers=3)
+        second = advise_split(jobs, candidates=self.CANDIDATES, workers=3)
+        assert [o.__dict__ for o in first.outcomes] == [
+            o.__dict__ for o in second.outcomes
+        ]

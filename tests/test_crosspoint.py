@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.crosspoint import (
+    CrossBand,
+    cross_point_band,
     derive_cross_points,
     estimate_cross_point,
     normalized_ratio,
@@ -109,3 +111,103 @@ class TestDeriveCrossPoints:
         )
         assert cp.ratio_high == 1.2
         assert cp.ratio_low == 0.3
+
+
+class TestCrossPointBand:
+    """The full-information curve read behind estimate_cross_point."""
+
+    def test_clean_crossing(self):
+        band = cross_point_band([1.0, 2.0, 4.0], [10, 10, 10], [12, 10, 8])
+        assert not band.open_ended
+        assert band.monotone
+        assert band.crossings == 1
+        assert band.cross == pytest.approx(2.0)
+
+    def test_open_ended_out_dominant(self):
+        """Scale-out faster everywhere: no crossing, curve stays < 1."""
+        band = cross_point_band([1.0, 2.0, 4.0], [10, 10, 10], [5, 6, 7])
+        assert band.open_ended
+        assert band.cross is None
+        assert band.dominant == "scale-out"
+        assert "scale-out" in band.describe()
+
+    def test_open_ended_up_dominant(self):
+        band = cross_point_band([1.0, 2.0], [10, 10], [20, 19])
+        assert band.open_ended
+        assert band.dominant == "scale-up"
+
+    def test_non_monotone_counts_crossings(self):
+        sizes = [1.0, 2.0, 4.0, 8.0, 16.0]
+        up = [10.0] * 5
+        out = [12.0, 9.0, 11.0, 9.0, 8.0]  # two *downward* crossings
+        band = cross_point_band(sizes, up, out)
+        assert band.crossings == 2
+        assert not band.monotone
+        assert not band.open_ended
+        assert 4.0 < band.cross < 8.0  # last crossing wins
+
+    def test_window_recorded(self):
+        band = cross_point_band([2.0, 8.0], [10, 10], [12, 8])
+        assert band.lo == 2.0
+        assert band.hi == 8.0
+
+
+class TestStrictMode:
+    """estimate_cross_point/derive_cross_points with strict=True raise a
+    typed ConfigurationError instead of silently falling back."""
+
+    def test_estimate_strict_raises_with_dominant_named(self):
+        with pytest.raises(ConfigurationError, match="scale-out"):
+            estimate_cross_point(
+                [1.0, 2.0], [10, 10], [5, 6], strict=True
+            )
+
+    def test_estimate_strict_passes_through_crossings(self):
+        cross = estimate_cross_point(
+            [1.0, 2.0, 4.0], [10, 10, 10], [12, 10, 8], strict=True
+        )
+        assert cross == pytest.approx(2.0)
+
+    def test_derive_strict_names_the_band(self):
+        def out_always_wins(app, size):
+            return 10.0, 5.0
+
+        with pytest.raises(
+            ConfigurationError, match="high-ratio band.*no crossing"
+        ):
+            derive_cross_points(
+                out_always_wins, [GB, 2 * GB], strict=True
+            )
+
+
+class TestExplicitNoFallback:
+    """fallback=None (explicitly disabled) encodes dominance as extreme
+    thresholds instead of silently reusing the paper's numbers."""
+
+    def test_out_dominant_threshold_below_window(self):
+        def out_always_wins(app, size):
+            return 10.0, 5.0
+
+        cp = derive_cross_points(out_always_wins, [GB, 2 * GB], fallback=None)
+        # Every job larger than the (tiny) threshold routes scale-out.
+        assert cp.high_ratio_cross < GB
+        assert cp.mid_ratio_cross < GB
+        assert cp.low_ratio_cross < GB
+
+    def test_up_dominant_threshold_above_window(self):
+        def up_always_wins(app, size):
+            return 10.0, 20.0
+
+        cp = derive_cross_points(up_always_wins, [GB, 2 * GB], fallback=None)
+        assert cp.high_ratio_cross > 2 * GB
+        assert cp.mid_ratio_cross > 2 * GB
+        assert cp.low_ratio_cross > 2 * GB
+
+    def test_default_still_falls_back_to_paper(self):
+        def out_always_wins(app, size):
+            return 10.0, 5.0
+
+        cp = derive_cross_points(out_always_wins, [GB, 2 * GB])
+        paper = CrossPoints()
+        assert cp.high_ratio_cross == paper.high_ratio_cross
+        assert cp.low_ratio_cross == paper.low_ratio_cross

@@ -36,6 +36,9 @@ EXPECTED_EXPORTS = frozenset({
     # service (always-on daemon; wire schemas live in repro.core.api)
     "AdmissionPolicy", "JobStatus", "JobSubmission", "ReproService",
     "ServiceClient", "ServiceState", "validate_ndjson",
+    # tune (online calibration + learned routing; see docs/TUNE.md)
+    "AdaptiveRouter", "BanditRouter", "ObservationWindow",
+    "OnlineCalibrator", "ParamRange", "Tuner", "evaluate_policies",
     # mapreduce
     "HadoopConfig", "JobResult", "JobSpec",
     # telemetry

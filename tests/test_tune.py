@@ -1,0 +1,555 @@
+"""Tests for repro.tune: window, calibrator, routers, tuner, evaluation.
+
+The determinism pins here are the subsystem's contract: same seed =>
+byte-identical published calibrations, routing decisions and evaluation
+reports (``canonical_json`` over the serialised artifacts).
+"""
+
+import pytest
+
+from repro.core.api import Router
+from repro.core.architectures import hybrid
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.core.deployment import Deployment
+from repro.core.scheduler import CrossPoints
+from repro.errors import ConfigurationError
+from repro.runner.pool import PoolRunner
+from repro.runner.spec import canonical_json
+from repro.tune import (
+    AdaptiveRouter,
+    BanditRouter,
+    MixPhase,
+    ObservationWindow,
+    OnlineCalibrator,
+    ParamRange,
+    Tuner,
+    evaluate_policies,
+    make_trace,
+    oracle_assignment,
+    profile_for_job,
+    simulated_cross_points,
+)
+from repro.tune.evaluate import FixedRouter, drifted_truth
+from repro.units import GB, MB
+
+
+def small_phases(jobs=6):
+    return (
+        MixPhase("shuffle-heavy", ("terasort", "wordcount"), jobs, 2.0, 24.0),
+        MixPhase("input-heavy", ("grep", "testdfsio-write"), jobs, 4.0, 48.0),
+    )
+
+
+def one_param():
+    return (ParamRange("core_speed_up", 0.5, 1.3, points=5),)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return PoolRunner(max_workers=2)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return hybrid()
+
+
+# -- window ----------------------------------------------------------------
+
+
+class TestObservationWindow:
+    def add(self, window, n, runtime=10.0):
+        from repro.apps import WORDCOUNT
+
+        for i in range(n):
+            window.add(WORDCOUNT.make_job(GB, job_id=f"w{i}"), 0, "up", runtime)
+
+    def test_holdout_split_is_deterministic(self):
+        window = ObservationWindow(capacity=16, holdout_every=4)
+        self.add(window, 8)
+        assert [o.ordinal for o in window.holdout] == [3, 7]
+        assert [o.ordinal for o in window.training] == [0, 1, 2, 4, 5, 6]
+
+    def test_eviction_keeps_lifetime_ordinals(self):
+        window = ObservationWindow(capacity=4, holdout_every=4)
+        self.add(window, 10)
+        assert len(window) == 4
+        assert window.total_observed == 10
+        # Ordinals survive eviction, so the split never re-labels.
+        assert [o.ordinal for o in window.observations] == [6, 7, 8, 9]
+        assert [o.ordinal for o in window.holdout] == [7]
+
+    def test_rejects_nonpositive_runtime(self):
+        from repro.apps import WORDCOUNT
+
+        window = ObservationWindow()
+        with pytest.raises(ConfigurationError):
+            window.add(WORDCOUNT.make_job(GB), 0, "up", 0.0)
+
+    def test_validates_construction(self):
+        with pytest.raises(ConfigurationError):
+            ObservationWindow(capacity=0)
+        with pytest.raises(ConfigurationError):
+            ObservationWindow(holdout_every=1)
+
+
+# -- calibrator ------------------------------------------------------------
+
+
+class TestProfileForJob:
+    def test_round_trips_app_shape(self):
+        from repro.apps import TERASORT
+
+        job = TERASORT.make_job(4 * GB)
+        profile = profile_for_job(job)
+        assert profile.shuffle_ratio == pytest.approx(TERASORT.shuffle_ratio)
+        assert profile.map_cpu_per_mb == pytest.approx(TERASORT.map_cpu_per_mb)
+        # The synthesised profile regenerates the same job spec volumes.
+        clone = profile.make_job(job.input_bytes)
+        assert clone.shuffle_bytes == pytest.approx(job.shuffle_bytes)
+        assert clone.output_bytes == pytest.approx(job.output_bytes)
+
+
+class TestParamRange:
+    def test_values_grid(self):
+        values = ParamRange("core_speed_up", 0.5, 1.3, points=5).values()
+        assert values == (0.5, 0.7, 0.9, 1.1, 1.3)
+
+    def test_log_grid(self):
+        values = ParamRange("heap_up", 1.0, 16.0, points=5, log=True).values()
+        assert values == pytest.approx((1.0, 2.0, 4.0, 8.0, 16.0))
+
+    def test_validates(self):
+        with pytest.raises(ConfigurationError):
+            ParamRange("no_such_param", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ParamRange("core_speed_up", 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ParamRange("core_speed_up", 0.1, 1.0, points=1)
+        with pytest.raises(ConfigurationError):
+            ParamRange("core_speed_up", 0.0, 1.0, log=True)
+
+
+def filled_window(spec, truth, runner, n=12, seed=0):
+    """A window of *true* observed runtimes: replay a small trace on a
+    deployment running under the drifted truth."""
+    jobs = make_trace(small_phases(n // 2), seed=seed)
+    deployment = Deployment(spec, calibration=truth)
+    results = deployment.run_trace(jobs)
+    window = ObservationWindow(capacity=64, holdout_every=4)
+    by_id = {job.job_id: job for job in jobs}
+    for result in results:
+        member = 0 if result.cluster == "scale-up" else 1
+        role = spec.members[member].role
+        window.add(by_id[result.job_id], member, role, result.execution_time)
+    return window
+
+
+class TestOnlineCalibrator:
+    @pytest.fixture(scope="class")
+    def window(self, spec, runner):
+        return filled_window(spec, drifted_truth(), runner)
+
+    @pytest.fixture(scope="class")
+    def update(self, spec, runner, window):
+        calibrator = OnlineCalibrator(
+            spec, one_param(), runner=runner, seed=0
+        )
+        return calibrator.calibrate(window)
+
+    def test_training_mape_improves(self, update):
+        assert update.mape_after < update.mape_before
+
+    def test_holdout_mape_improves(self, update):
+        """The acceptance bar: held-out jobs the search never saw are
+        predicted better under the published calibration."""
+        assert update.holdout_mape_after < update.holdout_mape_before
+
+    def test_finds_the_drifted_parameter(self, update):
+        # drifted_truth moves core_speed_up to 0.9, which is on the grid.
+        assert update.chosen["core_speed_up"] == pytest.approx(0.9)
+
+    def test_update_is_versioned(self, spec, runner, window):
+        calibrator = OnlineCalibrator(spec, one_param(), runner=runner)
+        first = calibrator.calibrate(window)
+        second = calibrator.calibrate(window)
+        assert (first.version, second.version) == (1, 2)
+        assert calibrator.current == second.calibration
+
+    def test_seeded_recalibration_is_byte_identical(self, spec, runner, window):
+        payloads = []
+        for _ in range(2):
+            calibrator = OnlineCalibrator(
+                spec, one_param(), runner=runner, seed=0
+            )
+            payloads.append(canonical_json(calibrator.calibrate(window).to_dict()))
+        assert payloads[0] == payloads[1]
+
+    def test_empty_window_rejected(self, spec, runner):
+        calibrator = OnlineCalibrator(spec, one_param(), runner=runner)
+        with pytest.raises(ConfigurationError):
+            calibrator.calibrate(ObservationWindow())
+
+    def test_validates_params(self, spec):
+        with pytest.raises(ConfigurationError):
+            OnlineCalibrator(spec, [])
+        with pytest.raises(ConfigurationError):
+            OnlineCalibrator(spec, one_param() + one_param())
+        with pytest.raises(ConfigurationError):
+            OnlineCalibrator(spec, one_param(), rounds=0)
+
+
+# -- routers ---------------------------------------------------------------
+
+
+class TestAdaptiveRouter:
+    def test_conforms_to_router_protocol(self):
+        assert isinstance(AdaptiveRouter(), Router)
+
+    def test_routes_like_algorithm1_before_recalibration(self, spec):
+        from repro.apps import TERASORT, GREP
+
+        deployment = Deployment(spec, router=AdaptiveRouter(CrossPoints()))
+        up = deployment.submit(TERASORT.make_job(2 * GB, job_id="small"))
+        out = deployment.submit(GREP.make_job(48 * GB, job_id="large"))
+        assert spec.members[up].role == "up"
+        assert spec.members[out].role == "out"
+
+    def test_recalibrate_moves_thresholds(self, spec, runner):
+        router = AdaptiveRouter(CrossPoints(), runner=runner)
+        before = router.cross_points
+        after = router.recalibrate(spec, drifted_truth(), version=1)
+        # Drift lowers every cross point well below the paper's values.
+        assert after.high_ratio_cross < before.high_ratio_cross
+        assert after.mid_ratio_cross < before.mid_ratio_cross
+        assert after.low_ratio_cross < before.low_ratio_cross
+        assert router.history[-1][0] == 1
+
+    def test_recalibration_is_deterministic(self, spec, runner):
+        points = [
+            AdaptiveRouter(CrossPoints(), runner=runner, seed=0).recalibrate(
+                spec, drifted_truth()
+            )
+            for _ in range(2)
+        ]
+        assert points[0] == points[1]
+
+    def test_simulated_cross_points_requires_hybrid(self, runner):
+        from repro.core.architectures import up_ofs
+
+        with pytest.raises(ConfigurationError):
+            simulated_cross_points(up_ofs(), DEFAULT_CALIBRATION, runner=runner)
+
+
+class TestBanditRouter:
+    def job(self, size_gb=8.0, ratio=1.2, job_id="b"):
+        from repro.mapreduce.job import JobSpec
+
+        size = size_gb * GB
+        return JobSpec(
+            job_id=job_id, app="trace", input_bytes=size,
+            shuffle_bytes=size * ratio, output_bytes=0.0,
+            map_cpu_per_byte=0.04 / MB, reduce_cpu_per_byte=0.002 / MB,
+        )
+
+    def test_conforms_to_router_protocol(self):
+        assert isinstance(BanditRouter(), Router)
+
+    def test_unpulled_arms_explored_first(self, spec):
+        deployment = Deployment(spec)
+        router = BanditRouter(seed=0)
+        job = self.job()
+        assert router(job, deployment) == 0
+        router.observe(job, 0, 100.0)
+        assert router(job, deployment) == 1
+
+    def test_exploits_cheaper_arm(self, spec):
+        deployment = Deployment(spec)
+        router = BanditRouter(epsilon=0.0)
+        job = self.job()
+        router.observe(job, 0, 500.0)
+        router.observe(job, 1, 100.0)
+        assert router(job, deployment) == 1
+
+    def test_contexts_are_banded_and_bucketed(self):
+        router = BanditRouter()
+        assert router.context(self.job(ratio=1.5))[0] == "high"
+        assert router.context(self.job(ratio=0.5))[0] == "mid"
+        assert router.context(self.job(ratio=0.1))[0] == "low"
+        small = router.context(self.job(size_gb=1.0))
+        large = router.context(self.job(size_gb=32.0))
+        assert small[1] != large[1]
+
+    def test_seeded_decisions_repeat(self, spec):
+        deployment = Deployment(spec)
+        traces = []
+        for _ in range(2):
+            router = BanditRouter(seed=7, epsilon=0.5)
+            picks = []
+            for i in range(30):
+                job = self.job(job_id=f"j{i}")
+                member = router(job, deployment)
+                picks.append(member)
+                router.observe(job, member, 100.0 + member)
+            traces.append(picks)
+        assert traces[0] == traces[1]
+
+    def test_ucb_strategy_runs(self, spec):
+        deployment = Deployment(spec)
+        router = BanditRouter(strategy="ucb", ucb_c=1.0)
+        job = self.job()
+        router.observe(job, 0, 100.0)
+        router.observe(job, 1, 100.0)
+        assert router(job, deployment) in (0, 1)
+
+    def test_validates(self):
+        with pytest.raises(ConfigurationError):
+            BanditRouter(strategy="thompson")
+        with pytest.raises(ConfigurationError):
+            BanditRouter(epsilon=1.5)
+
+
+# -- tuner in a deployment -------------------------------------------------
+
+
+class TestTunerInDeployment:
+    def run_tuned(self, spec, runner, seed=0):
+        tuner = Tuner(
+            router=AdaptiveRouter(CrossPoints(), runner=runner, seed=seed),
+            calibrator=OnlineCalibrator(
+                spec, one_param(), runner=runner, seed=seed
+            ),
+            window=ObservationWindow(capacity=32),
+            publish_period=900.0,
+            min_observations=4,
+        )
+        deployment = Deployment(
+            spec, calibration=drifted_truth(), tuner=tuner
+        )
+        results = deployment.run_trace(make_trace(small_phases(5), seed=seed))
+        return deployment, tuner, results
+
+    def test_tuner_observes_and_publishes_on_the_clock(self, spec, runner):
+        deployment, tuner, results = self.run_tuned(spec, runner)
+        assert tuner.observations == len(results)
+        assert len(tuner.updates) >= 1
+        assert tuner.calibration_version == len(tuner.updates)
+        # The learned router was installed and actually used.
+        assert deployment.router is tuner.router
+        assert tuner.router.decisions == len(results)
+
+    def test_tuned_run_is_deterministic(self, spec, runner):
+        payloads = []
+        for _ in range(2):
+            _, tuner, results = self.run_tuned(spec, runner, seed=3)
+            payloads.append(canonical_json({
+                "results": [
+                    [r.job_id, r.cluster, r.end_time] for r in results
+                ],
+                "updates": [u.to_dict() for u in tuner.updates],
+            }))
+        assert payloads[0] == payloads[1]
+
+    def test_tuner_is_single_use(self, spec):
+        tuner = Tuner(router=BanditRouter())
+        Deployment(spec, tuner=tuner)
+        with pytest.raises(ConfigurationError, match="single-use"):
+            Deployment(spec, tuner=tuner)
+
+    def test_max_publishes_caps_recalibration(self, spec, runner):
+        tuner = Tuner(
+            calibrator=OnlineCalibrator(spec, one_param(), runner=runner),
+            publish_period=300.0,
+            min_observations=2,
+            max_publishes=1,
+        )
+        deployment = Deployment(spec, calibration=drifted_truth(), tuner=tuner)
+        deployment.run_trace(make_trace(small_phases(4), seed=0))
+        assert len(tuner.updates) == 1
+
+    def test_validates(self):
+        with pytest.raises(ConfigurationError):
+            Tuner(publish_period=0.0)
+        with pytest.raises(ConfigurationError):
+            Tuner(min_observations=0)
+
+
+class TestRoutingCounters:
+    def test_counters_sum_to_submitted_jobs(self, spec):
+        jobs = make_trace(small_phases(6), seed=1)
+        deployment = Deployment(spec)
+        deployment.run_trace(jobs)
+        summary = deployment.routing_summary()
+        routed = sum(
+            counts["primary"] + counts["fallback"]
+            for counts in summary["members"].values()
+        )
+        assert routed + summary["rejected"] == len(jobs)
+        # Healthy run: no fallbacks, no evacuations, no rejections.
+        assert summary["rejected"] == 0
+        assert all(
+            counts["fallback"] == 0 and counts["evacuation"] == 0
+            for counts in summary["members"].values()
+        )
+
+    def test_fault_summary_carries_routing(self, spec):
+        deployment = Deployment(spec)
+        assert "routing_decisions" in deployment.fault_summary()
+
+
+# -- evaluation ------------------------------------------------------------
+
+
+class TestEvaluation:
+    @pytest.fixture(scope="class")
+    def report(self, spec, runner):
+        return evaluate_policies(
+            spec,
+            phases=small_phases(6),
+            params=one_param(),
+            runner=runner,
+            seed=0,
+            publish_period=900.0,
+            min_observations=4,
+            max_publishes=2,
+        )
+
+    def test_recalibrated_beats_static(self, report):
+        """The headline acceptance bar: learned routing strictly lower
+        cumulative regret than static Algorithm 1."""
+        static = report.outcome("static").cumulative_regret
+        recal = report.outcome("recalibrated").cumulative_regret
+        assert recal < static
+
+    def test_oracle_is_the_floor(self, report):
+        for outcome in report.outcomes:
+            assert outcome.cumulative_regret >= -1e-6
+            assert outcome.total_runtime >= report.oracle_total_runtime - 1e-6
+
+    def test_regret_curves_cover_every_job(self, report):
+        for outcome in report.outcomes:
+            assert len(outcome.regret_curve) == report.jobs
+            assert outcome.regret_curve[-1] == pytest.approx(
+                outcome.cumulative_regret
+            )
+
+    def test_calibration_updates_recorded(self, report):
+        updates = report.outcome("recalibrated").updates
+        assert updates
+        assert updates[-1]["holdout_mape_after"] < updates[0]["holdout_mape_before"]
+
+    def test_report_is_byte_identical_on_rerun(self, spec, runner, report):
+        again = evaluate_policies(
+            spec,
+            phases=small_phases(6),
+            params=one_param(),
+            runner=runner,
+            seed=0,
+            publish_period=900.0,
+            min_observations=4,
+            max_publishes=2,
+        )
+        assert canonical_json(again.to_dict()) == canonical_json(report.to_dict())
+
+    def test_render_tuning_produces_report(self, report):
+        from repro.analysis.tuning import render_tuning
+
+        text = render_tuning(report)
+        assert "Routing policies vs oracle" in text
+        assert "Cumulative regret" in text
+        assert "recalibrated" in text
+
+    def test_unknown_policy_rejected(self, spec, runner):
+        with pytest.raises(ConfigurationError):
+            evaluate_policies(spec, policies=("vibes",), runner=runner)
+
+
+class TestOracle:
+    def test_fixed_router_uses_assignment(self, spec):
+        router = FixedRouter({"a": 1}, default=0)
+        from repro.apps import WORDCOUNT
+
+        deployment = Deployment(spec, router=router)
+        assert deployment.submit(WORDCOUNT.make_job(GB, job_id="a")) == 1
+        assert deployment.submit(WORDCOUNT.make_job(GB, job_id="other")) == 0
+
+    def test_oracle_is_size_aware_under_drift(self, spec, runner):
+        jobs = make_trace(small_phases(6), seed=0)
+        assignment = oracle_assignment(
+            spec, jobs, drifted_truth(), runner=runner, seed=0
+        )
+        assert set(assignment) == {job.job_id for job in jobs}
+        # Under drift neither member dominates outright: the oracle
+        # still splits the trace across both clusters.
+        assert set(assignment.values()) == {0, 1}
+        # The largest input-heavy job is squarely past the drifted cross
+        # points (~5 GB): it must route scale-out.
+        input_heavy = [j for j in jobs if j.job_id.startswith("tune-input")]
+        biggest = max(input_heavy, key=lambda j: j.input_bytes)
+        assert biggest.input_bytes > 16 * GB
+        assert assignment[biggest.job_id] == 1
+
+
+# -- service integration ---------------------------------------------------
+
+
+class TestServiceWithTuner:
+    def submissions(self, n=10):
+        import json
+
+        from repro.core.api import JobSubmission
+
+        lines = []
+        for i in range(n):
+            size = (2 + 3 * (i % 5)) * GB
+            lines.append(json.dumps(JobSubmission(
+                job_id=f"svc-{i:03d}",
+                input_bytes=size,
+                shuffle_bytes=size * (1.2 if i % 2 else 0.2),
+                arrival_time=120.0 * i,
+            ).to_wire(), sort_keys=True))
+        return "\n".join(lines) + "\n"
+
+    def make_tuner(self):
+        return Tuner(
+            router=BanditRouter(seed=5),
+            window=ObservationWindow(capacity=16),
+        )
+
+    def test_metrics_surface_routing_and_tuning(self):
+        from repro.service import ReproService
+
+        service = ReproService("Hybrid", tuner=self.make_tuner())
+        statuses, report = service.submit_ndjson(self.submissions())
+        assert report.ok and all(s.accepted for s in statuses)
+        service.drain()
+        dump = service.metrics_dump()
+        assert "routing" in dump and "tuning" in dump
+        routed = sum(
+            counts["primary"] + counts["fallback"]
+            for counts in dump["routing"]["members"].values()
+        )
+        assert routed == len(statuses)
+        assert dump["tuning"]["observations"] == len(statuses)
+        assert "routing_decisions" in dump["faults"]
+
+    def test_restore_replays_tuned_service_byte_identically(self, tmp_path):
+        from repro.core.api import result_to_wire
+        from repro.service import ReproService
+
+        path = str(tmp_path / "tuned.ckpt")
+        service = ReproService(
+            "Hybrid", tuner=self.make_tuner(), checkpoint_path=path
+        )
+        service.submit_ndjson(self.submissions())
+        service.drain()
+        original = [result_to_wire(r) for r in service.results]
+        summary = service.deployment.tuner.summary()
+
+        restored = ReproService.restore(path, tuner=self.make_tuner())
+        restored.drain()
+        assert [result_to_wire(r) for r in restored.results] == original
+        assert restored.deployment.tuner.summary() == summary
+        assert restored.deployment.routing_summary() == (
+            service.deployment.routing_summary()
+        )

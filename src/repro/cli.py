@@ -608,6 +608,57 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_elastic(args: argparse.Namespace) -> int:
+    from repro.elastic import CHAOS_SCENARIOS, default_elastic_plan, run_chaos
+    from repro.workload.fb2009 import DAY
+
+    duration = DAY * args.jobs / 6000.0
+    if args.save_plan:
+        plan = default_elastic_plan(duration, seed=args.scale_seed)
+        path = plan.save(args.save_plan)
+        print(f"scale plan ({plan.describe()}) written to {path}\n")
+    names = (
+        sorted(CHAOS_SCENARIOS)
+        if args.scenario == "all"
+        else [args.scenario]
+    )
+    rows = []
+    failures = 0
+    for name in names:
+        report = run_chaos(
+            name,
+            num_jobs=args.jobs,
+            seed=args.seed,
+            scenario_seed=args.scale_seed,
+            architecture=args.arch,
+        )
+        if not report.ok:
+            failures += 1
+        rows.append([
+            report.scenario,
+            report.completed,
+            report.failed,
+            f"{report.makespan:.1f}",
+            report.elastic.get("nodes_joined", 0),
+            report.elastic.get("nodes_decommissioned", 0),
+            report.faults.get("nodes_crashed", 0),
+            "PASS" if report.ok else "; ".join(report.violations[:3]),
+        ])
+    print(render_table(
+        ["scenario", "completed", "failed", "makespan (s)",
+         "joined", "decommissioned", "crashed", "invariants"],
+        rows,
+        title=(
+            f"Chaos harness: {args.jobs}-job FB-2009 replay on {args.arch} "
+            f"(scenario seed {args.scale_seed})"
+        ),
+    ))
+    if failures:
+        print(f"\n{failures} scenario(s) violated invariants")
+        return 1
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -802,6 +853,25 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--save-plan", metavar="FILE",
                             help="write the plan in effect to FILE (JSON)")
 
+    elastic = sub.add_parser(
+        "elastic",
+        help="chaos harness: replay under membership churn; check "
+             "invariants (docs/ELASTIC.md)",
+        parents=[_seed_options(2009)],
+    )
+    elastic.add_argument("--jobs", type=int, default=120)
+    elastic.add_argument("--scenario", default="all",
+                         choices=("all", "flapping_node", "cascading_loss",
+                                  "thundering_herd",
+                                  "kill_during_decommission"),
+                         help="churn scenario to run (default all)")
+    elastic.add_argument("--arch", default="RHadoop", choices=ARCH_CHOICES)
+    elastic.add_argument("--scale-seed", type=int, default=0,
+                         help="seed for the scenario's jittered timestamps")
+    elastic.add_argument("--save-plan", metavar="FILE",
+                         help="also write the default elastic ScalePlan "
+                              "to FILE (JSON)")
+
     trace_export = sub.add_parser(
         "trace-export",
         help="traced replay -> Chrome trace-event JSON (Perfetto)",
@@ -959,6 +1029,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "replay": _cmd_replay,
     "resilience": _cmd_resilience,
+    "elastic": _cmd_elastic,
     "timeline": _cmd_timeline,
     "advise": _cmd_advise,
     "tune": _cmd_tune,

@@ -42,13 +42,21 @@ from repro.core.api import Router, Scheduler
 from repro.core.architectures import ArchitectureSpec
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.scheduler import Decision, SizeAwareScheduler
+from repro.elastic.actuator import ScaleActuator
+from repro.elastic.degrade import (
+    BrownoutConfig,
+    DEFAULT_BROWNOUT,
+    HEALTH_BROWNED_OUT,
+    HEALTH_OK,
+)
+from repro.elastic.plan import ScalePlan
 from repro.errors import ConfigurationError, SchedulingError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.mapreduce.config import HadoopConfig
 from repro.mapreduce.job import JobResult, JobSpec
 from repro.mapreduce.jobtracker import JobTracker
-from repro.mapreduce.nodes import build_nodes
+from repro.mapreduce.nodes import NodeRuntime, build_nodes
 from repro.simulator.engine import Simulation
 from repro.storage.base import StorageSystem
 from repro.storage.hdfs import HDFS
@@ -58,6 +66,7 @@ from repro.telemetry.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.fastpath import FastPathEngine, FastPathPolicy
+    from repro.elastic.autoscale import Autoscaler
     from repro.profiler.model import RunProfile
     from repro.tune.tuner import Tuner
 
@@ -116,6 +125,9 @@ class Deployment:
         fast_path: Optional["FastPathPolicy"] = None,
         max_events: Optional[int] = None,
         tuner: Optional["Tuner"] = None,
+        scale_plan: Optional[ScalePlan] = None,
+        autoscaler: Optional["Autoscaler"] = None,
+        brownout: Optional[BrownoutConfig] = None,
     ) -> None:
         self.spec = spec
         self.calibration = calibration
@@ -220,6 +232,37 @@ class Deployment:
         if fault_plan is not None and not fault_plan.is_empty:
             self.injector = FaultInjector(self, fault_plan)
 
+        #: Scale schedule (elastic membership — :mod:`repro.elastic`),
+        #: armed exactly like the fault plan: an empty (or absent) plan
+        #: arms nothing, so static runs stay byte-identical.  Same-time
+        #: fault events fire before scale events (the injector armed
+        #: first), deterministically.
+        self.scale_plan = scale_plan
+        self.actuator: Optional[ScaleActuator] = None
+        #: Brownout watermarks (docs/ELASTIC.md).  ``None`` switches the
+        #: degradation behaviours — admission-level health, static-router
+        #: fallback, tuner suspension — off entirely; the service
+        #: installs :class:`BrownoutConfig` defaults.
+        self.brownout = brownout
+        self._health_level = HEALTH_OK
+        #: What browned-out routing falls back to: the construction-time
+        #: static policy (Algorithm 1 on hybrids), never a learned one.
+        if spec.is_hybrid:
+            self._static_router: Router = algorithm1_router()
+        else:
+            self._static_router = lambda job, deployment: 0
+        for i, tracker in enumerate(self.trackers):
+            tracker.on_decommissioned = (
+                lambda node, member=i: self._node_left(member, node)
+            )
+        if scale_plan is not None and not scale_plan.is_empty:
+            self.actuator = ScaleActuator(self, scale_plan)
+        #: Reactive autoscaler (:mod:`repro.elastic.autoscale`), ticked
+        #: on the simulation clock while jobs are active.  ``None`` arms
+        #: no tick at all.
+        self.autoscaler = autoscaler
+        self._autoscale_tick_armed = False
+
         #: Analytic fast path (docs/KERNEL.md): None = every job fully
         #: simulated, the historical behaviour.
         self.fast_path: Optional["FastPathEngine"] = None
@@ -229,6 +272,11 @@ class Deployment:
                 raise ConfigurationError(
                     "the analytic fast path assumes fault-free runs; "
                     "drop fast_path= or the fault plan"
+                )
+            if self.actuator is not None or self.autoscaler is not None:
+                raise ConfigurationError(
+                    "the analytic fast path assumes a static cluster; "
+                    "drop fast_path= or the scale plan/autoscaler"
                 )
             from repro.core.fastpath import FastPathEngine
 
@@ -292,7 +340,19 @@ class Deployment:
         and ``-1`` is returned.
         """
         register = self._resolve_register(register_dataset)
-        index = self.router(job, self)
+        if self.autoscaler is not None and not self._autoscale_tick_armed:
+            self._arm_autoscale_tick()
+        if self.brownout is not None:
+            self._refresh_health()
+            if self._health_level == HEALTH_BROWNED_OUT:
+                # Browned out: suspend learned/experimental routing and
+                # fall back to the static construction-time policy
+                # (Algorithm 1 on hybrids) until capacity recovers.
+                index = self._static_router(job, self)
+            else:
+                index = self.router(job, self)
+        else:
+            index = self.router(job, self)
         if not 0 <= index < len(self.trackers):
             raise SchedulingError(f"router returned invalid member index {index}")
         route_reason = ROUTE_PRIMARY
@@ -564,6 +624,142 @@ class Deployment:
             "rejected": self.jobs_rejected,
         }
 
+    # -- elastic membership / graceful degradation --------------------------
+
+    def add_node(self, member: int = 0) -> int:
+        """Join one fresh node to ``member``'s cluster at the current sim
+        time (elastic scale-up — see docs/ELASTIC.md).
+
+        Builds a :class:`NodeRuntime` identical to the member's existing
+        machines, registers it with the tracker (slots become
+        schedulable immediately), and — on HDFS-backed members — adds
+        its disk as a datanode, scheduling balancer traffic toward it.
+        Returns the new node's index.
+        """
+        if not 0 <= member < len(self.trackers):
+            raise ConfigurationError(f"no member {member} to add a node to")
+        tracker = self.trackers[member]
+        node = NodeRuntime(
+            self.sim,
+            len(tracker.nodes),
+            tracker.cluster.machine,
+            tracker.config,
+            self.calibration.ramdisk_bandwidth,
+            disk_seek_penalty=self.calibration.disk_seek_penalty,
+        )
+        index = tracker.add_node(node)
+        storage = self.storages[member]
+        if isinstance(storage, HDFS):
+            storage.add_datanode(node.local_disk)
+        self._refresh_health()
+        return index
+
+    def _node_left(self, member: int, node: int) -> None:
+        """A tracker finished draining a node (graceful decommission).
+        Re-replicate its HDFS blocks off the departing disk — unlike a
+        crash, the data is copied *before* the node exits, so no
+        re-replication race and no data-loss window."""
+        storage = self.storages[member]
+        if isinstance(storage, HDFS) and node < len(storage.devices):
+            storage.decommission_datanode(node)
+        self._refresh_health()
+
+    def intended_nodes(self) -> int:
+        """Nodes the deployment *means* to have right now: construction
+        size plus joins minus decommissions (crashes do not change it —
+        a crashed node is missing, not gone on purpose)."""
+        return sum(t.intended_nodes for t in self.trackers)
+
+    def healthy_fraction(self) -> float:
+        """Schedulable nodes as a fraction of intended nodes, across all
+        members — the signal the brownout watermarks compare against."""
+        schedulable = sum(t.schedulable_nodes() for t in self.trackers)
+        return schedulable / max(1, self.intended_nodes())
+
+    def health_level(self) -> str:
+        """Current degradation level (``ok``/``degraded``/``browned_out``).
+
+        Read-only and side-effect-free against the configured watermarks
+        (:data:`~repro.elastic.degrade.DEFAULT_BROWNOUT` when the
+        deployment was built without ``brownout=``); stateful behaviour
+        — router fallback, tuner suspension — only engages when a
+        brownout config was actually installed.
+        """
+        config = self.brownout if self.brownout is not None else DEFAULT_BROWNOUT
+        return config.level_for(self.healthy_fraction())
+
+    def _refresh_health(self) -> None:
+        """Recompute the degradation level and act on transitions.
+
+        No-op unless a brownout config is installed, so deployments
+        without one stay byte-identical.  On a transition: emit a tracer
+        instant and a metrics counter, and suspend the tuner while not
+        ``ok`` (a controller calibrated on healthy data would chase
+        churn noise) — resuming it when health returns.
+        """
+        if self.brownout is None:
+            return
+        level = self.brownout.level_for(self.healthy_fraction())
+        if level == self._health_level:
+            return
+        previous = self._health_level
+        self._health_level = level
+        if self.sim.tracer is not None:
+            self.sim.tracer.instant(
+                "health_transition",
+                "elastic",
+                track="elastic",
+                args={"from": previous, "to": level},
+            )
+        if self.sim.metrics is not None:
+            self.sim.metrics.counter(f"elastic.health.{level}").inc()
+        if self.tuner is not None:
+            if level == HEALTH_OK:
+                self.tuner.resume()
+            else:
+                self.tuner.suspend()
+
+    def _arm_autoscale_tick(self) -> None:
+        """Start the autoscaler heartbeat (idempotent).  The tick runs on
+        the simulation clock only while jobs are active, so an autoscaled
+        run still terminates when its workload drains."""
+        autoscaler = self.autoscaler
+        if autoscaler is None or self._autoscale_tick_armed:
+            return
+        self._autoscale_tick_armed = True
+
+        def tick() -> None:
+            if not any(t.active_jobs for t in self.trackers):
+                self._autoscale_tick_armed = False
+                return
+            autoscaler.tick(self)
+            self._refresh_health()
+            self.sim.schedule(autoscaler.tick_period, tick)
+
+        self.sim.schedule(autoscaler.tick_period, tick)
+
+    def elastic_summary(self) -> dict:
+        """Aggregate elastic-membership state for reporting."""
+        summary: dict = {
+            "health": self.health_level(),
+            "healthy_fraction": self.healthy_fraction(),
+            "intended_nodes": self.intended_nodes(),
+            "schedulable_nodes": sum(
+                t.schedulable_nodes() for t in self.trackers
+            ),
+            "nodes_joined": sum(t.nodes_joined for t in self.trackers),
+            "nodes_decommissioned": sum(
+                t.nodes_decommissioned for t in self.trackers
+            ),
+        }
+        if self.actuator is not None:
+            summary["scale_plan"] = self.actuator.summary()
+        if self.autoscaler is not None:
+            autoscaler_summary = getattr(self.autoscaler, "summary", None)
+            if callable(autoscaler_summary):
+                summary["autoscaler"] = autoscaler_summary()
+        return summary
+
     def fault_summary(self) -> dict:
         """Aggregate fault/retry/degradation counters for reporting.
 
@@ -595,6 +791,19 @@ class Deployment:
             "jobs_rejected": self.jobs_rejected,
             "storage_data_loss": data_loss,
             "rereplication_bytes": rereplication,
+            "nodes_decommissioned": sum(
+                t.nodes_decommissioned for t in self.trackers
+            ),
+            "nodes_joined": sum(t.nodes_joined for t in self.trackers),
+            "scale_events_applied": self.actuator.applied if self.actuator else 0,
+            "scale_events_skipped": self.actuator.skipped if self.actuator else 0,
+            # Per-member healthy-capacity time series: [[sim_time,
+            # schedulable_nodes], ...], sampled at every membership
+            # transition (crash/recover/blacklist/drain/join).
+            "healthy_capacity": {
+                t.name: [[time, count] for time, count in t.capacity_series]
+                for t in self.trackers
+            },
             "routing_decisions": self.routing_summary(),
         }
 

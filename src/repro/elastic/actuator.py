@@ -1,0 +1,145 @@
+"""Scale actuation: replay a :class:`ScalePlan` against a deployment.
+
+The actuator is the elastic twin of
+:class:`~repro.faults.injector.FaultInjector` and follows the same
+contract: one simulator-clock callback per plan event, armed at
+deployment construction time — before any job event — so a scale event
+at time *t* is applied before any same-time task event.  An empty plan
+arms nothing, keeping static runs byte-identical to deployments built
+without a plan at all.
+
+Events that do not apply — an ``"up"`` decommission on THadoop, an OFS
+server add on an HDFS-backed architecture, a node index beyond the
+cluster — are counted as *skipped*, not errors, so one plan can drive a
+fair cross-architecture comparison.
+
+Actuation semantics:
+
+* ``node_join`` builds ``count`` fresh :class:`NodeRuntime`\\ s through
+  :meth:`Deployment.add_node` (which also registers HDFS datanodes and
+  schedules rebalancing traffic);
+* ``node_decommission`` starts a graceful drain via
+  :meth:`JobTracker.decommission_node` — running attempts finish, then
+  the node leaves (storage re-replication fires from the tracker's
+  ``on_decommissioned`` hook when the drain actually completes);
+* ``ofs_server_add`` / ``ofs_server_remove`` resize the shared array.
+
+After every event the deployment's brownout health is refreshed, so
+admission shedding and router fallback react on the same clock tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Optional
+
+from repro.elastic.plan import (
+    NODE_DECOMMISSION,
+    NODE_JOIN,
+    OFS_SERVER_ADD,
+    OFS_SERVER_REMOVE,
+    ScaleEvent,
+    ScalePlan,
+)
+from repro.errors import ConfigurationError
+from repro.storage.ofs import OrangeFS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deployment import Deployment
+
+
+class ScaleActuator:
+    """Schedules and applies a plan's events on a deployment's clock."""
+
+    def __init__(self, deployment: "Deployment", plan: ScalePlan) -> None:
+        self.deployment = deployment
+        self.plan = plan
+        #: Events that changed deployment state.
+        self.applied = 0
+        #: Events that did not apply to this architecture.
+        self.skipped = 0
+        for event in plan.events:
+            deployment.sim.schedule_at(event.time, lambda e=event: self._fire(e))
+
+    # -- targeting ------------------------------------------------------
+
+    def _resolve_member(self, event: ScaleEvent) -> Optional[int]:
+        """Member index an event addresses, or None when the architecture
+        has no such member (the event is then skipped)."""
+        member = event.member
+        if member == "":
+            return 0
+        if member.isdigit():
+            index = int(member)
+            return index if index < len(self.deployment.trackers) else None
+        try:
+            return self.deployment.spec.role_index(member)
+        except ConfigurationError:
+            return None
+
+    def _find_ofs(self) -> Optional[OrangeFS]:
+        for storage in self.deployment.storages:
+            if isinstance(storage, OrangeFS):
+                return storage
+        return None
+
+    # -- application ----------------------------------------------------
+
+    def _fire(self, event: ScaleEvent) -> None:
+        applied = False
+        kind = event.kind
+        if kind == NODE_JOIN:
+            member = self._resolve_member(event)
+            if member is not None:
+                for _ in range(event.count):
+                    self.deployment.add_node(member)
+                applied = True
+        elif kind == NODE_DECOMMISSION:
+            member = self._resolve_member(event)
+            if member is not None:
+                tracker = self.deployment.trackers[member]
+                if event.node < len(tracker.nodes):
+                    applied = tracker.decommission_node(event.node)
+                    if applied:
+                        # Draining the last schedulable node leaves the
+                        # member unable to accept new work; the
+                        # deployment then evacuates its in-flight jobs
+                        # exactly as it does for a full outage.
+                        self.deployment._handle_cluster_outage(member)
+        elif kind in (OFS_SERVER_ADD, OFS_SERVER_REMOVE):
+            ofs = self._find_ofs()
+            if ofs is not None:
+                if kind == OFS_SERVER_ADD:
+                    applied = ofs.add_servers(event.count) > 0
+                else:
+                    applied = ofs.fail_servers(event.count) > 0
+        if applied:
+            self.applied += 1
+        else:
+            self.skipped += 1
+        sim = self.deployment.sim
+        tracer = sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "scale_applied" if applied else "scale_skipped",
+                "elastic",
+                track="elastic",
+                args=asdict(event),
+            )
+        metrics = sim.metrics
+        if metrics is not None:
+            metrics.counter(
+                "elastic.applied" if applied else "elastic.skipped"
+            ).inc()
+        self.deployment._refresh_health()
+
+    def summary(self) -> dict:
+        return {
+            "plan": self.plan.name or "scale plan",
+            "events": len(self.plan),
+            "applied": self.applied,
+            "skipped": self.skipped,
+        }
+
+
+__all__ = ["ScaleActuator"]

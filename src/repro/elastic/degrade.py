@@ -1,0 +1,102 @@
+"""Brownout policy: graceful degradation under capacity loss.
+
+When churn (crashes, decommissions, blacklisting) eats into a
+deployment's healthy capacity, the service should degrade *predictably*
+rather than let queues grow without bound.  :class:`BrownoutConfig`
+defines two watermarks on the **healthy fraction** — schedulable nodes
+over intended nodes, summed across members — and, per level, a
+largest-shuffle-first admission shed threshold:
+
+========================  =====================================
+healthy fraction *f*      level
+========================  =====================================
+``f >= degraded_below``   ``ok`` — no behaviour change
+``f < degraded_below``    ``degraded`` — shed the biggest
+                          shuffle-heavy jobs at admission
+``f < browned_out_below`` ``browned_out`` — shed harder, and
+                          route with the *static* Algorithm-1
+                          thresholds (the learned router and any
+                          active Tuner are suspended so they
+                          never train on churn transients)
+========================  =====================================
+
+Shedding is by shuffle volume because shuffle is what a shrunken
+cluster is worst at: all-to-all traffic scales with the square of the
+lost bandwidth share, so the largest-shuffle jobs are the ones whose
+admission would most inflate everyone else's latency.  The watermark
+and threshold defaults below are recorded in docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ElasticError
+
+#: Health levels reported by ``Deployment.health_level()`` and the
+#: service ``/healthz`` + ``/metrics`` endpoints.
+HEALTH_OK = "ok"
+HEALTH_DEGRADED = "degraded"
+HEALTH_BROWNED_OUT = "browned_out"
+
+HEALTH_LEVELS = (HEALTH_OK, HEALTH_DEGRADED, HEALTH_BROWNED_OUT)
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Watermarks and per-level admission shed thresholds.
+
+    ``degraded_below`` / ``browned_out_below`` are healthy-capacity
+    fractions in ``(0, 1]``; the shed thresholds are shuffle-byte
+    ceilings above which a submission is rejected at that level
+    (``shed_…`` reasons in :mod:`repro.service.admission`).
+    """
+
+    degraded_below: float = 0.75
+    browned_out_below: float = 0.5
+    degraded_shed_shuffle_over: float = 32e9
+    browned_out_shed_shuffle_over: float = 4e9
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.browned_out_below <= self.degraded_below <= 1.0):
+            raise ElasticError(
+                "watermarks must satisfy 0 < browned_out_below <= "
+                f"degraded_below <= 1: got {self.browned_out_below}, "
+                f"{self.degraded_below}"
+            )
+        if self.degraded_shed_shuffle_over < 0:
+            raise ElasticError("degraded shed threshold must be non-negative")
+        if self.browned_out_shed_shuffle_over < 0:
+            raise ElasticError("browned-out shed threshold must be non-negative")
+
+    def level_for(self, healthy_fraction: float) -> str:
+        """Map a healthy-capacity fraction to a health level."""
+        if healthy_fraction < self.browned_out_below:
+            return HEALTH_BROWNED_OUT
+        if healthy_fraction < self.degraded_below:
+            return HEALTH_DEGRADED
+        return HEALTH_OK
+
+    def shed_threshold(self, level: str) -> float | None:
+        """Shuffle-byte admission ceiling at ``level`` (None = no shed)."""
+        if level == HEALTH_DEGRADED:
+            return self.degraded_shed_shuffle_over
+        if level == HEALTH_BROWNED_OUT:
+            return self.browned_out_shed_shuffle_over
+        return None
+
+
+#: Watermarks used when a deployment has no explicit brownout config
+#: (pure read-side default: level reporting works, but the stateful
+#: behaviours — shedding, router fallback, tuner suspension — only
+#: activate when a config is actually installed).
+DEFAULT_BROWNOUT = BrownoutConfig()
+
+__all__ = [
+    "BrownoutConfig",
+    "DEFAULT_BROWNOUT",
+    "HEALTH_BROWNED_OUT",
+    "HEALTH_DEGRADED",
+    "HEALTH_LEVELS",
+    "HEALTH_OK",
+]

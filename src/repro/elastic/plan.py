@@ -1,0 +1,242 @@
+"""Scale plans: seeded, serializable schedules of membership changes.
+
+A :class:`ScalePlan` is the elastic twin of
+:class:`~repro.faults.plan.FaultPlan`: an ordered list of timestamped
+:class:`ScaleEvent`\\ s — node joins, graceful decommissions, OFS
+storage-server adds/removes — plus a seed.  Plans are frozen
+dataclasses, serialise canonically to JSON, and carry a content hash so
+the runner cache distinguishes an elastic run from a static one (and two
+different churn schedules from each other).
+
+The semantic difference from a fault plan is *intent*: a
+``node_decommission`` drains the node — running attempts finish (or are
+migrated by job-level recovery), no new work is dispatched, and only
+when the node is idle does it leave, taking its slots and (for HDFS)
+triggering re-replication of its block share.  A crash, by contrast,
+kills attempts mid-flight and requeues them.  docs/FAULTS.md spells out
+the two code paths side by side.
+
+Determinism rules match fault plans exactly:
+
+* the plan is the only source of nondeterminism — actuation draws no
+  randomness, so identical plan + identical seed replay byte-identically;
+* events fire as simulator-clock callbacks armed at construction, before
+  any job event, so a scale event at time *t* precedes same-time task
+  events;
+* an **empty plan arms nothing**: a deployment built with
+  ``ScalePlan.empty()`` is byte-identical to one built with no plan.
+
+Addressing follows fault plans too: ``member`` is a role name
+(``"up"``/``"out"``) or member index as a string; events addressed to a
+member the architecture lacks are *skipped* and counted, so one plan can
+drive a fair cross-architecture comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from random import Random
+from typing import Any, Dict, Iterable, Tuple
+
+from repro.errors import ElasticError
+
+#: Recognised scale kinds (the ``kind`` field of a :class:`ScaleEvent`).
+NODE_JOIN = "node_join"
+NODE_DECOMMISSION = "node_decommission"
+OFS_SERVER_ADD = "ofs_server_add"
+OFS_SERVER_REMOVE = "ofs_server_remove"
+
+SCALE_KINDS = (
+    NODE_JOIN,
+    NODE_DECOMMISSION,
+    OFS_SERVER_ADD,
+    OFS_SERVER_REMOVE,
+)
+
+#: Schema tag carried by serialized plans.
+PLAN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One timestamped membership change.
+
+    Parameters
+    ----------
+    time:
+        Simulation time (seconds) at which the change begins.  For a
+        decommission this is when draining *starts*; the node leaves
+        once its running attempts retire.
+    kind:
+        One of :data:`SCALE_KINDS`.
+    member:
+        Target member cluster: a role (``"up"``/``"out"``) or member
+        index as a string.  Empty string means member 0.
+    node:
+        Node index within the member cluster (``node_decommission``
+        only; joins always append at the next free index).
+    count:
+        Number of nodes to join, or OFS servers to add/remove.
+    """
+
+    time: float
+    kind: str
+    member: str = ""
+    node: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ElasticError(f"scale time must be non-negative: {self.time}")
+        if self.kind not in SCALE_KINDS:
+            raise ElasticError(
+                f"unknown scale kind {self.kind!r}; choose from {SCALE_KINDS}"
+            )
+        if self.node < 0:
+            raise ElasticError(f"node index must be non-negative: {self.node}")
+        if self.count < 1:
+            raise ElasticError(f"count must be >= 1: {self.count}")
+
+    def describe(self) -> str:
+        target = self.member or "0"
+        if self.kind in (OFS_SERVER_ADD, OFS_SERVER_REMOVE):
+            return f"t={self.time:g}s {self.kind} x{self.count}"
+        if self.kind == NODE_JOIN:
+            return f"t={self.time:g}s {self.kind} {target} x{self.count}"
+        return f"t={self.time:g}s {self.kind} {target}/node{self.node}"
+
+
+@dataclass(frozen=True)
+class ScalePlan:
+    """A named, seeded schedule of scale events (sorted by time)."""
+
+    events: Tuple[ScaleEvent, ...] = field(default_factory=tuple)
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: e.time)
+        )  # stable: same-time events keep authoring order
+        object.__setattr__(self, "events", ordered)
+
+    @classmethod
+    def empty(cls) -> "ScalePlan":
+        """The static plan (arms nothing; byte-identical to no plan)."""
+        return cls()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": PLAN_SCHEMA,
+            "name": self.name,
+            "seed": self.seed,
+            "events": [asdict(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScalePlan":
+        if not isinstance(data, dict) or "events" not in data:
+            raise ElasticError("a scale plan needs an 'events' list")
+        schema = data.get("schema", PLAN_SCHEMA)
+        if schema != PLAN_SCHEMA:
+            raise ElasticError(f"unsupported scale-plan schema {schema!r}")
+        try:
+            events = tuple(ScaleEvent(**e) for e in data["events"])
+        except TypeError as exc:
+            raise ElasticError(f"malformed scale event: {exc}") from None
+        return cls(
+            events=events,
+            seed=int(data.get("seed", 0)),
+            name=str(data.get("name", "")),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScalePlan":
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            raise ElasticError(f"cannot read scale plan {path}: {exc}") from None
+        return cls.from_dict(data)
+
+    # -- identity ----------------------------------------------------------
+
+    def content_key(self) -> str:
+        """Stable SHA-256 over the canonical serialized form."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        label = self.name or "scale plan"
+        return f"{label}: {len(self.events)} events, seed {self.seed}"
+
+
+def _jittered(rng: Random, base: float, width: float = 0.05) -> float:
+    """A seeded perturbation of ``base`` (keeps synthesized plans from
+    aligning with wave boundaries at exact round numbers)."""
+    return max(0.0, base * (1.0 + width * (2.0 * rng.random() - 1.0)))
+
+
+def default_elastic_plan(
+    duration: float,
+    seed: int = 0,
+    member: str = "out",
+    nodes: int = 12,
+) -> ScalePlan:
+    """A representative seeded churn schedule over ``duration``.
+
+    Two scale-out nodes drain away mid-trace, replacements join in the
+    second half, and the shared OFS array gains a stripe server — every
+    scale kind exercised once, addressed by role so the same plan drives
+    all Section V deployments.
+    """
+    if nodes < 2:
+        raise ElasticError(f"nodes must be >= 2: {nodes}")
+    rng = Random(f"elastic:{seed}")
+    t = lambda frac: _jittered(rng, duration * frac)  # noqa: E731
+    events = (
+        ScaleEvent(time=t(0.20), kind=NODE_DECOMMISSION, member=member, node=nodes - 1),
+        ScaleEvent(time=t(0.35), kind=NODE_DECOMMISSION, member=member, node=nodes - 2),
+        ScaleEvent(time=t(0.55), kind=NODE_JOIN, member=member, count=2),
+        ScaleEvent(time=t(0.70), kind=OFS_SERVER_ADD, count=1),
+    )
+    return ScalePlan(events=events, seed=seed, name=f"default-elastic-s{seed}")
+
+
+def plan_from_events(
+    events: Iterable[ScaleEvent], seed: int = 0, name: str = ""
+) -> ScalePlan:
+    """Convenience constructor mirroring :meth:`ScalePlan.from_dict`."""
+    return ScalePlan(events=tuple(events), seed=seed, name=name)
+
+
+__all__ = [
+    "NODE_DECOMMISSION",
+    "NODE_JOIN",
+    "OFS_SERVER_ADD",
+    "OFS_SERVER_REMOVE",
+    "PLAN_SCHEMA",
+    "SCALE_KINDS",
+    "ScaleEvent",
+    "ScalePlan",
+    "default_elastic_plan",
+    "plan_from_events",
+]

@@ -51,3 +51,17 @@ class FaultError(ReproError):
     """A fault plan is malformed, or an injected fault put the modeled
     system into a state it cannot serve (e.g. every replica of a job's
     data lost, or a job exhausting its task attempts)."""
+
+
+class ElasticError(ReproError):
+    """A scale plan is malformed, or an elastic-membership action
+    (join, decommission, resize) was asked of a cluster that cannot
+    perform it."""
+
+
+class CheckpointCorruptError(ServiceError):
+    """Every on-disk checkpoint snapshot is truncated or corrupt.
+
+    Subclasses :class:`ServiceError` so existing ``except ServiceError``
+    handlers keep working; raised only after the store has tried (and
+    failed) to fall back to every retained snapshot generation."""

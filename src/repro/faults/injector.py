@@ -127,6 +127,9 @@ class FaultInjector:
             metrics.counter(
                 "faults.injected" if applied else "faults.skipped"
             ).inc()
+        # Faults move the brownout watermarks too (no-op unless the
+        # deployment carries a brownout config).
+        self.deployment._refresh_health()
 
 
 __all__ = ["FaultInjector"]

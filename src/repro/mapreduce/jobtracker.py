@@ -261,6 +261,26 @@ class JobTracker:
         self.jobs_failed = 0
         self.nodes_blacklisted = 0
         self.nodes_crashed = 0
+        #: Elastic-membership statistics (all zero in static runs).
+        self.nodes_decommissioned = 0
+        self.nodes_joined = 0
+        # Nodes draining toward graceful exit (no new work; running
+        # attempts finish) and nodes that have permanently left.  Both
+        # empty in static runs — the hot-path checks below are O(1)
+        # set probes that cannot change healthy results.
+        self._draining: set[int] = set()
+        self._retired: set[int] = set()
+        #: Nodes this cluster is *supposed* to have: construction count,
+        #: plus joins, minus completed decommissions.  The denominator of
+        #: the brownout healthy-capacity fraction.
+        self.intended_nodes = cluster.count
+        #: Healthy-capacity time series: (sim time, schedulable nodes)
+        #: at every capacity transition — what fault_summary() reports
+        #: and the Autoscaler/brownout watermarks consume.
+        self.capacity_series: List[tuple[float, int]] = [(sim.now, cluster.count)]
+        #: Called (with the node index) when a decommission completes —
+        #: the deployment hooks storage re-replication and health here.
+        self.on_decommissioned: Optional[Callable[[int], None]] = None
         tracer = sim.tracer
         if tracer is not None:
             # Static cluster facts the profiler needs to scale slot
@@ -407,6 +427,10 @@ class JobTracker:
     def total_free_map_slots(self) -> int:
         return self._free_map_total
 
+    @property
+    def total_map_slots(self) -> int:
+        return self._total_map_slots
+
     def outstanding_work(self) -> float:
         """Backlog proxy: committed-but-incomplete map tasks per map slot.
 
@@ -418,15 +442,28 @@ class JobTracker:
     # -- health ------------------------------------------------------------
 
     def _node_ok(self, index: int) -> bool:
-        """Schedulable: alive and below the blacklist threshold."""
+        """Schedulable: alive, not draining toward decommission, and
+        below the blacklist threshold."""
         return (
             self.nodes[index].alive
+            and index not in self._draining
             and self._node_failures[index] < self.config.blacklist_threshold
         )
 
     def schedulable_nodes(self) -> int:
         """Nodes currently eligible for new tasks."""
         return sum(1 for i in range(len(self.nodes)) if self._node_ok(i))
+
+    def _record_capacity(self) -> None:
+        """Sample the healthy-capacity series on a capacity transition.
+
+        Consecutive identical samples are dropped, so the series length
+        is proportional to actual membership/health changes (one entry
+        for an entire healthy run)."""
+        count = self.schedulable_nodes()
+        if self.capacity_series and self.capacity_series[-1][1] == count:
+            return
+        self.capacity_series.append((self.sim.now, count))
 
     def is_operational(self) -> bool:
         """Whether this cluster can accept work: at least one node is
@@ -704,6 +741,8 @@ class JobTracker:
             node.task_finished()
             self._free_map[node.index] += 1
             self._free_map_total += 1
+            if self._draining:
+                self._maybe_finish_drain(node.index)
             if not speculative:
                 # Exactly one queue pop per task index; report it back
                 # whether this copy won or lost.
@@ -873,6 +912,8 @@ class JobTracker:
             node.task_finished()
             self._free_reduce[node.index] += 1
             self._free_reduce_total += 1
+            if self._draining:
+                self._maybe_finish_drain(node.index)
             self._reduce_queue.task_finished(state)
             state.reduces_done += 1
             if state.reduces_done == state.num_reducers:
@@ -1011,6 +1052,11 @@ class JobTracker:
         if not node.alive:
             return
         self._account()
+        # A crash during a graceful drain wins: the node is gone *now*,
+        # attempts are killed-and-requeued, and the pending decommission
+        # is cancelled (its slots were never retired, so recovery keeps
+        # the ordinary crash semantics).
+        self._draining.discard(index)
         self.nodes_crashed += 1
         # Kill live attempts first: their slot bookkeeping must run
         # before the node's counters are zeroed.
@@ -1041,6 +1087,7 @@ class JobTracker:
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.counter(self._m_node_crashes).inc()
+        self._record_capacity()
         # Requeued tasks may fit on surviving nodes right away.
         self._dispatch_maps()
         self._dispatch_reduces()
@@ -1074,8 +1121,15 @@ class JobTracker:
     def recover_node(self, index: int) -> None:
         """The node rejoins (fresh and empty) and its blacklist record,
         if any, is cleared."""
+        if index in self._retired:
+            # A decommissioned node has left for good: its slots were
+            # retired from the pool, so a recover event cannot apply.
+            return
         node = self.nodes[index]
         self._account()
+        # Recovering a draining node cancels the pending decommission
+        # (the operator changed their mind before the drain completed).
+        self._draining.discard(index)
         if not node.alive:
             node.recover()
             self._free_map_total += self.cluster.slots.map_slots - self._free_map[index]
@@ -1095,8 +1149,120 @@ class JobTracker:
             )
         if self.config.speculative_execution and self._active_jobs > 0:
             self._arm_speculation_tick()
+        self._record_capacity()
         self._dispatch_maps()
         self._dispatch_reduces()
+
+    # -- elastic membership -------------------------------------------------
+
+    def decommission_node(self, index: int) -> bool:
+        """Begin a *graceful* exit for node ``index``.
+
+        Unlike :meth:`crash_node`, nothing is killed: the node stops
+        receiving new tasks immediately (it drops out of
+        :meth:`_node_ok`, like a blacklisted node), its running attempts
+        finish normally, and when the last one retires the node leaves —
+        taking its slots out of the pool and firing
+        ``on_decommissioned`` (the deployment's storage re-replication
+        hook).  Returns True if the drain was started (or completed
+        immediately on an idle node); False if the node is dead, already
+        draining, or already retired.
+        """
+        if index in self._draining or index in self._retired:
+            return False
+        node = self.nodes[index]
+        if not node.alive:
+            return False
+        self._draining.add(index)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "node_draining",
+                "elastic",
+                track="elastic",
+                args={"cluster": self.name, "node": index},
+            )
+        self._record_capacity()
+        if not self._live_attempts[index]:
+            self._finalize_decommission(index)
+        return True
+
+    def _maybe_finish_drain(self, index: int) -> None:
+        """Complete a pending decommission once the node is idle."""
+        if index in self._draining and not self._live_attempts[index]:
+            self._finalize_decommission(index)
+
+    def _finalize_decommission(self, index: int) -> None:
+        """The drained node leaves: slots retire from the pool, the
+        intended-capacity baseline shrinks, and storage is notified."""
+        self._draining.discard(index)
+        self._retired.add(index)
+        self._account()
+        node = self.nodes[index]
+        node.decommission()
+        # Every attempt has retired, so the node's free counts are back
+        # at the full per-node slot complement; retire both sides of the
+        # accounting together (busy = total - free stays consistent).
+        self._free_map_total -= self._free_map[index]
+        self._free_reduce_total -= self._free_reduce[index]
+        self._free_map[index] = 0
+        self._free_reduce[index] = 0
+        self._total_map_slots -= self.cluster.slots.map_slots
+        self._total_reduce_slots -= self.cluster.slots.reduce_slots
+        self.intended_nodes -= 1
+        self.nodes_decommissioned += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "node_decommissioned",
+                "elastic",
+                track="elastic",
+                args={"cluster": self.name, "node": index},
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.nodes_decommissioned").inc()
+        self._record_capacity()
+        if self.on_decommissioned is not None:
+            self.on_decommissioned(index)
+
+    def add_node(self, node: NodeRuntime) -> int:
+        """A new node joins at the next free index, growing the slot
+        pool; queued tasks may dispatch onto it immediately."""
+        index = len(self.nodes)
+        if node.index != index:
+            raise SchedulingError(
+                f"joining node must take index {index}, got {node.index}"
+            )
+        self._account()
+        self.nodes.append(node)
+        self._free_map.append(self.cluster.slots.map_slots)
+        self._free_reduce.append(self.cluster.slots.reduce_slots)
+        self._free_map_total += self.cluster.slots.map_slots
+        self._free_reduce_total += self.cluster.slots.reduce_slots
+        self._total_map_slots += self.cluster.slots.map_slots
+        self._total_reduce_slots += self.cluster.slots.reduce_slots
+        self._live_attempts.append([])
+        self._node_failures.append(0)
+        self.intended_nodes += 1
+        self.nodes_joined += 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                "node_joined",
+                "elastic",
+                track="elastic",
+                args={"cluster": self.name, "node": index},
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.nodes_joined").inc()
+        self._record_capacity()
+        if self.config.speculative_execution and self._active_jobs > 0:
+            self._arm_speculation_tick()
+        self._dispatch_maps()
+        self._dispatch_reduces()
+        return index
 
     def fail_running_attempts(
         self, index: int, count: int = 1, reason: str = "injected task failure"
@@ -1159,6 +1325,8 @@ class JobTracker:
             else:
                 self._free_reduce[node.index] += 1
                 self._free_reduce_total += 1
+            if self._draining:
+                self._maybe_finish_drain(node.index)
         # Queue accounting: every popped entry gets exactly one
         # task_finished, whether the attempt finished or died.
         if is_map:
@@ -1205,6 +1373,7 @@ class JobTracker:
         self._node_failures[i] += 1
         if node.alive and self._node_failures[i] == self.config.blacklist_threshold:
             self.nodes_blacklisted += 1
+            self._record_capacity()
             tracer = self.sim.tracer
             if tracer is not None:
                 tracer.instant(

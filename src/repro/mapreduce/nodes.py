@@ -79,6 +79,18 @@ class NodeRuntime:
         self.active_tasks = 0
         self.slowdown = 1.0
 
+    def decommission(self) -> None:
+        """Graceful exit: the node leaves after its tasks drained.  The
+        JobTracker retires its slots (``JobTracker._finalize_decommission``);
+        this only flips local state.  Unlike :meth:`crash` the node is
+        idle by construction, so nothing is killed."""
+        if self.active_tasks != 0:
+            raise ConfigurationError(
+                f"node {self.index}: decommission with {self.active_tasks} "
+                "tasks still running"
+            )
+        self.alive = False
+
     def effective_core_speed(self) -> float:
         """Relative core speed after any injected degradation."""
         return self.machine.core_speed / self.slowdown

@@ -35,6 +35,7 @@ from repro.apps.base import AppProfile
 from repro.core.architectures import ArchitectureSpec
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.errors import ConfigurationError
+from repro.elastic.plan import ScalePlan
 from repro.faults.plan import FaultPlan
 from repro.units import parse_size
 
@@ -43,11 +44,12 @@ CACHE_SCHEMA = 1
 
 #: Stand-in for the simulator's code version.  Bump the date-tag whenever
 #: a model change alters simulation results; every cached result keyed
-#: under the old salt then misses and is recomputed.  (2026.08e: the
-#: online-tuning subsystem (repro.tune) landed — calibrator prediction
-#: cells and cross-point re-derivation now hash candidate calibrations
-#: into cache keys, so stale pre-tune entries must not be reused.)
-CODE_SALT = f"repro-cells-v{CACHE_SCHEMA}-2026.08e"
+#: under the old salt then misses and is recomputed.  (2026.08f: elastic
+#: membership (repro.elastic) landed — replay payloads gained
+#: decommission/join/healthy-capacity fields and CellSpec gained a
+#: scale_plan that hashes into keys, so pre-elastic entries must not be
+#: reused.)
+CODE_SALT = f"repro-cells-v{CACHE_SCHEMA}-2026.08f"
 
 #: Cell kinds understood by :mod:`repro.runner.work`.
 KIND_ISOLATED = "isolated"
@@ -103,6 +105,11 @@ class CellSpec:
     #: two different fault schedules.  An *empty* plan is normalised to
     #: None, keeping "no faults" a single cache identity.
     fault_plan: Optional[FaultPlan] = None
+    #: Elastic-membership schedule (joins, graceful decommissions, OFS
+    #: resizes — :mod:`repro.elastic`), hashed into the content key with
+    #: the same empty-plan normalisation as ``fault_plan``: "static
+    #: cluster" stays a single cache identity.
+    scale_plan: Optional[ScalePlan] = None
     #: Attach an internal tracer and store a compact profiler summary
     #: (bucket attribution — see :mod:`repro.profiler`) in the payload.
     #: Part of the content key: profiled and bare payloads differ, so
@@ -117,6 +124,8 @@ class CellSpec:
             raise ConfigurationError(f"unknown cell kind {self.kind!r}")
         if self.fault_plan is not None and self.fault_plan.is_empty:
             object.__setattr__(self, "fault_plan", None)
+        if self.scale_plan is not None and self.scale_plan.is_empty:
+            object.__setattr__(self, "scale_plan", None)
         if self.kind == KIND_ISOLATED:
             if self.architecture is None or self.app is None:
                 raise ConfigurationError(
@@ -151,7 +160,15 @@ class CellSpec:
             faults = (
                 f", {len(self.fault_plan)} faults" if self.fault_plan else ""
             )
-            return f"replay[{self.num_jobs} jobs, seed {self.seed}{faults}] on {arch}"
+            scales = (
+                f", {len(self.scale_plan)} scale events"
+                if self.scale_plan
+                else ""
+            )
+            return (
+                f"replay[{self.num_jobs} jobs, seed {self.seed}"
+                f"{faults}{scales}] on {arch}"
+            )
         return f"probe[{self.probe}]"
 
 
@@ -185,9 +202,11 @@ def replay_cell(
     calibration: Calibration = DEFAULT_CALIBRATION,
     duration: Optional[float] = None,
     fault_plan: Optional[FaultPlan] = None,
+    scale_plan: Optional[ScalePlan] = None,
     profile: bool = False,
 ) -> CellSpec:
-    """One Section V trace-replay cell (optionally under a fault plan)."""
+    """One Section V trace-replay cell (optionally under fault and/or
+    scale plans)."""
     return CellSpec(
         kind=KIND_REPLAY,
         architecture=architecture,
@@ -197,6 +216,7 @@ def replay_cell(
         shrink_factor=shrink_factor,
         duration=duration,
         fault_plan=fault_plan,
+        scale_plan=scale_plan,
         profile=profile,
     )
 

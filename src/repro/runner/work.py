@@ -146,6 +146,7 @@ def _execute_replay(
         tracer=tracer,
         metrics=metrics,
         fault_plan=cell.fault_plan,
+        scale_plan=cell.scale_plan,
     )
     results = deployment.run_trace(jobs, register_dataset=False)
     # A permanently dead cluster strands jobs with no event to finish
@@ -166,6 +167,7 @@ def _execute_replay(
         KIND_REPLAY,
         [job_result_to_dict(r) for r in results],
         faults=deployment.fault_summary(),
+        elastic=deployment.elastic_summary(),
         **extra,
     )
 

@@ -49,6 +49,8 @@ from repro.service.admission import (
     REASON_DUPLICATE,
     REASON_MEMBER_FULL,
     REASON_SERVICE_FULL,
+    REASON_SHED_BROWNED_OUT,
+    REASON_SHED_DEGRADED,
 )
 from repro.service.api import ReproService, ServiceClient
 from repro.service.checkpoint import CheckpointStore
@@ -66,6 +68,8 @@ __all__ = [
     "REASON_DUPLICATE",
     "REASON_MEMBER_FULL",
     "REASON_SERVICE_FULL",
+    "REASON_SHED_BROWNED_OUT",
+    "REASON_SHED_DEGRADED",
     "ReproHTTPServer",
     "ReproService",
     "ServiceClient",

@@ -30,6 +30,11 @@ REASON_MEMBER_FULL = "member_queue_full"
 REASON_SERVICE_FULL = "service_queue_full"
 REASON_DUPLICATE = "duplicate_job_id"
 REASON_DRAINING = "service_draining"
+#: Brownout shedding (docs/ELASTIC.md): healthy capacity dropped below a
+#: watermark and the job's shuffle footprint exceeds the level's shed
+#: threshold — resubmit once the cluster recovers.
+REASON_SHED_DEGRADED = "shed_degraded"
+REASON_SHED_BROWNED_OUT = "shed_browned_out"
 
 
 @dataclass(frozen=True)
@@ -123,4 +128,6 @@ __all__ = [
     "REASON_DUPLICATE",
     "REASON_MEMBER_FULL",
     "REASON_SERVICE_FULL",
+    "REASON_SHED_BROWNED_OUT",
+    "REASON_SHED_DEGRADED",
 ]

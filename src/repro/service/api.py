@@ -47,12 +47,17 @@ from repro.core.architectures import ArchitectureSpec, named_architectures
 from repro.core.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.core.deployment import Deployment
 from repro.core.scheduler import Decision, SizeAwareScheduler
+from repro.elastic.degrade import BrownoutConfig, HEALTH_BROWNED_OUT
+from repro.elastic.plan import ScalePlan
 from repro.errors import ServiceError
+from repro.faults.plan import FaultPlan
 from repro.mapreduce.job import JobResult
 from repro.service.admission import (
     AdmissionController,
     AdmissionPolicy,
     REASON_DUPLICATE,
+    REASON_SHED_BROWNED_OUT,
+    REASON_SHED_DEGRADED,
 )
 from repro.service.checkpoint import CheckpointStore
 from repro.service.models import JobRecord
@@ -61,6 +66,7 @@ from repro.telemetry.service import ServiceInstruments
 from repro.telemetry.tracer import Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.elastic.autoscale import Autoscaler
     from repro.tune.tuner import Tuner
 
 
@@ -104,6 +110,20 @@ class ReproService:
         learned routing).  Tuners are single-use: pass a *fresh* one to
         :meth:`restore` and replay re-derives its learned state along
         with everything else.
+    fault_plan / scale_plan / autoscaler:
+        Optional fault schedule, elastic-membership schedule and
+        reactive autoscaler, threaded to the deployment.  Plans are
+        deployment state, not admission-log state, so :meth:`restore`
+        takes them again (like ``tuner``) — pass the same ones and
+        replay reproduces the same churn.
+    brownout:
+        Degradation watermarks (docs/ELASTIC.md).  The service always
+        runs with brownout awareness: ``None`` installs the default
+        :class:`~repro.elastic.degrade.BrownoutConfig`.  While degraded
+        or browned out, admission *sheds* jobs whose shuffle footprint
+        exceeds the level's threshold (largest-shuffle first —
+        429-style, resubmit after recovery), and browned-out routing
+        falls back to the static Algorithm-1 policy.
     """
 
     def __init__(
@@ -118,11 +138,16 @@ class ReproService:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         tuner: Optional["Tuner"] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        scale_plan: Optional[ScalePlan] = None,
+        autoscaler: Optional["Autoscaler"] = None,
+        brownout: Optional[BrownoutConfig] = None,
     ) -> None:
         self.architecture, self.spec = _resolve_architecture(architecture)
         self.register = register
         self.policy = policy if policy is not None else AdmissionPolicy()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.brownout = brownout if brownout is not None else BrownoutConfig()
         self.deployment = Deployment(
             self.spec,
             calibration=calibration,
@@ -131,6 +156,10 @@ class ReproService:
             tracer=tracer,
             metrics=self.metrics,
             tuner=tuner,
+            fault_plan=fault_plan,
+            scale_plan=scale_plan,
+            autoscaler=autoscaler,
+            brownout=self.brownout,
         )
         # A tuner may install its learned router; either way the
         # deployment routes per-job, so admission classifies like any
@@ -164,6 +193,16 @@ class ReproService:
         role = "up" if decision is Decision.SCALE_UP else "out"
         return self.spec.role_index(role)
 
+    def _shed_reason(self, submission: JobSubmission) -> Optional[str]:
+        """Brownout shed reason for this job, or ``None`` to admit."""
+        level = self.deployment.health_level()
+        threshold = self.brownout.shed_threshold(level)
+        if threshold is None or submission.shuffle_bytes <= threshold:
+            return None
+        if level == HEALTH_BROWNED_OUT:
+            return REASON_SHED_BROWNED_OUT
+        return REASON_SHED_DEGRADED
+
     def submit(self, submission: JobSubmission) -> JobStatus:
         """Admit one job, routing it live at its arrival time.
 
@@ -185,6 +224,20 @@ class ReproService:
                 state=STATE_REJECTED,
                 reason=REASON_DUPLICATE,
             )
+        if not forced:
+            # Degradation-aware shedding (docs/ELASTIC.md): below the
+            # watermarks, refuse the biggest shuffles first.  Forced
+            # (checkpoint-replay) admissions bypass this — the jobs were
+            # admitted once already, and restore must be deterministic.
+            shed = self._shed_reason(submission)
+            if shed is not None:
+                if count:
+                    self.instruments.rejected(submission.job_id, shed)
+                return JobStatus(
+                    job_id=submission.job_id,
+                    state=STATE_REJECTED,
+                    reason=shed,
+                )
         member = self._classify(submission)
         if forced:
             self._admission.force(member)
@@ -300,7 +353,8 @@ class ReproService:
     def health(self) -> Dict[str, Any]:
         with self._lock:
             return {
-                "status": "ok",
+                "status": self.deployment.health_level(),
+                "healthy_fraction": self.deployment.healthy_fraction(),
                 "architecture": self.architecture,
                 "clock": self.deployment.sim.now,
                 "accepted": len(self._order),
@@ -321,6 +375,7 @@ class ReproService:
                     "clock": self.deployment.sim.now,
                 },
                 "faults": self.deployment.fault_summary(),
+                "elastic": self.deployment.elastic_summary(),
                 "routing": self.deployment.routing_summary(),
                 "tuning": (
                     self.deployment.tuner.summary()
@@ -382,6 +437,10 @@ class ReproService:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         tuner: Optional["Tuner"] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        scale_plan: Optional[ScalePlan] = None,
+        autoscaler: Optional["Autoscaler"] = None,
+        brownout: Optional[BrownoutConfig] = None,
     ) -> "ReproService":
         """Rebuild a service from its checkpoint by deterministic replay.
 
@@ -397,7 +456,12 @@ class ReproService:
         configured identically to the original and the replay re-drives
         every observation, publish point and router update on the
         simulation clock, converging to the same learned state
-        (pinned by ``tests/test_tune.py``).
+        (pinned by ``tests/test_tune.py``).  Likewise ``fault_plan``,
+        ``scale_plan``, ``autoscaler`` and ``brownout``: plans are
+        deployment configuration, not admission-log state, so pass the
+        originals and replay reproduces the same churn byte-identically
+        (forced re-admission bypasses shedding, so the log replays
+        unconditionally).
         """
         state = CheckpointStore(checkpoint_path).load()
         if state is None:
@@ -417,6 +481,10 @@ class ReproService:
             tracer=tracer,
             metrics=metrics,
             tuner=tuner,
+            fault_plan=fault_plan,
+            scale_plan=scale_plan,
+            autoscaler=autoscaler,
+            brownout=brownout,
         )
         for submission in state.accepted:
             status = service._admit(submission, count=False, forced=True)

@@ -1,12 +1,21 @@
-"""Atomic checkpoint persistence for the deployment daemon.
+"""Atomic, generational checkpoint persistence for the deployment daemon.
 
 A checkpoint is one JSON document — the versioned
 :class:`~repro.core.api.ServiceState` wire form — written atomically:
 serialise to a sibling temp file, fsync, then ``os.replace`` over the
 target.  A crash mid-write leaves either the previous snapshot or the
-new one, never a torn file; a malformed or version-skewed snapshot is a
-loud :class:`~repro.errors.ServiceError` at load time, never a silent
-partial restore.
+new one, never a torn file.
+
+The store keeps the last ``keep`` snapshot **generations**
+(``state.json``, ``state.json.1``, ``state.json.2`` ...): each save
+rotates the existing files down one slot before replacing the newest.
+Load walks the generations newest-first and returns the first snapshot
+that parses and validates — so a snapshot corrupted *at rest* (torn by
+the filesystem, truncated by a full disk) degrades to the previous
+generation instead of bricking the service.  Only when **every**
+retained generation is corrupt does load raise the typed
+:class:`~repro.errors.CheckpointCorruptError`; restoring from nothing
+trustworthy must fail loudly, never resurrect a half-empty service.
 """
 
 from __future__ import annotations
@@ -14,25 +23,44 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro.core.api import ServiceState
-from repro.errors import ServiceError
+from repro.errors import CheckpointCorruptError, ServiceError
 
 
 class CheckpointStore:
-    """One checkpoint file with atomic save and validated load."""
+    """One checkpoint lineage: atomic save, rotation, validated load."""
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    def __init__(self, path: Union[str, Path], keep: int = 3) -> None:
+        if keep < 1:
+            raise ServiceError(f"keep must be >= 1, got {keep}")
         self.path = Path(path)
+        self.keep = keep
 
     def exists(self) -> bool:
         return self.path.exists()
 
+    def generations(self) -> List[Path]:
+        """Snapshot paths newest-first (``path``, ``path.1``, ...)."""
+        return [self.path] + [
+            self.path.with_name(f"{self.path.name}.{i}")
+            for i in range(1, self.keep)
+        ]
+
+    def _rotate(self) -> None:
+        """Shift existing snapshots down one generation slot (the oldest
+        falls off the end)."""
+        paths = self.generations()
+        for older, newer in zip(reversed(paths), reversed(paths[:-1])):
+            if newer.exists():
+                os.replace(newer, older)
+
     def save(self, state: ServiceState) -> Path:
-        """Atomically replace the snapshot with ``state``."""
+        """Rotate prior snapshots, then atomically write ``state``."""
         payload = json.dumps(state.to_wire(), indent=1, sort_keys=True)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._rotate()
         tmp = self.path.with_name(self.path.name + ".tmp")
         fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
         try:
@@ -44,21 +72,29 @@ class CheckpointStore:
         return self.path
 
     def load(self) -> Optional[ServiceState]:
-        """The stored snapshot, or ``None`` when no checkpoint exists.
+        """The newest intact snapshot, or ``None`` when none exist.
 
-        Raises :class:`ServiceError` for unreadable, non-JSON, or
-        schema-invalid snapshots — restoring from a corrupt checkpoint
-        must fail loudly, not resurrect a half-empty service.
+        A truncated/corrupt/schema-invalid newest snapshot falls back to
+        the next generation.  Raises :class:`CheckpointCorruptError`
+        only when snapshots exist but *none* of them parse.
         """
-        if not self.path.exists():
+        errors: List[str] = []
+        found_any = False
+        for candidate in self.generations():
+            if not candidate.exists():
+                continue
+            found_any = True
+            try:
+                payload = json.loads(candidate.read_text())
+                return ServiceState.from_wire(payload)
+            except (OSError, json.JSONDecodeError, ServiceError) as exc:
+                errors.append(f"{candidate}: {exc}")
+        if not found_any:
             return None
-        try:
-            payload = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ServiceError(
-                f"cannot read checkpoint {self.path}: {exc}"
-            ) from exc
-        return ServiceState.from_wire(payload)
+        raise CheckpointCorruptError(
+            "every retained checkpoint snapshot is corrupt:\n  "
+            + "\n  ".join(errors)
+        )
 
 
 __all__ = ["CheckpointStore"]

@@ -177,6 +177,83 @@ class HDFS(StorageSystem):
             self._fault_instant("hdfs_datanode_recover", node=index)
         self._lost_nodes.discard(index)
 
+    # -- elastic membership ---------------------------------------------
+
+    def add_datanode(self, device: DiskDevice) -> float:
+        """A new datanode joins (elastic scale-out).
+
+        The balancer moves the newcomer's fair share of the raw
+        (replicated) bytes onto it — modeled as one background write on
+        the new disk plus a spread read charge over the existing disks,
+        contending with foreground task I/O like re-replication does.
+        Returns the bytes of rebalancing traffic scheduled.
+        """
+        donors = [
+            d for i, d in enumerate(self.devices) if i not in self._lost_nodes
+        ]
+        self.devices.append(device)
+        self._fault_instant(
+            "hdfs_datanode_join", node=len(self.devices) - 1,
+            datanodes=len(self.devices),
+        )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.datanodes_joined").inc()
+        share = self._dataset_bytes * self.replication / len(self.devices)
+        if share <= 0 or not donors or self.data_lost:
+            return 0.0
+
+        def balanced() -> None:
+            self.rereplication_bytes += share
+            if metrics is not None:
+                metrics.counter(f"{self.name}.rereplication_bytes").inc(share)
+
+        device.transfer(share, balanced)
+        read_share = share / len(donors)
+        for donor in donors:
+            donor.transfer(read_share, lambda: None)
+        return share
+
+    def decommission_datanode(self, index: int) -> float:
+        """A datanode leaves *gracefully* (elastic decommission).
+
+        Unlike :meth:`lose_datanode`, its replicas are copied off before
+        it goes, so the replica count never drops: this is re-replication
+        *traffic* (a spread write charge over the survivors) without any
+        data-loss risk — the cost asymmetry arXiv 1411.1931 measures.
+        Returns the bytes of re-replication traffic scheduled.
+        """
+        if index < 0 or index >= len(self.devices):
+            raise ConfigurationError(
+                f"no datanode {index} (have {len(self.devices)})"
+            )
+        if index in self._lost_nodes:
+            return 0.0
+        self._fault_instant("hdfs_datanode_decommission", node=index)
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.datanodes_decommissioned").inc()
+        survivors = [
+            d
+            for i, d in enumerate(self.devices)
+            if i != index and i not in self._lost_nodes
+        ]
+        if not survivors or self.data_lost:
+            return 0.0
+        moved_bytes = self._dataset_bytes * self.replication / len(self.devices)
+        if moved_bytes <= 0:
+            return 0.0
+        share = moved_bytes / len(survivors)
+
+        def one_done() -> None:
+            self.rereplication_bytes += share
+            if metrics is not None:
+                metrics.counter(f"{self.name}.rereplication_bytes").inc(share)
+
+        for device in survivors:
+            device.transfer(share, one_done)
+        return moved_bytes
+
     # -- capacity -------------------------------------------------------
 
     @property

@@ -158,6 +158,35 @@ class OrangeFS(StorageSystem):
     def _rescale(self) -> None:
         self.array.set_capacity(self._active_servers * self.server_bandwidth)
 
+    # -- elastic membership ---------------------------------------------
+
+    def add_servers(self, count: int = 1) -> int:
+        """Grow the array by ``count`` *new* stripe servers (elastic
+        scale: more than the construction-time ``num_servers``).
+
+        Aggregate bandwidth and usable capacity grow by the per-server
+        share; in-flight flows are re-shared at the new capacity
+        mid-transfer, exactly like :meth:`fail_servers` in reverse.
+        Distinct from :meth:`restore_servers`, which can only bring back
+        previously *lost* servers.  Returns the servers added.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0: {count}")
+        if count == 0:
+            return 0
+        per_server_capacity = self._base_capacity / self.num_servers
+        self.num_servers += count
+        self._active_servers += count
+        self._base_capacity += per_server_capacity * count
+        self._rescale()
+        self._fault_instant(
+            "ofs_server_add", added=count, active_servers=self._active_servers
+        )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.counter(f"{self.name}.servers_added").inc(count)
+        return count
+
     # -- capacity -------------------------------------------------------
 
     @property

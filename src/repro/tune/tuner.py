@@ -91,6 +91,13 @@ class Tuner:
         #: Every published recalibration, in publish order.
         self.updates: List[CalibrationUpdate] = []
         self.observations = 0
+        #: Suspension (graceful degradation — docs/ELASTIC.md): while
+        #: the deployment is degraded/browned out it suspends the tuner
+        #: so churn-polluted completions never enter the window and no
+        #: publish fires on unstable data.
+        self.suspended = False
+        self.suspensions = 0
+        self.observations_dropped = 0
         self._deployment: Optional["Deployment"] = None
         self._publish_scheduled = False
         self._observed_at_publish = -1
@@ -118,17 +125,24 @@ class Tuner:
     ) -> None:
         """Feed one completion into the window (and the learning router).
 
-        The measured runtime is the job's end-to-end execution time on
-        the shared deployment; under light load it approximates the
-        isolated runtime the calibrator predicts (queueing inflates it
-        — see docs/TUNE.md for the limits of that approximation).
+        The measured runtime is *service time*: end-to-end execution
+        time minus the queue wait before the first map launched.  The
+        calibrator predicts isolated runtimes, so folding queue wait
+        into the observation (the pre-separation behaviour) biased the
+        fit pessimistic under load — see docs/TUNE.md.
         """
+        if self.suspended:
+            self.observations_dropped += 1
+            return
         role = deployment.spec.members[member].role
-        runtime = result.execution_time
+        queue_wait = result.queue_delay
+        if not queue_wait >= 0:  # NaN (no map ran) or negative: ignore
+            queue_wait = 0.0
+        runtime = result.execution_time - queue_wait
         if runtime <= 0:
             return
         self.observations += 1
-        self.window.add(job, member, role, runtime)
+        self.window.add(job, member, role, runtime, queue_wait=queue_wait)
         observe = getattr(self.router, "observe", None)
         if observe is not None:
             observe(job, member, runtime)
@@ -162,7 +176,7 @@ class Tuner:
         """Recalibrate against the window and re-derive the router's
         thresholds.  Skips (returns None) when the window is too small
         or holds nothing new since the last publish."""
-        if self.calibrator is None:
+        if self.calibrator is None or self.suspended:
             return None
         if len(self.window) < self.min_observations:
             return None
@@ -194,6 +208,20 @@ class Tuner:
             )
         return update
 
+    # -- graceful degradation ----------------------------------------------
+
+    def suspend(self) -> None:
+        """Stop observing and publishing (idempotent).  Called by the
+        deployment when health leaves ``ok``: completions measured amid
+        churn would poison the calibration window."""
+        if not self.suspended:
+            self.suspended = True
+            self.suspensions += 1
+
+    def resume(self) -> None:
+        """Start observing and publishing again (idempotent)."""
+        self.suspended = False
+
     # -- introspection -----------------------------------------------------
 
     @property
@@ -206,6 +234,9 @@ class Tuner:
             "observations": self.observations,
             "window": len(self.window),
             "publishes": len(self.updates),
+            "suspended": self.suspended,
+            "suspensions": self.suspensions,
+            "observations_dropped": self.observations_dropped,
             "calibration_version": self.calibration_version,
             "mape_before_first": (
                 self.updates[0].mape_before if self.updates else None

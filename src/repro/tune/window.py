@@ -25,7 +25,15 @@ from repro.mapreduce.job import JobSpec
 
 @dataclass(frozen=True)
 class Observation:
-    """One completed job: what ran, where, and how long it took."""
+    """One completed job: what ran, where, and how long it took.
+
+    ``runtime`` is *service time* — end-to-end execution time minus the
+    queue wait before the first map launched — because that is what the
+    calibrator's isolated-run model predicts.  Folding queue wait into
+    the fit (as earlier versions did) biases the model pessimistic under
+    load; ``queue_wait`` is kept alongside so the contention a job saw
+    stays reportable.
+    """
 
     job: JobSpec
     member: int
@@ -34,11 +42,18 @@ class Observation:
     #: Lifetime sequence number (assigned by the window; drives the
     #: deterministic holdout split).
     ordinal: int = 0
+    #: Seconds the job waited before its first map launched (not part
+    #: of ``runtime``).
+    queue_wait: float = 0.0
 
     def __post_init__(self) -> None:
         if self.runtime <= 0:
             raise ConfigurationError(
                 f"observed runtime must be positive: {self.runtime}"
+            )
+        if self.queue_wait < 0:
+            raise ConfigurationError(
+                f"queue wait must be non-negative: {self.queue_wait}"
             )
 
 
@@ -58,7 +73,14 @@ class ObservationWindow:
         self._observations: Deque[Observation] = deque(maxlen=capacity)
         self.total_observed = 0
 
-    def add(self, job: JobSpec, member: int, role: str, runtime: float) -> Observation:
+    def add(
+        self,
+        job: JobSpec,
+        member: int,
+        role: str,
+        runtime: float,
+        queue_wait: float = 0.0,
+    ) -> Observation:
         """Record one completed job; returns the stored observation."""
         observation = Observation(
             job=job,
@@ -66,6 +88,7 @@ class ObservationWindow:
             role=role,
             runtime=runtime,
             ordinal=self.total_observed,
+            queue_wait=queue_wait,
         )
         self._observations.append(observation)
         self.total_observed += 1

@@ -20,6 +20,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
+import urllib.error
+import urllib.request
 
 import pytest
 
@@ -31,7 +33,7 @@ from repro.core.api import (
 )
 from repro.core.architectures import hybrid
 from repro.core.deployment import Deployment
-from repro.errors import ServiceError
+from repro.errors import CheckpointCorruptError, ServiceError
 from repro.service import (
     AdmissionController,
     AdmissionPolicy,
@@ -213,9 +215,11 @@ class TestLifecycle:
             ReproService.restore(str(tmp_path / "nope.json"))
 
     def test_corrupt_checkpoint_fails_loudly(self, tmp_path):
+        # With no intact generation to fall back to, load raises the
+        # typed error (still a ServiceError for old callers).
         path = tmp_path / "state.json"
         path.write_text("{torn write")
-        with pytest.raises(ServiceError, match="cannot read"):
+        with pytest.raises(CheckpointCorruptError, match="corrupt"):
             CheckpointStore(path).load()
 
     def test_checkpoint_schema_violation_fails_loudly(self, tmp_path):
@@ -285,6 +289,52 @@ class TestBackpressure:
             controller.release(0)
 
 
+class TestAdmissionEdges:
+    """NDJSON wire edges: mid-stream corruption never partially admits,
+    and rejection counters reconcile with the instruments."""
+
+    def test_malformed_mid_stream_admits_nothing(self):
+        trace = make_trace(12)
+        lines = ndjson_for(trace).splitlines()
+        lines.insert(6, '{"job_id": "torn", "input_bytes": ')  # truncated
+        service = ReproService("Hybrid")
+        statuses, report = service.submit_ndjson("\n".join(lines) + "\n")
+        assert not report.ok
+        assert statuses == []
+        assert [lineno for lineno, _ in report.errors] == [7]
+        # Not even the six well-formed lines *before* the torn one got in.
+        for sub in submissions_for(trace):
+            assert service.job_status(sub.job_id) is None
+        dump = service.metrics_dump()
+        assert dump["service"]["accepted"] == 0
+        assert dump["service"]["pending"] == 0
+
+    def test_rejection_counters_reconcile_with_instruments(self):
+        service = ReproService(
+            "Hybrid", policy=AdmissionPolicy(max_total_pending=5)
+        )
+        statuses, report = service.submit_ndjson(ndjson_for(make_trace(30)))
+        assert report.ok
+        rejected = [s for s in statuses if not s.accepted]
+        assert rejected  # the 30-job batch overflows 5 slots
+        duplicate = service.submit(
+            JobSubmission(job_id=statuses[0].job_id, input_bytes=1 * GB)
+        )
+        assert duplicate.reason == REASON_DUPLICATE
+        dump = service.metrics_dump()
+        per_reason = {
+            name.rsplit(".", 1)[1]: value
+            for name, value in dump["metrics"].items()
+            if name.startswith("service.admission.rejected.")
+        }
+        # The per-reason counters partition the total, which matches
+        # both the instruments and the per-job statuses.
+        assert sum(per_reason.values()) == dump["service"]["rejected"]
+        assert dump["service"]["rejected"] == service.instruments.rejected_total
+        assert dump["service"]["rejected"] == len(rejected) + 1
+        assert per_reason[REASON_DUPLICATE] == 1
+
+
 class TestHTTPSurface:
     """End-to-end over a real socket (ephemeral port)."""
 
@@ -342,6 +392,23 @@ class TestHTTPSurface:
         )
         assert not overflow.accepted
         assert overflow.reason == REASON_SERVICE_FULL
+
+    def test_backpressure_sets_retry_after(self, server):
+        client = ServiceClient(server.url)
+        client.submit_ndjson(ndjson_for(make_trace(60, seed=11)))  # saturate
+        request = urllib.request.Request(
+            server.url + "/jobs",
+            data=json.dumps(
+                JobSubmission(job_id="over2", input_bytes=1 * GB).to_wire()
+            ).encode("utf-8"),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 429
+        assert info.value.headers["Retry-After"] == "1"
+        info.value.close()
 
     def test_advance_endpoint_validates(self, server):
         client = ServiceClient(server.url)

@@ -75,7 +75,13 @@ from repro.core.api import (
     ServiceState,
     validate_ndjson,
 )
-from repro.telemetry import MetricsRegistry, ServiceInstruments, Tracer
+from repro.telemetry import (
+    MetricsBus,
+    MetricsFrame,
+    MetricsRegistry,
+    ServiceInstruments,
+    Tracer,
+)
 from repro.errors import (
     CapacityError,
     ConfigurationError,
@@ -109,6 +115,7 @@ from repro.runner import (
     ExperimentSpec,
     PoolRunner,
     ResultCache,
+    SqliteResultCache,
     isolated_cell,
     replay_cell,
     sweep_experiment,
@@ -178,6 +185,8 @@ __all__ = [
     "JobResult",
     # telemetry
     "Tracer",
+    "MetricsBus",
+    "MetricsFrame",
     "MetricsRegistry",
     "ServiceInstruments",
     # faults
@@ -191,6 +200,7 @@ __all__ = [
     "ExperimentSpec",
     "PoolRunner",
     "ResultCache",
+    "SqliteResultCache",
     "isolated_cell",
     "replay_cell",
     "sweep_experiment",

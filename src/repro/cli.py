@@ -22,11 +22,14 @@ Commands map one-to-one onto the paper's artifacts:
   previously exported Chrome trace instead of re-running).
 * ``resilience``   — replay the trace on Hybrid/THadoop/RHadoop under a
   fault plan (see docs/FAULTS.md) and compare the degradation.
-* ``cache``        — inspect or clear the on-disk result cache (holes —
-  cached infeasible cells — are listed with the reason they failed).
+* ``cache``        — inspect, migrate, vacuum or clear the on-disk
+  result cache (json or sqlite backend; holes — cached infeasible cells
+  — are listed with the reason they failed).
 * ``serve``        — the always-on deployment daemon: streaming NDJSON
   job admission over HTTP with live Algorithm-1 routing, backpressure
   and checkpoint/restore (see docs/SERVICE.md).
+* ``mission``      — render the mission-control dashboard from a metrics
+  frames file or a running daemon (see docs/MISSION.md).
 * ``submit``       — client for a running daemon: stream an NDJSON file
   or a saved trace, optionally drain and shut the daemon down.
 * ``tune``         — the online-tuning head-to-head: static Algorithm 1
@@ -134,6 +137,11 @@ def _runner_options(*, alias_jobs: bool = False) -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="recompute every cell; skip the on-disk result cache",
     )
+    parent.add_argument(
+        "--store", choices=("json", "sqlite"), default=None,
+        help="result-store backend (default: $REPRO_CACHE_BACKEND or "
+             "json; see docs/RUNNER.md)",
+    )
     return parent
 
 
@@ -187,9 +195,13 @@ def _load_calibration(args: argparse.Namespace) -> Calibration:
     return DEFAULT_CALIBRATION
 
 
-def _make_runner(workers: int, no_cache: bool) -> PoolRunner:
+def _make_runner(
+    workers: int, no_cache: bool, store: Optional[str] = None
+) -> PoolRunner:
     """The experiment runner a command asked for (see repro.runner)."""
-    cache = None if no_cache else ResultCache()
+    from repro.runner.store import open_result_store
+
+    cache = None if no_cache else open_result_store(store)
     return PoolRunner(max_workers=workers, cache=cache)
 
 
@@ -261,7 +273,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sizes = [parse_size(s) for s in args.sizes.split(",")]
     else:
         sizes = DFSIO_SIZES if app.name == "testdfsio-write" else SHUFFLE_APP_SIZES
-    runner = _make_runner(args.workers, args.no_cache)
+    runner = _make_runner(args.workers, args.no_cache, args.store)
     panels = measurement_panels(app, sizes, seed=args.seed, runner=runner)
     for key in ("execution", "map", "shuffle", "reduce"):
         panel = panels[key]
@@ -274,7 +286,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_crosspoints(args: argparse.Namespace) -> int:
     from repro.analysis.asciichart import render_chart
 
-    runner = _make_runner(args.workers, args.no_cache)
+    runner = _make_runner(args.workers, args.no_cache, args.store)
     fig7 = fig7_crosspoints(sizes=FIG7_SIZES, runner=runner)
     print(render_series(fig7.sizes, fig7.series, title=fig7.title))
     print()
@@ -324,7 +336,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    runner = _make_runner(args.workers, args.no_cache)
+    runner = _make_runner(args.workers, args.no_cache, args.store)
 
     def dump(name: str, payload: dict, text: str) -> None:
         (out_dir / f"{name}.json").write_text(json.dumps(payload, indent=1))
@@ -401,7 +413,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     from repro.runner.spec import canonical_json
     from repro.tune import DEFAULT_PHASES, MixPhase, evaluate_policies
 
-    runner = _make_runner(args.workers, args.no_cache)
+    runner = _make_runner(args.workers, args.no_cache, args.store)
     phases = tuple(
         MixPhase(p.name, p.apps, args.jobs_per_phase or p.jobs,
                  p.min_gb, p.max_gb, p.interarrival)
@@ -450,7 +462,7 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace_out else None
     metrics = MetricsRegistry() if args.metrics_out else None
-    runner = _make_runner(args.workers, args.no_cache)
+    runner = _make_runner(args.workers, args.no_cache, args.store)
     fault_plan = FaultPlan.load(args.faults) if args.faults else None
     outcome = fig10_trace_replay(
         num_jobs=args.jobs, seed=args.seed, tracer=tracer, metrics=metrics,
@@ -596,7 +608,7 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     if args.save_plan:
         path = fault_plan.save(args.save_plan)
         print(f"fault plan ({fault_plan.describe()}) written to {path}\n")
-    runner = _make_runner(args.workers, args.no_cache)
+    runner = _make_runner(args.workers, args.no_cache, args.store)
     report = resilience_experiment(
         num_jobs=args.jobs,
         seed=args.seed,
@@ -662,17 +674,63 @@ def _cmd_elastic(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     from pathlib import Path
 
+    from repro.runner.store import (
+        SqliteResultCache,
+        migrate_json_tree,
+        open_result_store,
+        store_report,
+    )
+
     root = Path(args.dir) if args.dir else default_cache_root()
-    cache = ResultCache(root)
+    store = open_result_store(args.store, root=root)
+    location = store.info().root
     if args.clear:
-        removed = cache.clear()
-        print(f"cleared {removed} cached result(s) from {root}")
+        removed = store.clear()
+        print(f"cleared {removed} cached result(s) from {location}")
         return 0
-    info = cache.info()
+    if args.action == "migrate":
+        source = ResultCache(root)
+        target = (
+            store
+            if isinstance(store, SqliteResultCache)
+            else open_result_store("sqlite", root=root)
+        )
+        assert isinstance(target, SqliteResultCache)
+        imported = migrate_json_tree(source, target)
+        print(
+            f"migrated {imported} entr{'y' if imported == 1 else 'ies'} "
+            f"from {root} into {target.path} "
+            f"({len(target)} total in the sqlite store)"
+        )
+        return 0
+    if args.action == "vacuum":
+        before, after = store.vacuum()
+        print(
+            f"vacuumed {args.store or store.backend} store at {location}: "
+            f"{format_size(before)} -> {format_size(after)}"
+        )
+        return 0
+    if args.action == "stats":
+        report = store_report(store)
+        print(f"{report['backend']} store at {report['location']}: "
+              f"{report['entries']} entries, "
+              f"{format_size(report['total_bytes'])} on disk")
+        rows = [[kind, count] for kind, count in report["by_kind"].items()]
+        print(render_table(["kind", "entries"], rows))
+        rows = [[status, count] for status, count in report["by_status"].items()]
+        print(render_table(["status", "entries"], rows))
+        rows = [
+            [error_type, count]
+            for error_type, count in report["holes_by_error_type"].items()
+        ]
+        if rows:
+            print(render_table(["hole error type", "entries"], rows))
+        return 0
+    info = store.info()
     if not info.entries:
-        print(f"cache at {root}: empty")
+        print(f"cache at {location}: empty")
         return 0
-    print(f"cache at {root}: {info.entries} entries, "
+    print(f"cache at {location}: {info.entries} entries, "
           f"{format_size(info.total_bytes)} on disk")
     rows = [[kind, count] for kind, count in sorted(info.by_kind.items())]
     print(render_table(["kind", "entries"], rows))
@@ -685,7 +743,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             payload.get("error_type", "?"),
             payload.get("error", ""),
         ]
-        for key, payload in cache.holes()
+        for key, payload in store.holes()
     ]
     if holes:
         print()
@@ -704,6 +762,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.service import AdmissionPolicy, ReproService
     from repro.service import serve as bind_server
+    from repro.telemetry.bus import MetricsBus
 
     policy = None
     if args.queue_cap is not None or args.total_cap is not None:
@@ -711,8 +770,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_pending_per_member=args.queue_cap,
             max_total_pending=args.total_cap,
         )
+    bus = MetricsBus(args.events) if args.events else MetricsBus()
     if args.checkpoint and Path(args.checkpoint).exists():
-        service = ReproService.restore(args.checkpoint, policy=policy)
+        service = ReproService.restore(args.checkpoint, policy=policy, bus=bus)
         print(
             f"restored {service.architecture} service from {args.checkpoint} "
             f"({len(service.results)} result(s) replayed, "
@@ -724,6 +784,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             policy=policy,
             register=args.register,
             checkpoint_path=args.checkpoint,
+            bus=bus,
         )
     server = bind_server(service, args.host, args.port, verbose=args.verbose)
     port = server.server_address[1]
@@ -731,7 +792,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         Path(args.port_file).write_text(f"{port}\n")
     print(f"serving {service.architecture} deployment on {server.url}")
     print("endpoints: POST /jobs, GET /jobs/<id>, GET /metrics, "
-          "GET /healthz, POST /drain, POST /advance, POST /shutdown")
+          "GET /healthz, GET /events, GET /mission, POST /drain, "
+          "POST /advance, POST /shutdown")
+    if args.events:
+        print(f"metrics frames appended to {args.events}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -786,6 +850,35 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         checkpoint = reply.get("checkpoint")
         print("service shut down"
               + (f" (checkpoint: {checkpoint})" if checkpoint else ""))
+    return 0
+
+
+def _cmd_mission(args: argparse.Namespace) -> int:
+    import urllib.request
+
+    from repro.mission import frames_from_text, read_frames, write_mission
+
+    if bool(args.frames) == bool(args.url):
+        print("error: need exactly one of --frames or --url",
+              file=sys.stderr)
+        return 1
+    if args.frames:
+        frames = read_frames(args.frames)
+        source = args.frames
+    else:
+        events_url = args.url.rstrip("/") + "/events"
+        try:
+            with urllib.request.urlopen(events_url, timeout=30.0) as resp:
+                text = resp.read().decode("utf-8")
+        except OSError as exc:
+            print(f"error: cannot fetch {events_url}: {exc}",
+                  file=sys.stderr)
+            return 1
+        frames = frames_from_text(text)
+        source = events_url
+    path = write_mission(frames, args.out, refresh=args.refresh or None)
+    print(f"mission dashboard ({len(frames)} frame(s) from {source}) "
+          f"written to {path} (self-contained HTML)")
     return 0
 
 
@@ -967,13 +1060,23 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--max-jobs", type=int, default=40)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the on-disk result cache"
+        "cache",
+        help="inspect, migrate, vacuum or clear the on-disk result cache",
     )
+    cache.add_argument("action", nargs="?", default="show",
+                       choices=("show", "stats", "vacuum", "migrate"),
+                       help="show the inventory (default), print compact "
+                            "stats (holes by error type), compact the "
+                            "store, or import the sharded JSON tree into "
+                            "the sqlite store byte-identically")
     cache.add_argument("--dir", metavar="PATH",
                        help="cache directory (default: .repro-cache or "
                             "$REPRO_CACHE_DIR)")
     cache.add_argument("--clear", action="store_true",
                        help="delete every cached entry")
+    cache.add_argument("--store", choices=("json", "sqlite"), default=None,
+                       help="result-store backend to operate on (default: "
+                            "$REPRO_CACHE_BACKEND or json)")
 
     serve = sub.add_parser(
         "serve",
@@ -998,6 +1101,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "(backpressure; default unbounded)")
     serve.add_argument("--register", action="store_true",
                        help="model one-time dataset registration per job")
+    serve.add_argument("--events", metavar="FILE",
+                       help="also append metrics-bus frames here as NDJSON "
+                            "(the in-memory bus always feeds GET /events "
+                            "and GET /mission)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request to stderr")
 
@@ -1017,6 +1124,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "jobs finish")
     submit.add_argument("--shutdown", action="store_true",
                         help="then checkpoint and stop the daemon")
+
+    mission = sub.add_parser(
+        "mission",
+        help="render the mission-control dashboard from a frames file "
+             "or a running daemon (docs/MISSION.md)",
+    )
+    mission.add_argument("--frames", metavar="FILE",
+                         help="NDJSON frames file "
+                              "(from `repro serve --events FILE`)")
+    mission.add_argument("--url", metavar="URL",
+                         help="base URL of a running daemon "
+                              "(fetches GET /events)")
+    mission.add_argument("--out", default="mission.html",
+                         help="dashboard output file (default mission.html)")
+    mission.add_argument("--refresh", type=int, default=0, metavar="SECS",
+                         help="embed a meta-refresh tag so a browser tab "
+                              "re-pulls the file every SECS seconds "
+                              "(default: render once, no refresh)")
 
     return parser
 
@@ -1041,6 +1166,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "mission": _cmd_mission,
 }
 
 

@@ -1,0 +1,295 @@
+"""The mission-control dashboard: frames in, one HTML document out.
+
+Renders a :class:`~repro.telemetry.bus.MetricsFrame` stream — service
+frames from the daemon's step loop, runner frames from a sweep — into a
+single self-contained HTML page.  Same rules as the profiler dashboard
+(:mod:`repro.profiler.dashboard`, whose CSS tokens and SVG helpers this
+module reuses): stdlib only, every chart is inline SVG, no script tags,
+no external fetches, deterministic output for a given frame list.  The
+only "live" ingredient is an optional ``<meta http-equiv="refresh">``
+tag, which the daemon's ``GET /mission`` endpoint sets so a browser
+tab re-pulls the page on a fixed cadence without any JavaScript.
+
+Sections: status tiles (health, admission counters, clock), queue
+depth over the simulation clock, per-member healthy capacity, the
+routing-decision audit, the calibration MAPE trend (when a tuner is
+attached), and sweep completion (when runner frames are present).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.profiler.dashboard import (
+    _CSS,
+    _esc,
+    _f,
+    _fmt_secs,
+    _legend,
+    _line_chart,
+    _step_points,
+)
+from repro.telemetry.bus import KIND_RUNNER, KIND_SERVICE, MetricsFrame
+
+#: Categorical series slots for per-member lines (cycled, like the
+#: profiler's bucket palette).
+_MEMBER_VARS = (
+    "--series-1",
+    "--series-2",
+    "--series-3",
+    "--series-4",
+    "--series-5",
+    "--series-6",
+)
+
+
+def _member_var(index: int) -> str:
+    return _MEMBER_VARS[index % len(_MEMBER_VARS)]
+
+
+def _tiles(entries: Sequence[Tuple[str, str]]) -> str:
+    body = "".join(
+        f'<div class="tile"><div class="v">{_esc(v)}</div>'
+        f'<div class="k">{_esc(k)}</div></div>'
+        for k, v in entries
+    )
+    return f'<div class="tiles">{body}</div>'
+
+
+def _progress_bar(done: int, total: int, width: int = 520) -> str:
+    share = 0.0 if total <= 0 else min(max(done / total, 0.0), 1.0)
+    return (
+        f'<svg width="{width}" height="16" viewBox="0 0 {width} 16" '
+        f'role="img"><rect x="0" y="0" width="{width}" height="16" rx="2" '
+        f'fill="var(--grid)"/><rect x="0" y="0" '
+        f'width="{_f(share * width, 2)}" height="16" rx="2" '
+        f'fill="var(--series-3)"><title>{done} of {total} cells '
+        f"({_f(share * 100, 1)}%)</title></rect></svg>"
+    )
+
+
+def _service_frames(frames: Sequence[MetricsFrame]) -> List[MetricsFrame]:
+    return [f for f in frames if f.kind == KIND_SERVICE]
+
+
+def _runner_frames(frames: Sequence[MetricsFrame]) -> List[MetricsFrame]:
+    return [f for f in frames if f.kind == KIND_RUNNER]
+
+
+def _int(value: Any) -> int:
+    return int(value) if isinstance(value, (int, float)) else 0
+
+
+def _status_tiles(service: Sequence[MetricsFrame]) -> str:
+    last = service[-1].body
+    health = str(last.get("health", "?"))
+    fraction = last.get("healthy_fraction")
+    healthy = (
+        f"{health} ({_f(float(fraction) * 100, 0)}%)"
+        if isinstance(fraction, (int, float))
+        else health
+    )
+    return _tiles(
+        [
+            ("health", healthy),
+            ("accepted", str(_int(last.get("accepted")))),
+            ("pending", str(_int(last.get("pending")))),
+            ("finished", str(_int(last.get("finished")))),
+            ("rejected", str(_int(last.get("rejected")))),
+            ("clock", _fmt_secs(service[-1].clock)),
+        ]
+    )
+
+
+def _queue_section(service: Sequence[MetricsFrame]) -> str:
+    x_max = service[-1].clock
+    points = [(f.clock, float(_int(f.body.get("pending")))) for f in service]
+    return (
+        "<h2>Queue depth</h2>"
+        + _legend([("pending jobs", "--series-1")])
+        + _line_chart(
+            [("pending jobs", "--series-1", _step_points(points, x_max))],
+            x_max,
+            "pending jobs",
+        )
+    )
+
+
+def _capacity_section(service: Sequence[MetricsFrame]) -> str:
+    members: List[str] = []
+    for frame in service:
+        for name in frame.body.get("capacity", {}):
+            if name not in members:
+                members.append(name)
+    if not members:
+        return ""
+    x_max = service[-1].clock
+    series = []
+    for index, name in enumerate(sorted(members)):
+        points = [
+            (f.clock, float(f.body["capacity"][name]))
+            for f in service
+            if name in f.body.get("capacity", {})
+        ]
+        series.append((name, _member_var(index), _step_points(points, x_max)))
+    return (
+        "<h2>Healthy capacity per member</h2>"
+        + _legend([(name, var) for name, var, _ in series])
+        + _line_chart(series, x_max, "schedulable nodes")
+    )
+
+
+def _routing_section(service: Sequence[MetricsFrame]) -> str:
+    routing = service[-1].body.get("routing")
+    if not isinstance(routing, dict):
+        return ""
+    members = routing.get("members")
+    if not isinstance(members, dict) or not members:
+        return ""
+    reasons: List[str] = []
+    for counts in members.values():
+        if isinstance(counts, dict):
+            for reason in counts:
+                if reason not in reasons:
+                    reasons.append(reason)
+    reasons.sort()
+    head = "".join(f"<th>{_esc(reason)}</th>" for reason in reasons)
+    rows = []
+    for name in sorted(members):
+        counts = members[name] if isinstance(members[name], dict) else {}
+        cells = "".join(
+            f"<td>{_int(counts.get(reason))}</td>" for reason in reasons
+        )
+        rows.append(f"<tr><td>{_esc(name)}</td>{cells}</tr>")
+    rejected = _int(routing.get("rejected"))
+    return (
+        f"<h2>Routing decisions</h2><table><thead><tr><th>member</th>"
+        f'{head}</tr></thead><tbody>{"".join(rows)}</tbody></table>'
+        f'<p class="note">{rejected} submissions rejected by routing</p>'
+    )
+
+
+def _tuning_section(service: Sequence[MetricsFrame]) -> str:
+    points: List[Tuple[float, float]] = []
+    publishes = 0
+    for frame in service:
+        tuning = frame.body.get("tuning")
+        if not isinstance(tuning, dict):
+            continue
+        publishes = max(publishes, _int(tuning.get("publishes")))
+        mape = tuning.get("mape_after_last")
+        if isinstance(mape, (int, float)):
+            points.append((frame.clock, float(mape) * 100))
+    if not points:
+        return ""
+    x_max = service[-1].clock
+    return (
+        "<h2>Calibration MAPE</h2>"
+        + _legend([("MAPE after publish (%)", "--series-4")])
+        + _line_chart(
+            [("MAPE after publish (%)", "--series-4", points)],
+            x_max,
+            "MAPE %",
+        )
+        + f'<p class="note">{publishes} calibration publishes so far</p>'
+    )
+
+
+def _sweep_section(runner: Sequence[MetricsFrame]) -> str:
+    last = runner[-1].body
+    cells = _int(last.get("cells"))
+    done = _int(last.get("done"))
+    store = last.get("store")
+    tiles = _tiles(
+        [
+            ("cells", str(cells)),
+            ("done", str(done)),
+            ("cache hits", str(_int(last.get("cache_hits")))),
+            ("simulated", str(_int(last.get("simulated")))),
+            ("failures", str(_int(last.get("failures")))),
+            ("store", str(store) if store else "none"),
+        ]
+    )
+    x_max = runner[-1].clock
+    points = [(f.clock, float(_int(f.body.get("done")))) for f in runner]
+    chart = _line_chart(
+        [("cells completed", "--series-3", _step_points(points, x_max))],
+        x_max,
+        "cells completed",
+    )
+    return (
+        "<h2>Sweep completion</h2>"
+        + tiles
+        + _progress_bar(done, cells)
+        + _legend([("cells completed", "--series-3")])
+        + chart
+        + '<p class="note">runner clock is wall-clock seconds since the '
+        "grid started</p>"
+    )
+
+
+def render_mission(
+    frames: Sequence[MetricsFrame],
+    title: str = "repro mission control",
+    refresh: Optional[int] = None,
+) -> str:
+    """The full HTML document for a frame stream.
+
+    ``refresh`` (seconds) adds a ``<meta http-equiv="refresh">`` tag —
+    the daemon's ``GET /mission`` uses it so a browser tab tracks a
+    live run with zero JavaScript.  Deterministic for a given frame
+    list (same frames, same bytes).
+    """
+    service = _service_frames(frames)
+    runner = _runner_frames(frames)
+    sections: List[str] = []
+    if service:
+        sections.append(_status_tiles(service))
+        sections.append(_queue_section(service))
+        sections.append(_capacity_section(service))
+        sections.append(_routing_section(service))
+        sections.append(_tuning_section(service))
+    if runner:
+        sections.append(_sweep_section(runner))
+    if not sections:
+        sections.append(
+            '<p class="note">no frames yet — attach a MetricsBus and '
+            "submit some work (docs/MISSION.md)</p>"
+        )
+    meta_refresh = (
+        f'<meta http-equiv="refresh" content="{int(refresh)}">\n'
+        if refresh is not None and refresh > 0
+        else ""
+    )
+    count = len(frames)
+    last_seq = frames[-1].seq if frames else 0
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        + meta_refresh
+        + f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style>\n"
+        '</head><body class="viz-root">\n'
+        f"<h1>{_esc(title)}</h1>\n"
+        f'<div class="subtitle">{count} frames · last seq {last_seq} · '
+        "rendered offline from the metrics bus</div>\n"
+        f'<div class="runs"><section class="run">{"".join(sections)}'
+        "</section></div>\n"
+        "</body></html>\n"
+    )
+
+
+def write_mission(
+    frames: Sequence[MetricsFrame],
+    path: Union[str, Path],
+    title: str = "repro mission control",
+    refresh: Optional[int] = None,
+) -> Path:
+    """Render and write the dashboard; returns the written path."""
+    target = Path(path)
+    target.write_text(render_mission(frames, title=title, refresh=refresh))
+    return target
+
+
+__all__ = ["render_mission", "write_mission"]

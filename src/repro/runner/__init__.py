@@ -34,9 +34,19 @@ from repro.runner.cache import (
     CacheStats,
     DEFAULT_CACHE_DIR,
     ResultCache,
+    ResultStore,
     default_cache_root,
 )
 from repro.runner.pool import CellOutcome, PoolRunner, RunStats, raise_on_failure
+from repro.runner.store import (
+    SQLITE_STORE_NAME,
+    STORE_BACKENDS,
+    SqliteResultCache,
+    default_sqlite_path,
+    migrate_json_tree,
+    open_result_store,
+    store_report,
+)
 from repro.runner.spec import (
     CACHE_SCHEMA,
     CODE_SALT,
@@ -67,17 +77,25 @@ __all__ = [
     "ExperimentSpec",
     "PoolRunner",
     "ResultCache",
+    "ResultStore",
     "RunStats",
+    "SQLITE_STORE_NAME",
+    "STORE_BACKENDS",
+    "SqliteResultCache",
     "canonical_json",
     "cell_job_id",
     "decode_profile",
     "decode_replay_results",
     "decode_result",
     "default_cache_root",
+    "default_sqlite_path",
     "execute_cell",
     "execute_replay_observed",
     "isolated_cell",
+    "migrate_json_tree",
+    "open_result_store",
     "raise_on_failure",
     "replay_cell",
+    "store_report",
     "sweep_experiment",
 ]

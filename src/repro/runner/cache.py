@@ -28,7 +28,16 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.runner.spec import CACHE_SCHEMA
 
@@ -72,8 +81,43 @@ class CacheInfo:
     by_status: Dict[str, int] = field(default_factory=dict)
 
 
+@runtime_checkable
+class ResultStore(Protocol):
+    """What :class:`~repro.runner.pool.PoolRunner` needs from a result
+    store.  Two backends satisfy it: this module's sharded-JSON
+    :class:`ResultCache` and the single-file
+    :class:`~repro.runner.store.SqliteResultCache` — see
+    :func:`~repro.runner.store.open_result_store`.
+    """
+
+    backend: str
+    stats: CacheStats
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]: ...
+
+    def get_many(self, keys: Iterable[str]) -> Dict[str, Dict[str, Any]]: ...
+
+    def put(self, key: str, payload: Dict[str, Any]) -> None: ...
+
+    def put_many(self, items: Iterable[Tuple[str, Dict[str, Any]]]) -> None: ...
+
+    def entries(self) -> Iterator[Tuple[str, Dict[str, Any]]]: ...
+
+    def holes(self) -> Iterator[Tuple[str, Dict[str, Any]]]: ...
+
+    def info(self) -> CacheInfo: ...
+
+    def clear(self) -> int: ...
+
+    def vacuum(self) -> Tuple[int, int]: ...
+
+    def __len__(self) -> int: ...
+
+
 class ResultCache:
     """Content-addressed JSON store for cell payloads."""
+
+    backend = "json"
 
     def __init__(self, root: Optional[Path | str] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_root()
@@ -111,6 +155,17 @@ class ResultCache:
         self.stats.hits += 1
         return payload
 
+    def get_many(self, keys: Iterable[str]) -> Dict[str, Dict[str, Any]]:
+        """Bulk read: ``{key: payload}`` for every hit among ``keys``
+        (one file open per key on this backend — the sqlite store turns
+        this into a handful of chunked SELECTs)."""
+        found: Dict[str, Dict[str, Any]] = {}
+        for key in dict.fromkeys(keys):
+            payload = self.get(key)
+            if payload is not None:
+                found[key] = payload
+        return found
+
     @staticmethod
     def _valid(payload: Any) -> bool:
         return (
@@ -145,6 +200,11 @@ class ResultCache:
             ResultCache._discard(Path(handle.name))
             raise
         self.stats.writes += 1
+
+    def put_many(self, items: Iterable[Tuple[str, Dict[str, Any]]]) -> None:
+        """Bulk write (atomic per entry on this backend)."""
+        for key, payload in items:
+            self.put(key, payload)
 
     # -- inspection / maintenance -----------------------------------------
 
@@ -211,11 +271,37 @@ class ResultCache:
                 pass
         return removed
 
+    def vacuum(self) -> Tuple[int, int]:
+        """Drop unreadable entries and empty shard directories; returns
+        ``(bytes_before, bytes_after)``.  (The sqlite backend's vacuum
+        compacts the database file instead.)"""
+        before = sum(path.stat().st_size for path in self._files())
+        for path in list(self._files()):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                self._discard(path)
+                continue
+            if not self._valid(payload):
+                self._discard(path)
+        if self.root.is_dir():
+            for shard in list(self.root.iterdir()):
+                if shard.is_dir():
+                    for stray in shard.glob("*.tmp"):
+                        self._discard(stray)
+                    try:
+                        shard.rmdir()
+                    except OSError:
+                        pass
+        after = sum(path.stat().st_size for path in self._files())
+        return before, after
+
 
 __all__ = [
     "CacheInfo",
     "CacheStats",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
+    "ResultStore",
     "default_cache_root",
 ]

@@ -38,9 +38,10 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RunnerError
-from repro.runner.cache import ResultCache
+from repro.runner.cache import ResultStore
 from repro.runner.spec import CellSpec, ExperimentSpec
 from repro.runner.work import execute_cell
+from repro.telemetry.bus import KIND_RUNNER, MetricsBus
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import Tracer
 
@@ -138,13 +139,14 @@ class PoolRunner:
     def __init__(
         self,
         max_workers: int = 1,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[ResultStore] = None,
         *,
         timeout: Optional[float] = None,
         retries: int = 2,
         backoff_seconds: float = 0.05,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        bus: Optional[MetricsBus] = None,
     ) -> None:
         if max_workers < 1:
             raise RunnerError(f"max_workers must be >= 1: {max_workers}")
@@ -157,12 +159,17 @@ class PoolRunner:
         self.backoff_seconds = backoff_seconds
         self.metrics = metrics
         self.tracer = tracer
+        #: Optional :class:`~repro.telemetry.bus.MetricsBus`: one
+        #: ``runner`` frame per resolved cell (sweep completion for the
+        #: mission dashboard).  Pure observer — results are unchanged.
+        self.bus = bus
         if tracer is not None:
             tracer.bind(_WallClock())
         #: Counters for the most recent :meth:`run_cells` call.
         self.last_stats = RunStats()
         #: Counters accumulated over this runner's whole lifetime.
         self.lifetime_stats = RunStats()
+        self._run_clock_t0 = time.perf_counter()
 
     # -- public API --------------------------------------------------------
 
@@ -175,25 +182,27 @@ class PoolRunner:
         t0 = time.perf_counter()
         stats = RunStats(cells=len(cells))
         self.last_stats = stats
+        self._run_clock_t0 = t0
         keys = [cell.content_key() for cell in cells]
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
 
-        # 1. Resolve through the cache.
-        for i, (cell, key) in enumerate(zip(cells, keys)):
-            if self.cache is None:
-                continue
-            payload = self.cache.get(key)
-            if payload is not None:
-                outcomes[i] = CellOutcome(
-                    cell=cell,
-                    key=key,
-                    status=payload["status"],
-                    payload=payload,
-                    error=payload.get("error", ""),
-                    from_cache=True,
-                )
-                stats.cache_hits += 1
-                self._observe(outcomes[i])
+        # 1. Resolve through the cache — one bulk read for the whole
+        # grid, so a warm re-run costs a single store round trip.
+        if self.cache is not None and cells:
+            cached = self.cache.get_many(keys)
+            for i, (cell, key) in enumerate(zip(cells, keys)):
+                payload = cached.get(key)
+                if payload is not None:
+                    outcomes[i] = CellOutcome(
+                        cell=cell,
+                        key=key,
+                        status=payload["status"],
+                        payload=payload,
+                        error=payload.get("error", ""),
+                        from_cache=True,
+                    )
+                    stats.cache_hits += 1
+                    self._observe(outcomes[i])
 
         # 2. Simulate the misses (deduplicated by key).
         pending: Dict[str, Tuple[CellSpec, List[int]]] = {}
@@ -205,13 +214,16 @@ class PoolRunner:
             computed = self._run_pending(
                 [(key, cell) for key, (cell, _) in pending.items()], stats
             )
+            writes: List[Tuple[str, Dict[str, Any]]] = []
             for key, outcome in computed.items():
                 if self.cache is not None and outcome.ok:
                     assert outcome.payload is not None
-                    self.cache.put(key, outcome.payload)
+                    writes.append((key, outcome.payload))
                 for i in pending[key][1]:
                     outcomes[i] = outcome
                 self._observe(outcome)
+            if self.cache is not None and writes:
+                self.cache.put_many(writes)
 
         stats.wall_seconds = time.perf_counter() - t0
         self.lifetime_stats.accumulate(stats)
@@ -431,6 +443,25 @@ class PoolRunner:
                     track="runner",
                     args=args,
                 )
+        if self.bus is not None:
+            stats = self.last_stats
+            self.bus.publish(
+                KIND_RUNNER,
+                time.perf_counter() - self._run_clock_t0,
+                {
+                    "cells": stats.cells,
+                    "done": stats.cache_hits + stats.simulated + stats.failures,
+                    "cache_hits": stats.cache_hits,
+                    "simulated": stats.simulated,
+                    "infeasible": stats.infeasible,
+                    "failures": stats.failures,
+                    "retries": stats.retries,
+                    "timeouts": stats.timeouts,
+                    "store": (
+                        self.cache.backend if self.cache is not None else None
+                    ),
+                },
+            )
 
 
 def raise_on_failure(outcomes: Sequence[CellOutcome]) -> None:

@@ -61,6 +61,7 @@ from repro.service.admission import (
 )
 from repro.service.checkpoint import CheckpointStore
 from repro.service.models import JobRecord
+from repro.telemetry.bus import KIND_SERVICE, MetricsBus
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.service import ServiceInstruments
 from repro.telemetry.tracer import Tracer
@@ -124,6 +125,13 @@ class ReproService:
         exceeds the level's threshold (largest-shuffle first —
         429-style, resubmit after recovery), and browned-out routing
         falls back to the static Algorithm-1 policy.
+    bus:
+        Optional :class:`~repro.telemetry.bus.MetricsBus`.  When set,
+        the service publishes one ``"service"`` frame after every
+        admission, clock advance and drain — queue depth, per-member
+        healthy capacity, routing counters, brownout state and tuner
+        MAPE (docs/MISSION.md).  Strictly a read-side observer: a run
+        with a bus attached is byte-identical to a bare run.
     """
 
     def __init__(
@@ -142,8 +150,10 @@ class ReproService:
         scale_plan: Optional[ScalePlan] = None,
         autoscaler: Optional["Autoscaler"] = None,
         brownout: Optional[BrownoutConfig] = None,
+        bus: Optional[MetricsBus] = None,
     ) -> None:
         self.architecture, self.spec = _resolve_architecture(architecture)
+        self.bus = bus
         self.register = register
         self.policy = policy if policy is not None else AdmissionPolicy()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -211,7 +221,9 @@ class ReproService:
         a machine-readable reason and may be resubmitted later.
         """
         with self._lock:
-            return self._admit(submission, count=True, forced=False)
+            status = self._admit(submission, count=True, forced=False)
+            self._publish_frame()
+            return status
 
     def _admit(
         self, submission: JobSubmission, *, count: bool, forced: bool
@@ -283,6 +295,7 @@ class ReproService:
                 for s in report.submissions
             ]
             self._autocheckpoint()
+            self._publish_frame()
             return statuses, report
 
     # -- execution --------------------------------------------------------
@@ -309,6 +322,7 @@ class ReproService:
         with self._lock:
             now = self.deployment.advance_until(time)
             self._sync_results()
+            self._publish_frame()
             return now
 
     def drain(self) -> Dict[str, Any]:
@@ -318,6 +332,7 @@ class ReproService:
             self.deployment.run()
             self._sync_results()
             self._autocheckpoint()
+            self._publish_frame()
             finished = sum(1 for r in self._records.values() if r.finished)
             failed = sum(
                 1
@@ -331,6 +346,60 @@ class ReproService:
                 "pending": self.pending,
                 "clock": self.deployment.sim.now,
             }
+
+    # -- observation -------------------------------------------------------
+
+    def _publish_frame(self) -> None:
+        """Snapshot the service onto the bus (no-op without one).
+
+        Called with the service lock held, after every admission, clock
+        advance and drain.  Reads counters only — never touches the
+        simulation — so a bussed run stays byte-identical to a bare one
+        (pinned by ``tests/test_mission.py``).
+        """
+        if self.bus is None:
+            return
+        deployment = self.deployment
+        tuner = deployment.tuner
+        self.bus.publish(
+            KIND_SERVICE,
+            deployment.sim.now,
+            {
+                "accepted": self.instruments.accepted_total,
+                "rejected": self.instruments.rejected_total,
+                "clamped": self.instruments.clamped_total,
+                "finished": self.instruments.finished_total,
+                "pending": self.pending,
+                "health": deployment.health_level(),
+                "healthy_fraction": deployment.healthy_fraction(),
+                "capacity": {
+                    tracker.name: tracker.schedulable_nodes()
+                    for tracker in deployment.trackers
+                },
+                "routing": deployment.routing_summary(),
+                "elastic": {
+                    "nodes_joined": sum(
+                        t.nodes_joined for t in deployment.trackers
+                    ),
+                    "nodes_decommissioned": sum(
+                        t.nodes_decommissioned for t in deployment.trackers
+                    ),
+                },
+                "tuning": (
+                    {
+                        "publishes": len(tuner.updates),
+                        "mape_after_last": (
+                            tuner.updates[-1].mape_after
+                            if tuner.updates
+                            else None
+                        ),
+                        "suspended": tuner.suspended,
+                    }
+                    if tuner is not None
+                    else None
+                ),
+            },
+        )
 
     # -- introspection ----------------------------------------------------
 
@@ -441,6 +510,7 @@ class ReproService:
         scale_plan: Optional[ScalePlan] = None,
         autoscaler: Optional["Autoscaler"] = None,
         brownout: Optional[BrownoutConfig] = None,
+        bus: Optional[MetricsBus] = None,
     ) -> "ReproService":
         """Rebuild a service from its checkpoint by deterministic replay.
 
@@ -485,6 +555,7 @@ class ReproService:
             scale_plan=scale_plan,
             autoscaler=autoscaler,
             brownout=brownout,
+            bus=bus,
         )
         for submission in state.accepted:
             status = service._admit(submission, count=False, forced=True)

@@ -13,6 +13,9 @@ method     path            meaning
 ``POST``   ``/drain``      run the simulation until all admitted jobs finish
 ``POST``   ``/advance``    advance the clock to ``{"until": t}``
 ``POST``   ``/shutdown``   checkpoint and stop the daemon cleanly
+``GET``    ``/events``     NDJSON tail of the metrics bus (``?since=N``
+                           resumes after frame seq ``N`` — docs/MISSION.md)
+``GET``    ``/mission``    the live mission-control dashboard (HTML)
 =========  ==============  ==================================================
 
 Status codes: ``202`` admitted, ``429`` backpressure (single job, or a
@@ -97,6 +100,10 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.health(), "/healthz")
         elif path == "/metrics":
             self._send_json(200, self.service.metrics_dump(), "/metrics")
+        elif path == "/events":
+            self._get_events()
+        elif path == "/mission":
+            self._get_mission()
         elif path.startswith("/jobs/"):
             job_id = path[len("/jobs/"):]
             status = self.service.job_status(job_id)
@@ -129,6 +136,52 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)}, path)
 
     # -- endpoints --------------------------------------------------------
+
+    def _get_events(self) -> None:
+        """NDJSON tail of the metrics bus.  ``?since=N`` returns only
+        frames with ``seq > N``, so a reconnecting tailer resumes from
+        the last seq it saw without replaying the whole ring."""
+        bus = self.service.bus
+        if bus is None:
+            self._send_json(
+                404,
+                {"error": "no metrics bus attached (start with --events)"},
+                "/events",
+            )
+            return
+        since = 0
+        query = self.path.split("?", 1)[1] if "?" in self.path else ""
+        for part in query.split("&"):
+            if part.startswith("since="):
+                try:
+                    since = int(part[len("since="):])
+                except ValueError:
+                    self._send_json(
+                        400,
+                        {"error": f"since must be an integer: {part!r}"},
+                        "/events",
+                    )
+                    return
+        self._send_ndjson(
+            200, [frame.to_wire() for frame in bus.tail(since)], "/events"
+        )
+
+    def _get_mission(self) -> None:
+        """The live dashboard: self-contained HTML re-rendered on every
+        request, with a meta-refresh tag so a browser tab tracks the
+        run without any JavaScript."""
+        from repro.mission.dashboard import render_mission
+
+        bus = self.service.bus
+        frames = bus.frames() if bus is not None else []
+        html = render_mission(
+            frames,
+            title=f"repro mission control — {self.service.architecture}",
+            refresh=2,
+        )
+        self._send(
+            200, html.encode("utf-8"), "text/html; charset=utf-8", "/mission"
+        )
 
     def _post_jobs(self, body: str) -> None:
         content_type = (self.headers.get("Content-Type") or "").lower()

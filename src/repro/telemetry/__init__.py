@@ -26,6 +26,17 @@ Quickstart::
     print(metrics.dump())
 """
 
+from repro.telemetry.bus import (
+    FRAME_SCHEMA,
+    FrameError,
+    KIND_RUNNER,
+    KIND_SERVICE,
+    MetricsBus,
+    MetricsFrame,
+    frames_from_text,
+    read_frames,
+    write_frames,
+)
 from repro.telemetry.export import (
     chrome_trace_events,
     chrome_trace_json,
@@ -51,8 +62,14 @@ from repro.telemetry.tracer import (
 
 __all__ = [
     "Counter",
+    "FRAME_SCHEMA",
+    "FrameError",
     "Gauge",
     "Histogram",
+    "KIND_RUNNER",
+    "KIND_SERVICE",
+    "MetricsBus",
+    "MetricsFrame",
     "MetricsRegistry",
     "PHASE_COMPLETE",
     "PHASE_COUNTER",
@@ -60,6 +77,9 @@ __all__ = [
     "TraceEvent",
     "ServiceInstruments",
     "Tracer",
+    "frames_from_text",
+    "read_frames",
+    "write_frames",
     "chrome_trace_events",
     "chrome_trace_json",
     "chrome_trace_to_events",

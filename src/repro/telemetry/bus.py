@@ -1,0 +1,231 @@
+"""Streaming metrics bus: versioned NDJSON frames for live observation.
+
+Where the :class:`~repro.telemetry.tracer.Tracer` records every event
+and the :class:`~repro.telemetry.metrics.MetricsRegistry` keeps running
+aggregates, the :class:`MetricsBus` publishes *snapshots in time*: one
+compact :class:`MetricsFrame` per step of whatever it observes — the
+deployment daemon's step loop (admission batches, clock advances,
+drains) or the experiment runner's per-cell completions.  Frames are
+appended to an NDJSON file as they happen, so a dashboard — or ``GET
+/events`` on the daemon (docs/MISSION.md) — can tail a run that is
+still in flight.
+
+Like every observer in this package the bus is strictly passive: it
+reads counters and writes its own file, never schedules simulation
+events, so a run with a bus attached is byte-identical to a bare run
+(pinned by ``tests/test_mission.py``).
+
+Wire format (one JSON object per line, sorted keys)::
+
+    {"body": {...}, "clock": 12.5, "kind": "service",
+     "schema": 1, "seq": 3}
+
+``schema`` versions the frame envelope; readers reject unknown versions
+loudly but tolerate a truncated *final* line silently — a tail of a
+file that is mid-append is expected to end mid-line, and the next
+re-read picks the frame up whole.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.errors import ReproError
+
+#: Version of the frame envelope (bump on breaking shape changes).
+FRAME_SCHEMA = 1
+
+#: Frame kinds published by this package's producers.
+KIND_SERVICE = "service"
+KIND_RUNNER = "runner"
+
+
+class FrameError(ReproError):
+    """A metrics frame is malformed or from an unknown schema version."""
+
+
+@dataclass(frozen=True)
+class MetricsFrame:
+    """One snapshot on the bus.
+
+    ``seq`` increases by one per frame per bus (a reconnecting tailer
+    resumes from the last seq it saw); ``clock`` is the producer's
+    clock — simulation seconds for service frames, wall-clock seconds
+    since the grid started for runner frames; ``body`` is the
+    kind-specific snapshot (see docs/MISSION.md for both shapes).
+    """
+
+    seq: int
+    kind: str
+    clock: float
+    body: Dict[str, Any] = field(default_factory=dict)
+    schema: int = FRAME_SCHEMA
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "seq": self.seq,
+            "kind": self.kind,
+            "clock": self.clock,
+            "body": self.body,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_wire(), sort_keys=True)
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> "MetricsFrame":
+        """Parse one frame strictly: wrong shape, missing or unknown
+        fields, or a schema version this reader does not speak all
+        raise :class:`FrameError`."""
+        if not isinstance(payload, dict):
+            raise FrameError(f"frame must be a JSON object: {payload!r}")
+        unknown = set(payload) - {"schema", "seq", "kind", "clock", "body"}
+        if unknown:
+            raise FrameError(f"unknown frame field(s): {sorted(unknown)}")
+        schema = payload.get("schema")
+        if schema != FRAME_SCHEMA:
+            raise FrameError(
+                f"frame schema {schema!r} not supported "
+                f"(this reader speaks {FRAME_SCHEMA})"
+            )
+        seq = payload.get("seq")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+            raise FrameError(f"frame seq must be a non-negative int: {seq!r}")
+        kind = payload.get("kind")
+        if not isinstance(kind, str) or not kind:
+            raise FrameError(f"frame kind must be a non-empty string: {kind!r}")
+        clock = payload.get("clock")
+        if not isinstance(clock, (int, float)) or isinstance(clock, bool):
+            raise FrameError(f"frame clock must be a number: {clock!r}")
+        body = payload.get("body")
+        if not isinstance(body, dict):
+            raise FrameError(f"frame body must be a JSON object: {body!r}")
+        return cls(
+            seq=seq, kind=kind, clock=float(clock), body=body, schema=schema
+        )
+
+
+class MetricsBus:
+    """Appends frames to memory (bounded ring) and optionally to disk.
+
+    Thread-safe: the daemon's HTTP threads and its admission path may
+    publish and tail concurrently.  The in-memory ring keeps the newest
+    ``keep`` frames for ``tail``; the NDJSON file (when a ``path`` was
+    given) keeps everything and is flushed per frame so an external
+    tailer never waits on a buffer.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[Path, str]] = None,
+        *,
+        keep: int = 4096,
+    ) -> None:
+        if keep < 1:
+            raise FrameError(f"keep must be >= 1: {keep}")
+        self.path = Path(path) if path is not None else None
+        self.keep = keep
+        self._frames: List[MetricsFrame] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._frames)
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest frame (0 before any)."""
+        with self._lock:
+            return self._seq
+
+    def publish(
+        self, kind: str, clock: float, body: Dict[str, Any]
+    ) -> MetricsFrame:
+        """Append one frame; returns it (with its assigned seq)."""
+        with self._lock:
+            self._seq += 1
+            frame = MetricsFrame(
+                seq=self._seq, kind=kind, clock=float(clock), body=body
+            )
+            self._frames.append(frame)
+            if len(self._frames) > self.keep:
+                del self._frames[: len(self._frames) - self.keep]
+            if self.path is not None:
+                with self.path.open("a") as handle:
+                    handle.write(frame.to_json() + "\n")
+                    handle.flush()
+        return frame
+
+    def tail(self, since: int = 0) -> List[MetricsFrame]:
+        """Frames with ``seq > since``, oldest first (bounded by the
+        ring — a tailer that fell more than ``keep`` frames behind gets
+        the oldest retained frame next and can detect the gap from the
+        seq jump)."""
+        with self._lock:
+            return [frame for frame in self._frames if frame.seq > since]
+
+    def frames(self) -> List[MetricsFrame]:
+        """Every retained frame, oldest first."""
+        return self.tail(0)
+
+
+def frames_from_text(text: str) -> List[MetricsFrame]:
+    """Parse an NDJSON frame stream.
+
+    Interior malformed lines raise :class:`FrameError` (a corrupt log
+    should fail loudly); a malformed *final* line is tolerated silently
+    — it is the half-written tail of a live file, and the next read
+    sees it whole.
+    """
+    lines = text.splitlines()
+    frames: List[MetricsFrame] = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            frames.append(MetricsFrame.from_wire(json.loads(line)))
+        except (ValueError, FrameError) as exc:
+            if index == len(lines) - 1:
+                break  # truncated tail: mid-append, not corruption
+            raise FrameError(
+                f"bad frame on line {index + 1}: {exc}"
+            ) from exc
+    return frames
+
+
+def read_frames(path: Union[Path, str]) -> List[MetricsFrame]:
+    """Read every complete frame from an NDJSON file (truncated-tail
+    tolerant — see :func:`frames_from_text`)."""
+    return frames_from_text(Path(path).read_text())
+
+
+def write_frames(
+    frames: Iterable[MetricsFrame], path: Union[Path, str]
+) -> Path:
+    """Write frames as NDJSON; returns the written path."""
+    target = Path(path)
+    target.write_text(
+        "".join(frame.to_json() + "\n" for frame in frames)
+    )
+    return target
+
+
+__all__ = [
+    "FRAME_SCHEMA",
+    "FrameError",
+    "KIND_RUNNER",
+    "KIND_SERVICE",
+    "MetricsBus",
+    "MetricsFrame",
+    "frames_from_text",
+    "read_frames",
+    "write_frames",
+]

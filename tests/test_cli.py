@@ -136,6 +136,64 @@ class TestCache:
         out = capsys.readouterr().out
         assert "elsewhere" in out and "empty" in out
 
+    def test_stats_counts_holes_by_error_type(self, capsys):
+        assert main(["sweep", "--app", "grep", "--sizes", "1GB"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "json store" in out and "4 entries" in out
+
+    def test_migrate_then_sqlite_grid_is_warm(self, capsys):
+        assert main(["sweep", "--app", "grep", "--sizes", "1GB"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "migrate"]) == 0
+        assert "migrated 4 entries" in capsys.readouterr().out
+        # The migrated store serves the same grid without simulating.
+        assert main(["sweep", "--app", "grep", "--sizes", "1GB",
+                     "--store", "sqlite"]) == 0
+        out = capsys.readouterr().out
+        assert "4 cached" in out and "0 simulated" in out
+
+    def test_vacuum_reports_sizes(self, capsys):
+        assert main(["sweep", "--app", "grep", "--sizes", "1GB",
+                     "--store", "sqlite"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "vacuum", "--store", "sqlite"]) == 0
+        assert "vacuumed sqlite store" in capsys.readouterr().out
+
+    def test_sqlite_store_flag_round_trips(self, capsys):
+        assert main(["sweep", "--app", "grep", "--sizes", "1GB",
+                     "--store", "sqlite"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--store", "sqlite"]) == 0
+        out = capsys.readouterr().out
+        assert "results.sqlite" in out and "4 entries" in out
+        assert main(["cache", "--store", "sqlite", "--clear"]) == 0
+        assert "cleared 4" in capsys.readouterr().out
+
+
+class TestMission:
+    def test_renders_from_frames_file(self, tmp_path, capsys):
+        from repro.telemetry.bus import KIND_RUNNER, MetricsBus
+
+        bus = MetricsBus(tmp_path / "frames.ndjson")
+        bus.publish(KIND_RUNNER, 0.5, {"cells": 4, "done": 4,
+                                       "cache_hits": 0, "simulated": 4,
+                                       "infeasible": 0, "failures": 0,
+                                       "retries": 0, "timeouts": 0,
+                                       "store": "json"})
+        out_path = tmp_path / "mission.html"
+        assert main(["mission", "--frames", str(tmp_path / "frames.ndjson"),
+                     "--out", str(out_path)]) == 0
+        assert "1 frame(s)" in capsys.readouterr().out
+        html = out_path.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html and "http://" not in html
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["mission"]) == 1
+        assert "exactly one" in capsys.readouterr().err
+
 
 class TestTrace:
     def test_prints_cdf_and_shares(self, capsys):

@@ -1,0 +1,292 @@
+"""Mission control: frame schema, pure observation, and the dashboard.
+
+The contracts pinned here:
+
+* **frame schema** — versioned NDJSON envelope round-trips exactly;
+  unknown fields and schema versions are rejected loudly; a truncated
+  *final* line is tolerated (a live file is expected to end mid-append)
+  while interior corruption raises;
+* **pure observer** — a daemon run with a :class:`MetricsBus` attached
+  produces byte-identical results to a bare run, and so does a
+  bus-attached sweep;
+* **reconciliation** — the last service frame's counters agree with
+  ``metrics_dump()``;
+* **surfaces** — ``GET /events`` tails frames (``?since=N`` resumes),
+  ``GET /mission`` and ``repro mission`` emit self-contained HTML
+  (no scripts, no external fetches — the profiler-dashboard rule).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.apps import GREP
+from repro.core.architectures import out_ofs, up_ofs
+from repro.mission import render_mission, write_mission
+from repro.runner import PoolRunner, ResultCache, canonical_json, sweep_experiment
+from repro.service import AdmissionPolicy, ReproService, serve
+from repro.core.api import JobSubmission
+from repro.telemetry.bus import (
+    FRAME_SCHEMA,
+    FrameError,
+    KIND_RUNNER,
+    KIND_SERVICE,
+    MetricsBus,
+    MetricsFrame,
+    frames_from_text,
+    read_frames,
+    write_frames,
+)
+from repro.units import GB
+from repro.workload.fb2009 import generate_fb2009
+
+
+def make_trace(num_jobs: int = 20, seed: int = 2009):
+    duration = 86400.0 * num_jobs / 6000.0
+    return generate_fb2009(
+        num_jobs=num_jobs, seed=seed, duration=duration
+    ).shrink(5.0)
+
+
+def submissions_for(trace):
+    return [JobSubmission.from_tracejob(job) for job in trace.jobs]
+
+
+def results_bytes(results) -> str:
+    return json.dumps([dataclasses.asdict(r) for r in results], sort_keys=True)
+
+
+class TestFrameSchema:
+    def test_round_trip(self):
+        frame = MetricsFrame(seq=3, kind=KIND_SERVICE, clock=12.5,
+                             body={"pending": 2})
+        assert MetricsFrame.from_wire(json.loads(frame.to_json())) == frame
+
+    def test_unknown_field_rejected(self):
+        wire = MetricsFrame(seq=1, kind="x", clock=0.0).to_wire()
+        wire["surprise"] = 1
+        with pytest.raises(FrameError, match="surprise"):
+            MetricsFrame.from_wire(wire)
+
+    def test_schema_version_skew_rejected(self):
+        wire = MetricsFrame(seq=1, kind="x", clock=0.0).to_wire()
+        wire["schema"] = FRAME_SCHEMA + 1
+        with pytest.raises(FrameError, match="schema"):
+            MetricsFrame.from_wire(wire)
+
+    @pytest.mark.parametrize("field,value", [
+        ("seq", -1), ("seq", 1.5), ("seq", True),
+        ("kind", ""), ("kind", 7),
+        ("clock", "noon"), ("clock", True),
+        ("body", []),
+    ])
+    def test_malformed_fields_rejected(self, field, value):
+        wire = MetricsFrame(seq=1, kind="x", clock=0.0).to_wire()
+        wire[field] = value
+        with pytest.raises(FrameError):
+            MetricsFrame.from_wire(wire)
+
+    def test_file_round_trip(self, tmp_path):
+        frames = [MetricsFrame(seq=i + 1, kind=KIND_RUNNER, clock=float(i),
+                               body={"done": i}) for i in range(5)]
+        path = write_frames(frames, tmp_path / "frames.ndjson")
+        assert read_frames(path) == frames
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        frames = [MetricsFrame(seq=1, kind="x", clock=0.0),
+                  MetricsFrame(seq=2, kind="x", clock=1.0)]
+        path = write_frames(frames, tmp_path / "frames.ndjson")
+        text = path.read_text() + '{"schema": 1, "seq": 3, "ki'
+        assert frames_from_text(text) == frames
+
+    def test_interior_corruption_raises(self):
+        good = MetricsFrame(seq=1, kind="x", clock=0.0).to_json()
+        text = good + "\n{nope}\n" + good + "\n"
+        with pytest.raises(FrameError, match="line 2"):
+            frames_from_text(text)
+
+    def test_bus_assigns_sequences_and_tails(self, tmp_path):
+        bus = MetricsBus(tmp_path / "bus.ndjson", keep=3)
+        for i in range(5):
+            bus.publish(KIND_SERVICE, float(i), {"i": i})
+        assert bus.last_seq == 5
+        assert [f.seq for f in bus.tail(3)] == [4, 5]
+        # The ring is bounded; the file keeps everything.
+        assert [f.seq for f in bus.frames()] == [3, 4, 5]
+        assert [f.seq for f in read_frames(tmp_path / "bus.ndjson")] == [
+            1, 2, 3, 4, 5,
+        ]
+
+
+class TestPureObserver:
+    """Attaching a bus never changes simulation results."""
+
+    def test_daemon_run_is_byte_identical_with_bus(self):
+        subs = submissions_for(make_trace())
+        bare = ReproService("Hybrid")
+        bussed = ReproService("Hybrid", bus=MetricsBus())
+        for service in (bare, bussed):
+            for sub in subs:
+                service.submit(sub)
+            service.drain()
+        assert results_bytes(bare.results) == results_bytes(bussed.results)
+        assert bussed.bus.last_seq > 0
+
+    def test_sweep_is_byte_identical_with_bus(self, tmp_path):
+        cells = sweep_experiment(
+            [up_ofs(), out_ofs()], GREP, [1 * GB, 8 * GB]
+        ).cells
+        bare = PoolRunner(max_workers=1).run_cells(cells)
+        bus = MetricsBus()
+        bussed = PoolRunner(
+            max_workers=1, cache=ResultCache(tmp_path / "cache"), bus=bus
+        ).run_cells(cells)
+        assert [canonical_json(o.payload) for o in bare] == [
+            canonical_json(o.payload) for o in bussed
+        ]
+        # One runner frame per completed cell, clocks non-decreasing.
+        frames = bus.frames()
+        assert len(frames) == len(cells)
+        assert all(f.kind == KIND_RUNNER for f in frames)
+        assert frames[-1].body["done"] == len(cells)
+        clocks = [f.clock for f in frames]
+        assert clocks == sorted(clocks)
+
+
+class TestReconciliation:
+    def test_last_frame_matches_metrics_dump(self):
+        bus = MetricsBus()
+        service = ReproService("Hybrid", bus=bus)
+        for sub in submissions_for(make_trace()):
+            service.submit(sub)
+        service.drain()
+        body = bus.frames()[-1].body
+        dump = service.metrics_dump()
+        for key in ("accepted", "rejected", "clamped", "finished"):
+            assert body[key] == dump["service"][key]
+        assert body["pending"] == dump["service"]["pending"]
+        assert bus.frames()[-1].clock == dump["service"]["clock"]
+        assert body["routing"] == dump["routing"]
+        assert body["health"] == dump["elastic"]["health"]
+        assert body["healthy_fraction"] == dump["elastic"]["healthy_fraction"]
+        assert sum(body["capacity"].values()) == (
+            dump["elastic"]["schedulable_nodes"]
+        )
+
+
+class TestDashboard:
+    def _frames(self):
+        bus = MetricsBus()
+        service = ReproService("Hybrid", bus=bus)
+        for sub in submissions_for(make_trace()):
+            service.submit(sub)
+        service.drain()
+        bus.publish(KIND_RUNNER, 1.5, {"cells": 10, "done": 4,
+                                       "cache_hits": 2, "simulated": 2,
+                                       "infeasible": 0, "failures": 0,
+                                       "retries": 0, "timeouts": 0,
+                                       "store": "sqlite"})
+        return bus.frames()
+
+    def test_self_contained_and_deterministic(self):
+        frames = self._frames()
+        html = render_mission(frames)
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+        assert html == render_mission(frames)
+        for needle in ("Queue depth", "Healthy capacity per member",
+                       "Routing decisions", "Sweep completion"):
+            assert needle in html
+
+    def test_refresh_tag_is_opt_in(self):
+        frames = self._frames()
+        assert "http-equiv" not in render_mission(frames)
+        assert 'http-equiv="refresh" content="3"' in render_mission(
+            frames, refresh=3
+        )
+
+    def test_write_mission(self, tmp_path):
+        path = write_mission(self._frames(), tmp_path / "mission.html")
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_empty_stream_renders(self):
+        html = render_mission([])
+        assert "no frames yet" in html
+
+
+class TestHTTPSurface:
+    @pytest.fixture()
+    def server(self):
+        service = ReproService(
+            "Hybrid",
+            policy=AdmissionPolicy(max_total_pending=40),
+            bus=MetricsBus(),
+        )
+        httpd = serve(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield httpd
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)
+
+    def _get(self, url: str):
+        with urllib.request.urlopen(url, timeout=10.0) as resp:
+            return resp.status, resp.read().decode("utf-8")
+
+    def _submit(self, httpd, job_id="j1"):
+        sub = JobSubmission(job_id=job_id, input_bytes=1 * GB)
+        request = urllib.request.Request(
+            httpd.url + "/jobs",
+            data=json.dumps(sub.to_wire()).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=10.0):
+            pass
+
+    def test_events_tail_and_since(self, server):
+        self._submit(server, "j1")
+        self._submit(server, "j2")
+        status, body = self._get(server.url + "/events")
+        assert status == 200
+        frames = frames_from_text(body)
+        assert [f.seq for f in frames] == [1, 2]
+        assert all(f.kind == KIND_SERVICE for f in frames)
+        _, tail = self._get(server.url + "/events?since=1")
+        assert [f.seq for f in frames_from_text(tail)] == [2]
+
+    def test_events_rejects_bad_since(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            self._get(server.url + "/events?since=soon")
+        assert err.value.code == 400
+
+    def test_events_404_without_bus(self):
+        service = ReproService("Hybrid")
+        httpd = serve(service, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self._get(httpd.url + "/events")
+            assert err.value.code == 404
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            thread.join(timeout=5)
+
+    def test_mission_endpoint_serves_live_dashboard(self, server):
+        self._submit(server, "j1")
+        status, html = self._get(server.url + "/mission")
+        assert status == 200
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+        assert 'http-equiv="refresh"' in html

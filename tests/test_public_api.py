@@ -42,13 +42,14 @@ EXPECTED_EXPORTS = frozenset({
     # mapreduce
     "HadoopConfig", "JobResult", "JobSpec",
     # telemetry
-    "MetricsRegistry", "ServiceInstruments", "Tracer",
+    "MetricsBus", "MetricsFrame", "MetricsRegistry", "ServiceInstruments",
+    "Tracer",
     # faults
     "FaultEvent", "FaultInjector", "FaultPlan", "crash_storm_plan",
     "default_resilience_plan",
     # runner
     "CellSpec", "ExperimentSpec", "PoolRunner", "ResultCache",
-    "isolated_cell", "replay_cell", "sweep_experiment",
+    "SqliteResultCache", "isolated_cell", "replay_cell", "sweep_experiment",
     # workload
     "Trace", "TraceJob", "generate_fb2009",
     # units

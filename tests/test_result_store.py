@@ -1,0 +1,225 @@
+"""The sqlite result store: contract parity with the JSON cache.
+
+What matters here is that the two backends are interchangeable behind
+the :class:`~repro.runner.cache.ResultStore` protocol: same payload
+bytes for the same keys, same corruption-as-miss semantics, and a
+migration that keeps a warm grid warm (zero misses, ``CODE_SALT``
+untouched).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.runner.cache import ResultCache, ResultStore
+from repro.runner.spec import CACHE_SCHEMA, canonical_json
+from repro.runner.store import (
+    SQLITE_STORE_NAME,
+    SqliteResultCache,
+    default_sqlite_path,
+    migrate_json_tree,
+    open_result_store,
+    store_report,
+)
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+KEY_C = "cc" + "0" * 62
+
+
+def ok_payload(value: float = 1.0) -> dict:
+    return {"schema": CACHE_SCHEMA, "kind": "probe", "status": "ok",
+            "result": {"value": value}, "error": ""}
+
+
+def hole_payload(error_type: str = "CapacityError") -> dict:
+    return {"schema": CACHE_SCHEMA, "kind": "isolated",
+            "status": "infeasible", "result": None,
+            "error": "too big", "error_type": error_type}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SqliteResultCache(tmp_path / "results.sqlite")
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, store):
+        payload = ok_payload(3.5)
+        store.put(KEY_A, payload)
+        assert store.get(KEY_A) == payload
+        assert store.stats.hits == 1 and store.stats.writes == 1
+
+    def test_absent_key_is_a_miss(self, store):
+        assert store.get(KEY_A) is None
+        assert store.stats.misses == 1
+
+    def test_put_overwrites(self, store):
+        store.put(KEY_A, ok_payload(1.0))
+        store.put(KEY_A, ok_payload(2.0))
+        assert store.get(KEY_A)["result"]["value"] == 2.0
+
+    def test_bulk_read_and_write(self, store):
+        store.put_many([(KEY_A, ok_payload(1.0)), (KEY_B, ok_payload(2.0))])
+        found = store.get_many([KEY_A, KEY_B, KEY_C])
+        assert set(found) == {KEY_A, KEY_B}
+        assert store.stats.hits == 2 and store.stats.misses == 1
+
+    def test_bulk_read_spans_select_chunks(self, store):
+        keys = [f"{i:064x}" for i in range(1200)]
+        store.put_many([(k, ok_payload(float(i)))
+                        for i, k in enumerate(keys)])
+        found = store.get_many(keys)
+        assert len(found) == 1200
+        assert found[keys[7]]["result"]["value"] == 7.0
+
+    def test_satisfies_result_store_protocol(self, store):
+        assert isinstance(store, ResultStore)
+        assert isinstance(ResultCache(), ResultStore)
+
+
+class TestCorruptionRecovery:
+    """A broken row is a miss; a broken database is an empty store."""
+
+    def test_malformed_row_is_a_miss_and_removed(self, store):
+        store.put(KEY_A, ok_payload())
+        conn = sqlite3.connect(str(store.path))
+        conn.execute("UPDATE results SET payload = '{truncat'")
+        conn.commit()
+        conn.close()
+        assert store.get(KEY_A) is None
+        assert store.stats.corrupt == 1
+        assert len(store) == 0
+
+    def test_schema_mismatch_is_a_miss(self, store):
+        store.put(KEY_A, {**ok_payload(), "schema": CACHE_SCHEMA + 99})
+        assert store.get(KEY_A) is None
+        assert store.stats.corrupt == 1
+
+    def test_garbage_database_file_is_rebuilt_empty(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        path.write_text("this is not a sqlite database, not even close")
+        store = SqliteResultCache(path)
+        assert store.get_many([KEY_A]) == {}
+        store.put(KEY_B, ok_payload(5.0))
+        assert store.get(KEY_B)["result"]["value"] == 5.0
+
+    def test_recompute_can_rewrite_after_corruption(self, store):
+        store.put(KEY_A, {**ok_payload(), "status": "exploded"})
+        assert store.get(KEY_A) is None
+        store.put(KEY_A, ok_payload(9.0))
+        assert store.get(KEY_A)["result"]["value"] == 9.0
+
+
+class TestByteIdentity:
+    """Same keys -> same payload bytes on either backend."""
+
+    def test_payloads_match_json_backend(self, tmp_path, store):
+        json_cache = ResultCache(tmp_path / "cache")
+        payloads = {KEY_A: ok_payload(1.25), KEY_B: hole_payload()}
+        for key, payload in payloads.items():
+            json_cache.put(key, payload)
+            store.put(key, payload)
+        for key in payloads:
+            assert canonical_json(json_cache.get(key)) == canonical_json(
+                store.get(key)
+            )
+
+
+class TestMigration:
+    def test_migrate_keeps_grid_warm(self, tmp_path, store):
+        source = ResultCache(tmp_path / "cache")
+        keys = [f"{i:064x}" for i in range(25)]
+        for i, key in enumerate(keys):
+            source.put(key, ok_payload(float(i)))
+        assert migrate_json_tree(source, store) == 25
+        found = store.get_many(keys)
+        assert len(found) == 25  # zero misses on a previously warm grid
+        assert store.stats.misses == 0
+        for key in keys:
+            assert canonical_json(found[key]) == canonical_json(
+                source.get(key)
+            )
+
+    def test_migrate_skips_corrupt_source_files(self, tmp_path, store):
+        source = ResultCache(tmp_path / "cache")
+        source.put(KEY_A, ok_payload())
+        bad = source.root / KEY_B[:2] / f"{KEY_B}.json"
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_text("{nope")
+        assert migrate_json_tree(source, store) == 1
+        assert store.get(KEY_A) is not None
+
+    def test_migrate_is_idempotent(self, tmp_path, store):
+        source = ResultCache(tmp_path / "cache")
+        source.put(KEY_A, ok_payload())
+        assert migrate_json_tree(source, store) == 1
+        assert migrate_json_tree(source, store) == 1
+        assert len(store) == 1
+
+
+class TestMaintenance:
+    def test_len_entries_info(self, store):
+        store.put_many([(KEY_A, ok_payload()), (KEY_B, hole_payload())])
+        assert len(store) == 2
+        assert dict(store.entries())[KEY_A] == ok_payload()
+        assert [key for key, _ in store.holes()] == [KEY_B]
+        info = store.info()
+        assert info.entries == 2
+        assert info.by_status == {"ok": 1, "infeasible": 1}
+        assert info.total_bytes > 0
+
+    def test_clear_removes_everything(self, store):
+        store.put_many([(KEY_A, ok_payload()), (KEY_B, ok_payload())])
+        assert store.clear() == 2
+        assert len(store) == 0
+
+    def test_vacuum_reports_sizes(self, store):
+        store.put_many(
+            [(f"{i:064x}", ok_payload(float(i))) for i in range(50)]
+        )
+        store.clear()
+        before, after = store.vacuum()
+        assert before > 0 and after > 0
+        assert after <= before
+
+    def test_store_report_counts_holes_by_error_type(self, store):
+        store.put_many([
+            (KEY_A, hole_payload("CapacityError")),
+            (KEY_B, hole_payload("CapacityError")),
+            (KEY_C, hole_payload("ValueError")),
+        ])
+        report = store_report(store)
+        assert report["backend"] == "sqlite"
+        assert report["holes_by_error_type"] == {
+            "CapacityError": 2, "ValueError": 1,
+        }
+
+
+class TestOpenResultStore:
+    def test_default_is_json(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "root"))
+        store = open_result_store()
+        assert store.backend == "json"
+        assert store.root == tmp_path / "root"
+
+    def test_env_selects_sqlite(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "root"))
+        store = open_result_store()
+        assert store.backend == "sqlite"
+        assert store.path == tmp_path / "root" / SQLITE_STORE_NAME
+        assert default_sqlite_path() == store.path
+
+    def test_argument_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "sqlite")
+        assert open_result_store("json", root=tmp_path).backend == "json"
+
+    def test_unknown_backend_raises(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown result-store"):
+            open_result_store("parquet", root=tmp_path)
